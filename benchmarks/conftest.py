@@ -1,0 +1,25 @@
+"""Shared fixtures for the figure-regeneration benchmark suite.
+
+Each bench module regenerates one paper table/figure (printing the same
+rows/series the paper reports, and writing them to ``benchmarks/results/``)
+and times one representative configuration with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record():
+    """Persist a rendered figure/table under benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS.mkdir(exist_ok=True)
+        (RESULTS / f"{name}.txt").write_text(text + "\n")
+
+    return _record

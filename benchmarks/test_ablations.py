@@ -1,0 +1,41 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.bench.ablations import (
+    ablation_av_vs_cc,
+    ablation_combining_batch,
+    ablation_scqueue,
+    ablation_tags,
+)
+from repro.problems.round_robin import run_round_robin
+
+
+def test_ablation_combining_batch(benchmark, record):
+    fig = ablation_combining_batch()
+    record("ablation_combining_batch", fig.render())
+    benchmark(lambda: run_round_robin("autosynch", 4, 20))
+
+
+def test_ablation_av_vs_cc(benchmark, record):
+    fig = ablation_av_vs_cc()
+    record("ablation_av_vs_cc", fig.render())
+    benchmark(lambda: run_round_robin("autosynch", 4, 20))
+
+
+def test_ablation_scqueue(benchmark, record):
+    text = ablation_scqueue()
+    record("ablation_scqueue", text)
+    benchmark(lambda: run_round_robin("autosynch", 4, 20))
+
+
+def test_ablation_tags(benchmark, record):
+    fig = ablation_tags()
+    record("ablation_tags", fig.render())
+    benchmark(lambda: run_round_robin("autosynch", 4, 20))
+
+
+def test_ablation_stm_retry(benchmark, record):
+    from repro.bench.ablations import ablation_stm_retry
+
+    text = ablation_stm_retry()
+    record("ablation_stm_retry", text)
+    benchmark(lambda: run_round_robin("autosynch", 4, 20))

@@ -1,0 +1,10 @@
+"""Fig. 2.11 — round-robin runtime ratio vs out-of-monitor delay."""
+
+from repro.bench.figures_ch2 import fig2_11_rr_ratio
+from repro.problems.round_robin import run_round_robin
+
+
+def test_fig2_11(benchmark, record):
+    fig = fig2_11_rr_ratio()
+    record("fig2_11_rr_ratio", fig.render())
+    benchmark(lambda: run_round_robin("autosynch", 4, 20, delay=0.0005))

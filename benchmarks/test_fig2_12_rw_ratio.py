@@ -1,0 +1,10 @@
+"""Fig. 2.12 — ticket readers/writers runtime ratio vs delay."""
+
+from repro.bench.figures_ch2 import fig2_12_rw_ratio
+from repro.problems.readers_writers import run_readers_writers
+
+
+def test_fig2_12(benchmark, record):
+    fig = fig2_12_rw_ratio()
+    record("fig2_12_rw_ratio", fig.render())
+    benchmark(lambda: run_readers_writers("autosynch", 2, 10, 15, delay=0.0005))

@@ -1,0 +1,15 @@
+"""Fig. 2.4 — bounded-buffer runtime across the four signaling mechanisms."""
+
+from repro.bench.figures_ch2 import fig2_4_bounded_buffer
+from repro.problems.bounded_buffer import run_bounded_buffer
+
+
+def test_fig2_4(benchmark, record):
+    fig = fig2_4_bounded_buffer()
+    record("fig2_4_bounded_buffer", fig.render())
+    # autosynch must stay within an order of magnitude of explicit (paper:
+    # "almost as efficient"); baseline is the known-slow strawman.
+    explicit = fig.rows["explicit"]
+    autosynch = fig.rows["autosynch"]
+    assert autosynch[0] < max(10 * explicit[0], 1.0)
+    benchmark(lambda: run_bounded_buffer("autosynch", 2, 2, 50, capacity=8))

@@ -1,0 +1,10 @@
+"""Fig. 2.5 — H2O barrier runtime across signaling mechanisms."""
+
+from repro.bench.figures_ch2 import fig2_5_h2o
+from repro.problems.h2o import run_h2o
+
+
+def test_fig2_5(benchmark, record):
+    fig = fig2_5_h2o()
+    record("fig2_5_h2o", fig.render())
+    benchmark(lambda: run_h2o("autosynch", 4, 40))

@@ -1,0 +1,10 @@
+"""Fig. 2.6 — round-robin access runtime (equivalence-tag showcase)."""
+
+from repro.bench.figures_ch2 import fig2_6_round_robin
+from repro.problems.round_robin import run_round_robin
+
+
+def test_fig2_6(benchmark, record):
+    fig = fig2_6_round_robin()
+    record("fig2_6_round_robin", fig.render())
+    benchmark(lambda: run_round_robin("autosynch", 4, 30))

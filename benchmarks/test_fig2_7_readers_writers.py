@@ -1,0 +1,10 @@
+"""Fig. 2.7 — ticket readers/writers runtime."""
+
+from repro.bench.figures_ch2 import fig2_7_readers_writers
+from repro.problems.readers_writers import run_readers_writers
+
+
+def test_fig2_7(benchmark, record):
+    fig = fig2_7_readers_writers()
+    record("fig2_7_readers_writers", fig.render())
+    benchmark(lambda: run_readers_writers("autosynch", 2, 10, 20))

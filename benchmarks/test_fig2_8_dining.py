@@ -1,0 +1,10 @@
+"""Fig. 2.8 — dining philosophers (single-monitor) runtime."""
+
+from repro.bench.figures_ch2 import fig2_8_dining
+from repro.problems.dining import run_dining_monitor
+
+
+def test_fig2_8(benchmark, record):
+    fig = fig2_8_dining()
+    record("fig2_8_dining", fig.render())
+    benchmark(lambda: run_dining_monitor("autosynch", 5, 40))

@@ -1,0 +1,10 @@
+"""Fig. 2.9 — parameterized bounded buffer (the signalAll stressor)."""
+
+from repro.bench.figures_ch2 import fig2_9_param_bounded_buffer
+from repro.problems.param_bounded_buffer import run_param_bounded_buffer
+
+
+def test_fig2_9(benchmark, record):
+    fig = fig2_9_param_bounded_buffer()
+    record("fig2_9_param_bb", fig.render())
+    benchmark(lambda: run_param_bounded_buffer("autosynch", 4, 15))

@@ -1,0 +1,12 @@
+"""Fig. 3.3 — PSSSP throughput over road-network and R-MAT graphs."""
+
+from repro.bench.figures_ch3 import fig3_3_psssp
+from repro.problems.graphs import road_network
+from repro.problems.psssp import run_psssp
+
+
+def test_fig3_3(benchmark, record):
+    fig = fig3_3_psssp()
+    record("fig3_3_psssp", fig.render())
+    graph = road_network(8, seed=1)
+    benchmark(lambda: run_psssp(graph, "am", 2))

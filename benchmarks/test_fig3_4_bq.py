@@ -1,0 +1,10 @@
+"""Fig. 3.4 — bounded FIFO queue throughput per capacity and variant."""
+
+from repro.bench.figures_ch3 import fig3_4_bounded_queue
+from repro.problems.bounded_buffer import run_active_queue
+
+
+def test_fig3_4(benchmark, record):
+    fig = fig3_4_bounded_queue()
+    record("fig3_4_bq", fig.render())
+    benchmark(lambda: run_active_queue("am", 2, 100, 16))

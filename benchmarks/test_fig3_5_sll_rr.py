@@ -1,0 +1,10 @@
+"""Fig. 3.5 — sorted linked list + round robin throughput."""
+
+from repro.bench.figures_ch3 import fig3_5_sll_rr
+from repro.problems.sorted_list import run_sorted_list
+
+
+def test_fig3_5(benchmark, record):
+    fig = fig3_5_sll_rr()
+    record("fig3_5_sll_rr", fig.render())
+    benchmark(lambda: run_sorted_list("am", "mixed", 2, 40))

@@ -1,0 +1,12 @@
+"""Fig. 4.3 — dining philosophers throughput: FL / TM / MS."""
+
+from repro.bench.figures_ch45 import fig4_3_dining
+from repro.problems.dining import run_dining_multi
+
+
+def test_fig4_3(benchmark, record):
+    fig = fig4_3_dining()
+    record("fig4_3_dining_ms", fig.render())
+    # paper shape: TM is the clear loser under saturation
+    assert fig.rows["tm"][-1] <= max(fig.rows["fl"][-1], fig.rows["ms"][-1]) * 5
+    benchmark(lambda: run_dining_multi("ms", 5, 50))

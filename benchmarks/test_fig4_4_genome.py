@@ -1,0 +1,10 @@
+"""Fig. 4.4 — genome+ runtime: FL / TM / MS."""
+
+from repro.bench.figures_ch45 import fig4_4_genome
+from repro.problems.genome import run_genome
+
+
+def test_fig4_4(benchmark, record):
+    fig = fig4_4_genome()
+    record("fig4_4_genome", fig.render())
+    benchmark(lambda: run_genome("ms", 2))

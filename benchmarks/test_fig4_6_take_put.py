@@ -1,0 +1,10 @@
+"""Fig. 4.6 — atomic take-and-put throughput across five variants."""
+
+from repro.bench.figures_ch45 import fig4_6_take_and_put
+from repro.problems.take_and_put import run_take_and_put
+
+
+def test_fig4_6(benchmark, record):
+    fig = fig4_6_take_and_put()
+    record("fig4_6_take_put", fig.render())
+    benchmark(lambda: run_take_and_put("cc", 2, 40))

@@ -1,0 +1,10 @@
+"""Fig. 4.7 — pizza store throughput across five variants."""
+
+from repro.bench.figures_ch45 import fig4_7_pizza
+from repro.problems.pizza_store import run_pizza_store
+
+
+def test_fig4_7(benchmark, record):
+    fig = fig4_7_pizza()
+    record("fig4_7_pizza", fig.render())
+    benchmark(lambda: run_pizza_store("cc", 2, 8))

@@ -1,0 +1,10 @@
+"""Fig. 4.8 — pizza store false evaluations: AS vs AV vs CC."""
+
+from repro.bench.figures_ch45 import fig4_8_false_evaluations
+from repro.problems.pizza_store import run_pizza_store
+
+
+def test_fig4_8(benchmark, record):
+    fig = fig4_8_false_evaluations()
+    record("fig4_8_false_eval", fig.render())
+    benchmark(lambda: run_pizza_store("av", 2, 8))

@@ -1,0 +1,10 @@
+"""Fig. 4.9 — distributed discrete-event simulation throughput."""
+
+from repro.bench.figures_ch45 import fig4_9_des
+from repro.problems.des import run_des
+
+
+def test_fig4_9(benchmark, record):
+    fig = fig4_9_des()
+    record("fig4_9_des", fig.render())
+    benchmark(lambda: run_des("cc", 3, 20))

@@ -1,0 +1,10 @@
+"""Fig. 5.2 — multicast channels communication throughput."""
+
+from repro.bench.figures_ch45 import fig5_2_multicast
+from repro.problems.multicast import run_multicast
+
+
+def test_fig5_2(benchmark, record):
+    fig = fig5_2_multicast()
+    record("fig5_2_multicast", fig.render())
+    benchmark(lambda: run_multicast("cc", 3, 20))

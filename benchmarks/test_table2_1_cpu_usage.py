@@ -1,0 +1,10 @@
+"""Table 2.1 — CPU-usage breakdown for the round-robin pattern."""
+
+from repro.bench.figures_ch2 import table2_1_cpu_usage
+from repro.problems.round_robin import run_round_robin
+
+
+def test_table2_1(benchmark, record):
+    text = table2_1_cpu_usage()
+    record("table2_1_cpu_usage", text)
+    benchmark(lambda: run_round_robin("autosynch", 8, 30))

@@ -1,0 +1,11 @@
+"""Tables 3.1/3.2 — the evaluated problem inventory."""
+
+from repro.bench.figures_ch3 import tables_3_1_and_3_2
+from repro.problems.registry import PROBLEMS
+
+
+def test_tables_3_1_3_2(benchmark, record):
+    text = tables_3_1_and_3_2()
+    record("table3_1_2_setup", text)
+    assert set(PROBLEMS) == {"PSSSP", "BQ", "SLL", "RR"}
+    benchmark(lambda: tables_3_1_and_3_2())

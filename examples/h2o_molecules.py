@@ -1,0 +1,96 @@
+"""The H2O synchronization barrier with live event tracing.
+
+Hydrogen and oxygen threads rendezvous to form water molecules (the paper's
+Fig. A.1): each H waits for a partner H and an O; each O waits for two Hs.
+The example also attaches the event Tracer to show exactly which waits and
+single-thread signals the relay rule produced — note the absence of
+broadcasts.
+
+Run:  python examples/h2o_molecules.py
+"""
+
+import threading
+
+from repro import Monitor, S
+from repro.runtime.tracing import Tracer
+
+
+class H2OBarrier(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.available_o = 0
+        self.available_h = 0
+        self.waiting_o = 0
+        self.waiting_h = 0
+        self.molecules = 0
+
+    def o_ready(self):
+        self.waiting_o += 1
+        self.wait_until((S.available_o > 0) | (S.waiting_h >= 2))
+        if self.available_o == 0:
+            self.waiting_h -= 2
+            self.available_h += 2
+            self.waiting_o -= 1
+            self.molecules += 1
+        else:
+            self.available_o -= 1
+
+    def h_ready(self):
+        self.waiting_h += 1
+        self.wait_until(
+            (S.available_h > 0) | ((S.waiting_o >= 1) & (S.waiting_h >= 2))
+        )
+        if self.available_h == 0:
+            self.waiting_h -= 2
+            self.available_h += 1
+            self.waiting_o -= 1
+            self.available_o += 1
+            self.molecules += 1
+        else:
+            self.available_h -= 1
+
+
+def main() -> None:
+    barrier = H2OBarrier()
+    molecules = 40
+    tracer = Tracer(capacity=4096)
+    tracer.attach(barrier)
+
+    tickets = [2 * molecules]
+    ticket_lock = threading.Lock()
+
+    def claim():
+        with ticket_lock:
+            if tickets[0] == 0:
+                return False
+            tickets[0] -= 1
+            return True
+
+    def hydrogen():
+        while claim():
+            barrier.h_ready()
+
+    def oxygen():
+        for _ in range(molecules):
+            barrier.o_ready()
+
+    threads = [threading.Thread(target=oxygen)] + [
+        threading.Thread(target=hydrogen) for _ in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    tracer.detach_all()
+
+    print(f"formed {barrier.molecules} water molecules")
+    print(f"event counts: {tracer.counts()}")
+    print("last few events:")
+    for event in tracer.events()[-5:]:
+        print("  ", event)
+    assert tracer.counts().get("broadcast", 0) == 0
+    print("no broadcasts: the relay rule signalled exactly one thread each time")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Parallel shortest paths with an asynchronous monitor (Ch. 3).
+
+Dijkstra's algorithm parallelized over a shared blocking priority queue.
+The only change versus a lock-based queue: ``put`` is declared
+``@asynchronous``, so workers delegate insertions to the monitor's server
+thread and immediately return to edge relaxation — the paper's Fig. 3.3
+experiment.
+
+Run:  python examples/parallel_sssp.py
+"""
+
+import time
+
+from repro.problems.graphs import rmat, road_network, sequential_dijkstra
+from repro.problems.psssp import parallel_sssp
+
+
+def main() -> None:
+    graphs = {
+        "road-grid 24x24": road_network(24, seed=1),
+        "R-MAT 256v/4096e": rmat(256, 4096, seed=3),
+    }
+    for name, graph in graphs.items():
+        reference = sequential_dijkstra(graph, 0)
+        print(f"\n{name}: {len(graph)} vertices")
+        for variant, label in (
+            ("lk", "explicit lock queue     "),
+            ("ams", "ActiveMonitor (delegate)"),
+            ("am", "ActiveMonitor (async)   "),
+        ):
+            start = time.perf_counter()
+            dist, _ = parallel_sssp(graph, 0, variant, n_threads=4)
+            elapsed = time.perf_counter() - start
+            correct = all(abs(a - b) < 1e-9 for a, b in zip(reference, dist))
+            reached = sum(1 for d in dist if d < float("inf"))
+            print(f"  {label}  {elapsed:.3f}s  reached={reached}  "
+                  f"correct={correct}")
+        assert correct
+
+
+if __name__ == "__main__":
+    main()

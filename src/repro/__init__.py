@@ -1,0 +1,91 @@
+"""repro — automatic-signal monitors with multi-object synchronization.
+
+A Python reproduction of the AutoSynch / ActiveMonitor framework:
+
+* :class:`Monitor` + ``wait_until`` — automatic-signal monitors with relay
+  signaling and predicate tagging (no explicit condition variables, no
+  broadcasts);
+* :class:`ActiveMonitor` + ``@asynchronous`` — delegated, asynchronous
+  critical-section execution on monitor server threads;
+* :func:`multisynch` + global predicates — deadlock-free multi-object
+  mutual exclusion and automatic notification of conditions spanning
+  monitors (atomic-variable and critical-clause strategies);
+* ``or_`` / ``and_`` / ``select_one`` / ``select_all`` — logical
+  composition of guarded monitor methods.
+
+Quickstart::
+
+    from repro import Monitor, S
+
+    class BoundedQueue(Monitor):
+        def __init__(self, n):
+            super().__init__()
+            self.buf, self.capacity = [], n
+            self.count = 0
+
+        def put(self, item):
+            self.wait_until(S.count < S.capacity)
+            self.buf.append(item); self.count += 1
+
+        def take(self):
+            self.wait_until(S.count > 0)
+            self.count -= 1
+            return self.buf.pop(0)
+"""
+
+from repro.active import (
+    ActiveMonitor,
+    LightFuture,
+    Policy,
+    SingleConsumerBoundedQueue,
+    asynchronous,
+    synchronous,
+)
+from repro.compose import (
+    SKIPPED,
+    and_,
+    async_and,
+    async_or,
+    async_select_all,
+    async_select_one,
+    bind,
+    or_,
+    select_all,
+    select_one,
+)
+from repro.core import Monitor, Predicate, S, synchronized, unmonitored
+from repro.multi import complex_pred, local, multisynch
+from repro.preprocess import monitor_compile, waituntil
+from repro.runtime import get_config
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Monitor",
+    "ActiveMonitor",
+    "S",
+    "Predicate",
+    "synchronized",
+    "unmonitored",
+    "asynchronous",
+    "synchronous",
+    "LightFuture",
+    "Policy",
+    "SingleConsumerBoundedQueue",
+    "multisynch",
+    "monitor_compile",
+    "waituntil",
+    "local",
+    "complex_pred",
+    "bind",
+    "or_",
+    "and_",
+    "select_one",
+    "select_all",
+    "async_or",
+    "async_and",
+    "async_select_one",
+    "async_select_all",
+    "SKIPPED",
+    "get_config",
+]

@@ -1,0 +1,26 @@
+"""ActiveMonitor: asynchronous monitor method executions (Chapter 3)."""
+
+from repro.active.activemonitor import ActiveMonitor, asynchronous, synchronous
+from repro.active.futures import CompletedFuture, LightFuture
+from repro.active.management import ServerRegistry, registry
+from repro.active.policies import Policy, select_task
+from repro.active.scqueue import AtomicInteger, SingleConsumerBoundedQueue
+from repro.active.server import MonitorServer
+from repro.active.tasks import MonitorTask, current_worker
+
+__all__ = [
+    "ActiveMonitor",
+    "asynchronous",
+    "synchronous",
+    "LightFuture",
+    "CompletedFuture",
+    "MonitorTask",
+    "current_worker",
+    "MonitorServer",
+    "SingleConsumerBoundedQueue",
+    "AtomicInteger",
+    "Policy",
+    "select_task",
+    "ServerRegistry",
+    "registry",
+]

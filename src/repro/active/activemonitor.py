@@ -1,0 +1,225 @@
+"""ActiveMonitor: monitors as active artifacts (Chapter 3).
+
+An :class:`ActiveMonitor` is an automatic-signal monitor that may own a
+server thread.  Methods declared ``@asynchronous`` are delegated as monitor
+tasks and return a :class:`~repro.active.futures.LightFuture` immediately;
+``@synchronous`` methods (and methods that return values, which the paper
+makes synchronous automatically) execute under the monitor lock as usual.
+
+Program-order rules (Lemma 1):
+
+* Rule 2 — each worker has at most one outstanding asynchronous task per
+  monitor; submitting a second one first waits for the first.
+* Rule 3 — invoking any method on a *different* monitor first evaluates the
+  worker's outstanding future on the previous monitor.
+
+Disable delegation globally with ``get_config().asynchronous_enabled = False``
+(the paper's runtime flag) or per object with ``ActiveMonitor(mode="sync")``;
+``mode="delegate"`` keeps delegation but makes every call block on its future
+(the evaluation's *AMS* configuration).
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import Any, Callable, Optional
+
+from repro.active.futures import CompletedFuture, LightFuture
+from repro.active.policies import Policy
+from repro.active.server import MonitorServer
+from repro.active.tasks import MonitorTask
+from repro.core.monitor import Monitor, unmonitored
+from repro.core.predicates import Predicate
+from repro.runtime.config import get_config
+from repro.runtime.errors import MonitorError
+
+MODES = ("async", "delegate", "sync")
+
+#: per-thread record of the worker's outstanding async future:
+#: maps monitor id -> LightFuture, plus 'last' -> (monitor_id, future)
+_worker_state = threading.local()
+
+
+def _outstanding() -> dict[int, LightFuture]:
+    table = getattr(_worker_state, "table", None)
+    if table is None:
+        table = {}
+        _worker_state.table = table
+    return table
+
+
+def asynchronous(pre: Callable[..., Any] | None = None, priority: int = 0,
+                 retries: int = 0):
+    """Declare a monitor method asynchronous (delegated, returns a future).
+
+    ``pre`` is the method's guard — the paper's leading ``waituntil``; it is
+    called with the same arguments as the method and must be side-effect
+    free.  ``priority`` feeds the Chapter-6 priority policy; ``retries``
+    enables the §6.2.1 automatic re-try of failed tasks.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(self: "ActiveMonitor", *args, **kwargs):
+            return self._invoke(fn, args, kwargs, pre, priority, is_async=True,
+                                retries=retries)
+
+        wrapper._repro_wrapped = True  # keep MonitorMeta's hands off
+        wrapper._repro_guard = pre
+        wrapper._repro_async = True
+        return wrapper
+
+    return decorate
+
+
+def synchronous(pre: Callable[..., Any] | None = None, priority: int = 0):
+    """Declare a guarded synchronous monitor method (blocking, returns the
+    value directly).  Equivalent to a method whose body starts with
+    ``wait_until(pre)``."""
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(self: "ActiveMonitor", *args, **kwargs):
+            return self._invoke(fn, args, kwargs, pre, priority, is_async=False)
+
+        wrapper._repro_wrapped = True
+        wrapper._repro_guard = pre
+        wrapper._repro_async = False
+        return wrapper
+
+    return decorate
+
+
+class ActiveMonitor(Monitor):
+    """A monitor object that can execute delegated tasks on its own thread."""
+
+    def __init__(
+        self,
+        signaling: str = "autosynch",
+        mode: str = "async",
+        policy: Policy = Policy.SAFE,
+        start_server: bool = True,
+    ):
+        super().__init__(signaling=signaling)
+        if mode not in MODES:
+            raise MonitorError(f"unknown ActiveMonitor mode {mode!r}")
+        self._mode = mode
+        self._server: Optional[MonitorServer] = None
+        if mode != "sync" and get_config().asynchronous_enabled and start_server:
+            server = MonitorServer(self, policy)
+            if server.start():
+                self._server = server
+        # after any synchronous section mutates state, pendings may have
+        # become executable: kick the server on exit.
+        self._exit_hooks.append(lambda _m: self._server and self._server.kick())
+
+    # ----------------------------------------------------------------- invoke
+    def _invoke(self, fn, args, kwargs, pre, priority, is_async: bool,
+                retries: int = 0):
+        self._honor_rule3()
+        server = self._server
+        if server is None or not server.alive:
+            return self._run_sync(fn, args, kwargs, pre, wrap_future=is_async)
+        if is_async:
+            self._honor_rule2()
+            predicate = self._guard_predicate(pre, args, kwargs)
+            task = MonitorTask(
+                functools.partial(fn, self), (*args,), dict(kwargs),
+                precondition=predicate, priority=priority,
+                name=getattr(fn, "__name__", "task"), retries=retries,
+            )
+            server.submit(task)
+            table = _outstanding()
+            table[self.monitor_id] = task.future
+            _worker_state.last = (self.monitor_id, task.future)
+            return task.future if self._mode == "async" else _evaluated(task.future)
+        # synchronous guarded method: direct execution under the lock
+        return self._run_sync(fn, args, kwargs, pre, wrap_future=False)
+
+    def _run_sync(self, fn, args, kwargs, pre, wrap_future: bool):
+        self._monitor_enter()
+        try:
+            if pre is not None:
+                self.wait_until(lambda: pre(self, *args, **kwargs))
+            result = fn(self, *args, **kwargs)
+        except BaseException as exc:
+            if wrap_future:
+                self._monitor_exit()
+                return CompletedFuture(error=exc)
+            raise
+        finally:
+            if not wrap_future:
+                self._monitor_exit()
+        if wrap_future:
+            self._monitor_exit()
+            return CompletedFuture(result)
+        return result
+
+    def _guard_predicate(self, pre, args, kwargs) -> Optional[Predicate]:
+        if pre is None:
+            return None
+        return Predicate(lambda: pre(self, *args, **kwargs))
+
+    # ------------------------------------------------------------ order rules
+    def _honor_rule2(self) -> None:
+        """One outstanding asynchronous task per worker per monitor."""
+        future = _outstanding().get(self.monitor_id)
+        if future is not None and not future.done():
+            _swallow(future)
+
+    def _honor_rule3(self) -> None:
+        """Complete the worker's outstanding task on any *other* monitor."""
+        last = getattr(_worker_state, "last", None)
+        if last is None:
+            return
+        mon_id, future = last
+        if mon_id != self.monitor_id and not future.done():
+            _swallow(future)
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def server(self) -> Optional[MonitorServer]:
+        return self._server
+
+    @property
+    def is_active(self) -> bool:
+        """True when delegation is live (a server thread exists)."""
+        return self._server is not None and self._server.alive
+
+    @unmonitored
+    def shutdown(self) -> None:
+        """Stop the server thread (idempotent); the monitor keeps working in
+        synchronous mode afterwards."""
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+
+    @unmonitored
+    def flush(self, timeout: float | None = 10.0) -> None:
+        """Block until every task submitted so far has executed.
+
+        Must not hold the monitor lock while waiting (the server needs it),
+        hence ``@unmonitored``."""
+        server = self._server
+        if server is None:
+            return
+        done = threading.Event()
+        sentinel = MonitorTask(lambda: done.set(), (), {}, name="flush")
+        server.submit(sentinel)
+        sentinel.future.get(timeout)
+
+
+def _evaluated(future: LightFuture) -> LightFuture:
+    """Force evaluation (AMS mode) but still hand back the future."""
+    _swallow(future)
+    return future
+
+
+def _swallow(future: LightFuture) -> None:
+    """Wait for a future, discarding its result; its error (if any) is left
+    for the owner to observe via ``get``/``exception``."""
+    try:
+        future.get()
+    except Exception:
+        pass

@@ -1,0 +1,77 @@
+"""Lightweight futures for delegated monitor tasks.
+
+The paper replaces Java's heavyweight ``FutureTask`` with "a lightweight
+version of future objects that are shared between only one worker thread and
+the server" (§3.3.2), using volatile fields and ``park``/``unpark``.  The
+Python analogue is a single Event plus plain attributes: exactly one producer
+(the executing thread) and one consumer (the submitting worker).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.runtime.errors import TaskError
+
+_PENDING = 0
+_DONE = 1
+_FAILED = 2
+
+
+class LightFuture:
+    """Single-producer / single-consumer future."""
+
+    __slots__ = ("_event", "_state", "_value", "_error")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._state = _PENDING
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    # -- producer side --------------------------------------------------------
+    def set_result(self, value: Any) -> None:
+        self._value = value
+        self._state = _DONE
+        self._event.set()
+
+    def set_exception(self, error: BaseException) -> None:
+        self._error = error
+        self._state = _FAILED
+        self._event.set()
+
+    # -- consumer side ---------------------------------------------------------
+    def done(self) -> bool:
+        return self._state != _PENDING
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Evaluate the future — blocking until the task completes.
+
+        Raises :class:`TaskError` wrapping the task's exception if it failed,
+        and ``TimeoutError`` if ``timeout`` elapses first.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError("future not completed within timeout")
+        if self._state == _FAILED:
+            raise TaskError("asynchronous monitor task failed", self._error) from self._error
+        return self._value
+
+    def exception(self) -> Optional[BaseException]:
+        return self._error if self._state == _FAILED else None
+
+    def __repr__(self):
+        state = {_PENDING: "pending", _DONE: "done", _FAILED: "failed"}[self._state]
+        return f"<LightFuture {state}>"
+
+
+class CompletedFuture(LightFuture):
+    """A future born completed — returned by synchronous fallback paths so
+    call sites can treat every method invocation uniformly."""
+
+    def __init__(self, value: Any = None, error: BaseException | None = None):
+        super().__init__()
+        if error is not None:
+            self.set_exception(error)
+        else:
+            self.set_result(value)

@@ -1,0 +1,55 @@
+"""Monitor-thread management (§3.3.4).
+
+Spawning a server thread per monitor object would sink programs that create
+many monitors, so the registry caps the number of live servers.  The cap is
+either user-provided or derived from hardware availability; when the cap is
+reached, new ActiveMonitors (and monitors whose server was denied) fall back
+to conventional synchronous execution — which, per the paper, "only disables
+the asynchronous executions … the framework can still be used".
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import TYPE_CHECKING
+
+from repro.runtime.config import get_config
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.active.server import MonitorServer
+
+
+class ServerRegistry:
+    """Process-global accounting of live monitor server threads."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._servers: "weakref.WeakSet[MonitorServer]" = weakref.WeakSet()
+
+    def try_register(self, server: "MonitorServer") -> bool:
+        """Reserve a server slot; False when the hardware cap is reached."""
+        cap = get_config().effective_server_cap()
+        with self._lock:
+            live = sum(1 for s in self._servers if s.alive)
+            if live >= cap:
+                return False
+            self._servers.add(server)
+            return True
+
+    def unregister(self, server: "MonitorServer") -> None:
+        with self._lock:
+            self._servers.discard(server)
+
+    def live_count(self) -> int:
+        with self._lock:
+            return sum(1 for s in self._servers if s.alive)
+
+    def shutdown_all(self) -> None:
+        with self._lock:
+            servers = list(self._servers)
+        for server in servers:
+            server.stop()
+
+
+registry = ServerRegistry()

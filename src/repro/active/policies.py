@@ -1,0 +1,55 @@
+"""Task-selection policies (Chapter 6.1: safe / fairness / priority).
+
+Given the set of *executable* candidates (precondition true in the current
+state), a policy picks which task the server runs next:
+
+* ``SAFE`` (Def. 14)  — any executable task; we take the first found, which
+  maximizes throughput (the Chapter-3 default);
+* ``FAIRNESS`` (Def. 15) — the executable task with the earliest submission
+  timestamp, preventing starvation and stale reads;
+* ``PRIORITY`` (Def. 16) — the executable task with the highest priority
+  (ties broken by submission order, keeping the policy safe).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterable, Optional
+
+from repro.active.tasks import MonitorTask
+
+
+class Policy(enum.Enum):
+    SAFE = "safe"
+    FAIRNESS = "fairness"
+    PRIORITY = "priority"
+
+
+def select_task(
+    policy: Policy,
+    candidates: Iterable[MonitorTask],
+    monitor: Any,
+) -> Optional[MonitorTask]:
+    """Pick the next task to run among ``candidates`` under ``policy``.
+
+    Candidates are assumed ordered by submission (the pending list preserves
+    arrival order), so SAFE's first-executable scan is also the cheapest.
+    """
+    if policy is Policy.SAFE:
+        for task in candidates:
+            if task.executable(monitor):
+                return task
+        return None
+    best: Optional[MonitorTask] = None
+    for task in candidates:
+        if not task.executable(monitor):
+            continue
+        if best is None:
+            best = task
+        elif policy is Policy.FAIRNESS:
+            if task.seq < best.seq:
+                best = task
+        else:  # PRIORITY
+            if (task.priority, -task.seq) > (best.priority, -best.seq):
+                best = task
+    return best

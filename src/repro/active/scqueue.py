@@ -1,0 +1,131 @@
+"""Single-consumer optimal bounded FIFO queue (paper Fig. 3.2).
+
+The server thread is the only consumer; every worker is a producer.  The
+design minimizes consumer-side synchronization:
+
+* ``put`` is guarded by ``putlock`` plus a ``notFull`` condition;
+* ``take`` runs without any lock — the consumer *steals* the whole current
+  count into a local ``take_count`` cache and then dequeues that many items
+  touching the shared atomic counter only once per batch, which (in the
+  original) slashes cache-coherence traffic on the hot counter.
+
+CPython has no lock-free atomic int, so :class:`AtomicInteger` carries a
+micro-lock; the algorithmic structure (and the count-update frequency the
+optimization targets) is preserved faithfully.
+
+Capacity semantics (inherent to the original design): the bound applies to
+*unclaimed* items.  Because a steal decrements the shared count by the whole
+batch up front, producers may admit up to ``capacity`` further items while
+the consumer drains its claimed batch — transient total occupancy is
+bounded by ``2 × capacity``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Optional
+
+
+class AtomicInteger:
+    """Atomic integer with get / getAndIncrement / getAndAdd."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: int = 0):
+        self._value = value
+        self._lock = threading.Lock()
+
+    def get(self) -> int:
+        with self._lock:
+            return self._value
+
+    def get_and_increment(self) -> int:
+        with self._lock:
+            old = self._value
+            self._value = old + 1
+            return old
+
+    def get_and_add(self, delta: int) -> int:
+        with self._lock:
+            old = self._value
+            self._value = old + delta
+            return old
+
+    def compare_and_set(self, expect: int, update: int) -> bool:
+        with self._lock:
+            if self._value != expect:
+                return False
+            self._value = update
+            return True
+
+
+class SingleConsumerBoundedQueue:
+    """Bounded MPSC FIFO queue with consumer-side count stealing."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._count = AtomicInteger(0)
+        self._putlock = threading.Lock()
+        self._not_full = threading.Condition(self._putlock)
+        self._items: deque[Any] = deque()
+        self._take_count = 0  # consumer-local cache of claimable items
+
+    # -- producers -------------------------------------------------------------
+    def put(self, item: Any) -> None:
+        """Enqueue, blocking while the queue is full."""
+        with self._putlock:
+            while self._count.get() == self.capacity:
+                self._not_full.wait()
+            self._items.append(item)
+            lcount = self._count.get_and_increment()
+            if lcount + 1 < self.capacity:
+                # room remains: chain-wake the next blocked producer
+                self._not_full.notify()
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking enqueue; False when full."""
+        with self._putlock:
+            if self._count.get() == self.capacity:
+                return False
+            self._items.append(item)
+            lcount = self._count.get_and_increment()
+            if lcount + 1 < self.capacity:
+                self._not_full.notify()
+            return True
+
+    def _signal_not_full(self) -> None:
+        with self._putlock:
+            self._not_full.notify()
+
+    # -- the single consumer -----------------------------------------------------
+    def take(self) -> Optional[Any]:
+        """Dequeue one item, or None when the queue is (momentarily) empty.
+
+        Must only ever be called by one thread.  Touches the shared counter
+        once per stolen batch: ``take_count`` items are claimed up front and
+        subsequent takes dequeue without synchronization.
+        """
+        if self._take_count > 0:
+            self._take_count -= 1
+            return self._items.popleft()
+        self._take_count = self._count.get()
+        if self._take_count == 0:
+            self._signal_not_full()
+            return None
+        x = self._items.popleft()
+        lcount = self._count.get_and_add(-self._take_count)
+        if lcount == self._take_count:
+            # we just emptied a full-at-steal-time queue: wake producers
+            self._signal_not_full()
+        self._take_count -= 1
+        return x
+
+    def approx_len(self) -> int:
+        """Racy size estimate (exact when callers are quiescent)."""
+        return self._count.get()
+
+    def __len__(self) -> int:
+        return self.approx_len()

@@ -1,0 +1,178 @@
+"""The monitor server thread: delegated + combined task execution (§3.3).
+
+Rules 1-3 (the paper's execution model) map onto this implementation:
+
+* **Rule 1 (mutex invariant)** — every task body runs under the monitor's
+  lock, whether the server or a combining worker executes it.
+* **Rule 2 (per-worker program order)** — the task queue is FIFO and a
+  worker may have at most one outstanding asynchronous task (enforced in
+  :mod:`repro.active.activemonitor`), so a worker's tasks are executed in
+  submission order.
+* **Rule 3 (cross-monitor order)** — before invoking a method on a
+  *different* monitor, a worker first evaluates its outstanding future
+  (also enforced in activemonitor).
+
+Unexecutable tasks (precondition false, Def. 10) move to a pending list;
+after every state change the server re-scans pendings under the configured
+policy.  When there is nothing to do the server parks on an event instead of
+busy-waiting — the paper stresses that, unlike prior combining schemes, no
+thread ever spins.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Optional
+
+from repro.active.management import registry
+from repro.active.policies import Policy, select_task
+from repro.active.scqueue import SingleConsumerBoundedQueue
+from repro.active.tasks import MonitorTask
+from repro.runtime.config import get_config
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.active.activemonitor import ActiveMonitor
+
+
+class MonitorServer:
+    """Owns the task queue and the (optional) server thread of one monitor."""
+
+    def __init__(self, monitor: "ActiveMonitor", policy: Policy = Policy.SAFE):
+        self.monitor = monitor
+        self.policy = policy
+        cfg = get_config()
+        self.queue = SingleConsumerBoundedQueue(cfg.task_queue_capacity)
+        self.pending: list[MonitorTask] = []   # unexecutable tasks, FIFO
+        self._wake = threading.Event()
+        self._stop = False
+        self.alive = False
+        self._thread: Optional[threading.Thread] = None
+        self.exception_log: list[BaseException] = []
+        #: §6.2.1 hook: called with (task, exception) after a task body
+        #: fails; exceptions it raises are swallowed (the future already
+        #: carries the original failure)
+        self.exception_handler = None
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> bool:
+        """Spawn the server thread if the registry grants a slot."""
+        if not registry.try_register(self):
+            return False
+        self.alive = True
+        self._thread = threading.Thread(
+            target=self._run, name=f"monitor-server-{self.monitor.monitor_id}",
+            daemon=True,
+        )
+        self._thread.start()
+        return True
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop = True
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+        self.alive = False
+        registry.unregister(self)
+        self.drain()
+
+    # ------------------------------------------------------------ submission
+    def submit(self, task: MonitorTask) -> None:
+        """Enqueue a task; try combining if the server looks idle."""
+        self.monitor.metrics.add("tasks_submitted")
+        self.queue.put(task)
+        if self._try_combine():
+            return
+        self._wake.set()
+
+    def _try_combine(self) -> bool:
+        """Worker-side combining (§3.3.2): if the monitor lock is free, this
+        worker becomes the combiner and drains up to ``combining_batch``
+        tasks before releasing — an uncontended acquisition in most cases."""
+        lock = self.monitor._lock
+        if not lock.acquire(blocking=False):
+            return False
+        try:
+            self.monitor._depth += 1
+            try:
+                executed = self._drain_batch(get_config().combining_batch)
+            finally:
+                self.monitor._depth -= 1
+                self.monitor._cond_mgr.relay_signal()
+            if executed:
+                self.monitor.metrics.add("tasks_combined", executed)
+            return True
+        finally:
+            lock.release()
+            if len(self.queue) or self.pending:
+                self._wake.set()
+
+    # ---------------------------------------------------------- server loop
+    def _run(self) -> None:
+        monitor = self.monitor
+        while not self._stop:
+            self._wake.wait()
+            self._wake.clear()
+            if self._stop:
+                break
+            with monitor._lock:
+                monitor._depth += 1
+                try:
+                    self._drain_batch(None)
+                finally:
+                    monitor._depth -= 1
+                    monitor._cond_mgr.relay_signal()
+        self.drain()
+
+    def _drain_batch(self, limit: Optional[int]) -> int:
+        """Run tasks (queue + pendings) until quiescent or ``limit`` reached.
+
+        Caller holds the monitor lock.  Pendings are re-scanned after every
+        execution because any run may enable a parked precondition.
+        """
+        monitor = self.monitor
+        executed = 0
+        while limit is None or executed < limit:
+            # pull everything currently queued into the pending list, which
+            # then serves as the uniform candidate set for the policy
+            while True:
+                task = self.queue.take()
+                if task is None:
+                    break
+                self.pending.append(task)
+            task = select_task(self.policy, self.pending, monitor)
+            if task is None:
+                break
+            self.pending.remove(task)
+            error = task.run(monitor)
+            if error is not None:
+                self.exception_log.append(error)
+                if self.exception_handler is not None:
+                    try:
+                        self.exception_handler(task, error)
+                    except Exception:  # noqa: BLE001 — hook must not kill us
+                        pass
+                if task.retries_left > 0:
+                    task.retries_left -= 1
+                    self.pending.append(task)   # §6.2.1 automatic re-try
+            executed += 1
+        return executed
+
+    def drain(self) -> None:
+        """Fail any tasks stranded by shutdown so futures never hang."""
+        stranded: list[MonitorTask] = []
+        while True:
+            task = self.queue.take()
+            if task is None:
+                break
+            stranded.append(task)
+        stranded.extend(self.pending)
+        self.pending.clear()
+        for task in stranded:
+            if not task.future.done():
+                task.future.set_exception(RuntimeError("monitor server stopped"))
+
+    def kick(self) -> None:
+        """Wake the server to re-scan pendings (used by exit hooks after
+        synchronous state changes)."""
+        if self.pending or len(self.queue):
+            self._wake.set()

@@ -1,0 +1,100 @@
+"""Monitor tasks (Def. 10): a precondition plus a body.
+
+A task is *executable* when its precondition holds against the current
+monitor state; unexecutable tasks wait in the server's pending set until a
+state change makes them executable.  Tasks carry the submitting worker's
+identity (Rule 2 program order is per-worker) and an optional priority for
+the Chapter-6 priority policy.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Optional
+
+from repro.active.futures import LightFuture
+from repro.core.predicates import Predicate
+
+_seq = itertools.count(1)
+_seq_lock = threading.Lock()
+
+
+def _next_seq() -> int:
+    with _seq_lock:
+        return next(_seq)
+
+
+#: while a task body runs, this holds the *submitting* worker's thread id —
+#: the §6.2.2 answer to "Thread.currentThread() inside a delegated method"
+_executing_worker = threading.local()
+
+
+def current_worker() -> int:
+    """The logical worker a critical section belongs to.
+
+    Inside a delegated task this is the submitting worker's thread id (what
+    the paper's ``Thread.currentThread()`` *intended*); elsewhere it is
+    simply the calling thread's id.
+    """
+    worker = getattr(_executing_worker, "ident", None)
+    return worker if worker is not None else threading.get_ident()
+
+
+class MonitorTask:
+    """One delegated critical-section execution request."""
+
+    __slots__ = (
+        "precondition", "body", "args", "kwargs", "future",
+        "worker_id", "seq", "priority", "name", "retries_left",
+    )
+
+    def __init__(
+        self,
+        body: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        precondition: Optional[Predicate] = None,
+        priority: int = 0,
+        name: str = "",
+        retries: int = 0,
+    ):
+        self.precondition = precondition
+        self.body = body
+        self.args = args
+        self.kwargs = kwargs
+        self.future = LightFuture()
+        self.worker_id = threading.get_ident()
+        self.seq = _next_seq()       # global submission timestamp (sub(t))
+        self.priority = priority
+        self.name = name or getattr(body, "__name__", "task")
+        self.retries_left = retries  # §6.2.1: automatic re-tries on failure
+
+    def executable(self, monitor: Any) -> bool:
+        """Is the precondition true in the current state?"""
+        if self.precondition is None:
+            return True
+        return self.precondition.evaluate(monitor)
+
+    def run(self, monitor: Any) -> Optional[BaseException]:
+        """Execute the body; complete the future unless a retry is pending.
+
+        Caller holds the monitor lock and has verified the precondition.
+        Returns the exception when the body failed (None on success); the
+        caller decides — based on ``retries_left`` and its exception handler
+        — whether to re-enqueue or deliver the failure.
+        """
+        _executing_worker.ident = self.worker_id
+        try:
+            result = self.body(*self.args, **self.kwargs)
+        except BaseException as exc:  # noqa: BLE001 — delivered via future
+            if self.retries_left <= 0:
+                self.future.set_exception(exc)
+            return exc
+        finally:
+            _executing_worker.ident = None
+        self.future.set_result(result)
+        return None
+
+    def __repr__(self):
+        return f"<MonitorTask {self.name} seq={self.seq} worker={self.worker_id}>"

@@ -1,0 +1,12 @@
+"""Benchmark harness: per-figure generators + sweep utilities."""
+
+from repro.bench.harness import Series, scale, sim_thread_counts, table, thread_counts, work_scale
+
+__all__ = [
+    "Series",
+    "table",
+    "scale",
+    "thread_counts",
+    "sim_thread_counts",
+    "work_scale",
+]

@@ -1,0 +1,132 @@
+"""Regenerate the paper's tables and figures from the command line.
+
+Usage::
+
+    python -m repro.bench --list
+    python -m repro.bench fig2_4 fig2_10 sim_fig2_6
+    python -m repro.bench --all
+    REPRO_BENCH_SCALE=full python -m repro.bench --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+
+def _registry() -> dict[str, Callable]:
+    from repro.bench import ablations, figures_ch2, figures_ch3, figures_ch45, figures_sim
+
+    return {
+        "fig2_4": figures_ch2.fig2_4_bounded_buffer,
+        "fig2_5": figures_ch2.fig2_5_h2o,
+        "fig2_6": figures_ch2.fig2_6_round_robin,
+        "fig2_7": figures_ch2.fig2_7_readers_writers,
+        "fig2_8": figures_ch2.fig2_8_dining,
+        "fig2_9": figures_ch2.fig2_9_param_bounded_buffer,
+        "fig2_10": figures_ch2.fig2_10_context_switches,
+        "fig2_11": figures_ch2.fig2_11_rr_ratio,
+        "fig2_12": figures_ch2.fig2_12_rw_ratio,
+        "table2_1": figures_ch2.table2_1_cpu_usage,
+        "table3_1_2": figures_ch3.tables_3_1_and_3_2,
+        "fig3_3": figures_ch3.fig3_3_psssp,
+        "fig3_4": figures_ch3.fig3_4_bounded_queue,
+        "fig3_5": figures_ch3.fig3_5_sll_rr,
+        "fig4_3": figures_ch45.fig4_3_dining,
+        "fig4_4": figures_ch45.fig4_4_genome,
+        "fig4_6": figures_ch45.fig4_6_take_and_put,
+        "fig4_7": figures_ch45.fig4_7_pizza,
+        "fig4_8": figures_ch45.fig4_8_false_evaluations,
+        "fig4_9": figures_ch45.fig4_9_des,
+        "fig5_2": figures_ch45.fig5_2_multicast,
+        "sim_fig2_4": figures_sim.sim_fig2_4_bounded_buffer,
+        "sim_fig2_6": figures_sim.sim_fig2_6_round_robin,
+        "sim_fig2_9": figures_sim.sim_fig2_9_param_bb,
+        "sim_fig2_10": figures_sim.sim_fig2_10_context_switches,
+        "sim_fig3_4": figures_sim.sim_fig3_4_active_queue,
+        "sim_fig4_6": figures_sim.sim_fig4_6_take_and_put,
+        "sim_fig4_7": figures_sim.sim_fig4_7_pizza,
+        "sim_fig5_2": figures_sim.sim_fig5_2_multicast,
+        "sim_table2_1": figures_sim.sim_table2_1,
+        "sim_fig2_5": figures_sim.sim_fig2_5_h2o,
+        "sim_fig2_7": figures_sim.sim_fig2_7_readers_writers,
+        "sim_fig2_8": figures_sim.sim_fig2_8_dining,
+        "ablation_combining": ablations.ablation_combining_batch,
+        "ablation_av_cc": ablations.ablation_av_vs_cc,
+        "ablation_scqueue": ablations.ablation_scqueue,
+        "ablation_tags": ablations.ablation_tags,
+        "ablation_stm_retry": ablations.ablation_stm_retry,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    parser.add_argument("targets", nargs="*", help="figure names (see --list)")
+    parser.add_argument("--list", action="store_true", help="list available targets")
+    parser.add_argument("--all", action="store_true", help="run every target")
+    parser.add_argument(
+        "--report", action="store_true",
+        help="combine benchmarks/results/*.txt into benchmarks/results/REPORT.md",
+    )
+    args = parser.parse_args(argv)
+
+    registry = _registry()
+    if args.list:
+        for name in registry:
+            print(name)
+        return 0
+    if args.report:
+        return write_report()
+    targets = list(registry) if args.all else args.targets
+    if not targets:
+        parser.print_help()
+        return 2
+    unknown = [t for t in targets if t not in registry]
+    if unknown:
+        print(f"unknown targets: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in targets:
+        registry[name]()
+    return 0
+
+
+def write_report() -> int:
+    """Assemble every recorded figure into one markdown report."""
+    import pathlib
+
+    results = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    if not results.is_dir():
+        print("no benchmarks/results directory — run the bench suite first",
+              file=sys.stderr)
+        return 1
+    sections = sorted(results.glob("*.txt"))
+    if not sections:
+        print("benchmarks/results is empty — run the bench suite first",
+              file=sys.stderr)
+        return 1
+    lines = [
+        "# Regenerated evaluation figures",
+        "",
+        "One section per paper table/figure (plus ablations), produced by",
+        "`pytest benchmarks/ --benchmark-only` at the scale recorded below.",
+        "",
+    ]
+    for path in sections:
+        lines.append(f"## {path.stem}")
+        lines.append("")
+        lines.append("```")
+        lines.append(path.read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+    out = results / "REPORT.md"
+    out.write_text("\n".join(lines))
+    print(f"wrote {out} ({len(sections)} sections)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""Figure generators for Chapter 3 (ActiveMonitor evaluation)."""
+
+from __future__ import annotations
+
+from repro.bench.harness import Series, scale, table, work_scale
+from repro.problems.bounded_buffer import run_active_queue
+from repro.problems.graphs import PAPER_GRAPHS
+from repro.problems.psssp import run_psssp
+from repro.problems.registry import table_3_1_rows, table_3_2_rows
+from repro.problems.round_robin import run_round_robin
+from repro.problems.sorted_list import MIXES, run_sorted_list
+
+
+def _threads() -> list[int]:
+    return [2, 4, 8] if scale() == "quick" else [2, 4, 8, 16, 32, 64, 80]
+
+
+def tables_3_1_and_3_2() -> str:
+    """Tables 3.1/3.2: the evaluated problems and their setups."""
+    t1 = table("Table 3.1 — problems evaluated", ["name", "description"],
+               table_3_1_rows())
+    t2 = table("Table 3.2 — evaluation setup", ["name", "CS work", "details"],
+               table_3_2_rows())
+    return t1 + "\n" + t2
+
+
+def fig3_3_psssp() -> Series:
+    """Fig. 3.3: PSSSP throughput (K edges/s) per graph and variant.
+
+    x-axis = threads; one sub-series per (graph, variant), matching the
+    figure's five panels."""
+    counts = _threads()
+    graph_names = ["NY", "R16"] if scale() == "quick" else list(PAPER_GRAPHS)
+    fig = Series("Fig 3.3 — PSSSP throughput (K edges/s)", "#threads", counts)
+    for gname in graph_names:
+        graph = PAPER_GRAPHS[gname](1.0 if scale() == "full" else 0.5)
+        for variant in ("lk", "am", "ams"):
+            fig.add(f"{gname}/{variant}", [
+                run_psssp(graph, variant, n).throughput / 1e3 for n in counts
+            ])
+    return fig.show()
+
+
+def fig3_4_bounded_queue() -> Series:
+    """Fig. 3.4: bounded FIFO queue throughput (K ops/s) per capacity."""
+    counts = _threads()
+    ops = work_scale(150, 500)
+    capacities = [4, 16, 64] if scale() == "quick" else [4, 8, 16, 32, 64]
+    fig = Series("Fig 3.4 — bounded queue throughput (K ops/s)", "#threads", counts)
+    for cap in capacities:
+        for variant in ("lk", "am", "ams", "qd"):
+            fig.add(f"cap{cap}/{variant}", [
+                run_active_queue(variant, n, ops, cap).throughput / 1e3
+                for n in counts
+            ])
+    return fig.show()
+
+
+def fig3_5_sll_rr() -> Series:
+    """Fig. 3.5: SLL throughput per mix + round-robin throughput."""
+    counts = _threads()
+    ops = work_scale(80, 300)
+    fig = Series("Fig 3.5 — SLL and RR throughput (K ops/s)", "#threads", counts)
+    for mix in MIXES:
+        for variant in ("lk", "am", "ams"):
+            fig.add(f"{mix}/{variant}", [
+                run_sorted_list(variant, mix, n, ops).throughput / 1e3
+                for n in counts
+            ])
+    rounds = work_scale(60, 150)
+    # rr/qd: queue-delegation-style conditional waiting is one broadcast
+    # condition variable — behaviourally the baseline signaling mode
+    for mech, label in (("explicit", "rr/lk"), ("autosynch", "rr/am"),
+                        ("baseline", "rr/qd")):
+        fig.add(label, [
+            run_round_robin(mech, n, rounds).throughput / 1e3 for n in counts
+        ])
+    return fig.show()

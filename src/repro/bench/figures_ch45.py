@@ -1,0 +1,108 @@
+"""Figure generators for Chapters 4 and 5 (multi-object sync + composition)."""
+
+from __future__ import annotations
+
+from repro.bench.harness import Series, scale, work_scale
+from repro.problems.des import run_des
+from repro.problems.dining import run_dining_multi
+from repro.problems.genome import run_genome
+from repro.problems.multicast import run_multicast
+from repro.problems.pizza_store import run_pizza_store
+from repro.problems.take_and_put import run_take_and_put
+
+
+def _threads() -> list[int]:
+    return [2, 4, 8] if scale() == "quick" else [2, 4, 8, 16, 32, 64, 80]
+
+
+def fig4_3_dining() -> Series:
+    """Fig. 4.3: dining philosophers throughput (K ops/s), FL / TM / MS."""
+    counts = _threads()
+    meals = work_scale(100, 400)
+    fig = Series("Fig 4.3 — dining philosophers throughput (K ops/s)",
+                 "#threads", counts)
+    for variant in ("fl", "tm", "ms"):
+        fig.add(variant, [
+            run_dining_multi(variant, n, meals).throughput / 1e3 for n in counts
+        ])
+    return fig.show()
+
+
+def fig4_4_genome() -> Series:
+    """Fig. 4.4: genome+ runtime (s), FL / TM / MS."""
+    counts = _threads()
+    length = work_scale(1024, 4096)
+    fig = Series("Fig 4.4 — genome+ runtime (s)", "#threads", counts)
+    for variant in ("fl", "tm", "ms"):
+        fig.add(variant, [
+            run_genome(variant, n, genome_length=length).elapsed for n in counts
+        ])
+    return fig.show()
+
+
+def fig4_6_take_and_put() -> Series:
+    """Fig. 4.6: atomic take-and-put throughput (K ops/s), 5 variants."""
+    counts = _threads()
+    moves = work_scale(60, 250)
+    n_queues = work_scale(16, 80)
+    fig = Series("Fig 4.6 — atomic take&put throughput (K ops/s)",
+                 "#threads", counts)
+    for variant in ("gl", "tm", "as", "av", "cc"):
+        fig.add(variant, [
+            run_take_and_put(variant, n, moves, n_queues=n_queues).throughput / 1e3
+            for n in counts
+        ])
+    fig.notes = "paper: AS wins here — big buffers make the condition almost always true"
+    return fig.show()
+
+
+def fig4_7_pizza() -> Series:
+    """Fig. 4.7: pizza store throughput (K pizzas/s), 5 variants."""
+    counts = _threads()
+    pizzas = work_scale(15, 60)
+    fig = Series("Fig 4.7 — pizza store throughput (K ops/s)", "#cooks", counts)
+    for variant in ("gl", "tm", "as", "av", "cc"):
+        fig.add(variant, [
+            run_pizza_store(variant, n, pizzas).throughput / 1e3 for n in counts
+        ])
+    return fig.show()
+
+
+def fig4_8_false_evaluations() -> Series:
+    """Fig. 4.8: pizza store false evaluations (waiter re-checks that failed)."""
+    counts = _threads()
+    pizzas = work_scale(15, 60)
+    fig = Series("Fig 4.8 — pizza store false evaluations", "#cooks", counts)
+    for variant in ("as", "av", "cc"):
+        fig.add(variant, [
+            int(run_pizza_store(variant, n, pizzas).metrics["false_evals"])
+            for n in counts
+        ])
+    fig.notes = "paper: AS needs 2-7x more evaluations than AV/CC"
+    return fig.show()
+
+
+def fig4_9_des() -> Series:
+    """Fig. 4.9: discrete-event simulation throughput (K events/s)."""
+    counts = _threads()
+    events = work_scale(40, 150)
+    fig = Series("Fig 4.9 — discrete-event simulation throughput (K ev/s)",
+                 "#neighbors", counts)
+    for variant in ("gl", "tm", "as", "av", "cc"):
+        fig.add(variant, [
+            run_des(variant, n, events).throughput / 1e3 for n in counts
+        ])
+    return fig.show()
+
+
+def fig5_2_multicast() -> Series:
+    """Fig. 5.2: multicast channels throughput (K msgs/s), 6 variants."""
+    counts = _threads()
+    requests = work_scale(40, 150)
+    fig = Series("Fig 5.2 — multicast channels throughput (K msgs/s)",
+                 "#clients", counts)
+    for variant in ("gl", "tm", "as", "av", "cc", "am"):
+        fig.add(variant, [
+            run_multicast(variant, n, requests).throughput / 1e3 for n in counts
+        ])
+    return fig.show()

@@ -1,0 +1,88 @@
+"""Bench harness: sweep scales, table printing, figure registration.
+
+Every paper table/figure has a generator in :mod:`repro.bench.figures` that
+produces the same rows/series the paper reports.  ``REPRO_BENCH_SCALE``
+selects the sweep size:
+
+* ``quick`` (default) — laptop-scale thread counts and short runs, suitable
+  for CI and the pytest-benchmark suite;
+* ``full``  — paper-scale sweeps (hundreds of threads on the simulator,
+  larger real-thread counts); expect minutes per figure.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def scale() -> str:
+    value = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    return value if value in ("quick", "full") else "quick"
+
+
+def thread_counts() -> list[int]:
+    """The x-axis of the chapter-2 figures (# threads)."""
+    return [2, 4, 8] if scale() == "quick" else [2, 4, 8, 16, 32, 64, 128, 256]
+
+
+def sim_thread_counts() -> list[int]:
+    """Simulator sweeps are cheap enough for paper-scale counts even quick."""
+    return [2, 4, 8, 16, 32, 64] if scale() == "quick" else [2, 4, 8, 16, 32, 64, 128, 256]
+
+
+def work_scale(quick: int, full: int) -> int:
+    return quick if scale() == "quick" else full
+
+
+@dataclass
+class Series:
+    """One figure's data: named series over a shared x-axis."""
+
+    title: str
+    x_label: str
+    x_values: Sequence[Any]
+    columns: list[str] = field(default_factory=list)
+    rows: dict[str, list[Any]] = field(default_factory=dict)
+    notes: str = ""
+
+    def add(self, name: str, values: Sequence[Any]) -> None:
+        self.columns.append(name)
+        self.rows[name] = list(values)
+
+    def render(self) -> str:
+        width = max(12, max((len(c) for c in self.columns), default=12) + 2)
+        head = f"{self.x_label:>12}" + "".join(f"{c:>{width}}" for c in self.columns)
+        lines = [f"== {self.title} ==", head]
+        for i, x in enumerate(self.x_values):
+            cells = []
+            for c in self.columns:
+                v = self.rows[c][i]
+                cells.append(f"{v:>{width}.3f}" if isinstance(v, float) else f"{v:>{width}}")
+            lines.append(f"{x!s:>12}" + "".join(cells))
+        if self.notes:
+            lines.append(f"   note: {self.notes}")
+        return "\n".join(lines)
+
+    def show(self) -> "Series":
+        print("\n" + self.render(), flush=True)
+        return self
+
+
+def table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]],
+          notes: str = "") -> str:
+    """Render a plain table (for Tables 2.1 / 3.1 / 3.2)."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0)) + 2
+        for i, h in enumerate(headers)
+    ]
+    out = [f"== {title} =="]
+    out.append("".join(f"{h:>{w}}" for h, w in zip(headers, widths)))
+    for row in rows:
+        out.append("".join(f"{str(c):>{w}}" for c, w in zip(row, widths)))
+    if notes:
+        out.append(f"   note: {notes}")
+    text = "\n".join(out)
+    print("\n" + text, flush=True)
+    return text

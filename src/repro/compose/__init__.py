@@ -1,0 +1,25 @@
+"""Logical compositionality (Chapter 5): OR / AND / selectone / selectall."""
+
+from repro.compose.async_ops import (
+    SKIPPED,
+    async_and,
+    async_or,
+    async_select_all,
+    async_select_one,
+)
+from repro.compose.guarded import GuardedCall, bind
+from repro.compose.operators import and_, or_, select_all, select_one
+
+__all__ = [
+    "GuardedCall",
+    "bind",
+    "or_",
+    "and_",
+    "select_one",
+    "select_all",
+    "async_or",
+    "async_and",
+    "async_select_one",
+    "async_select_all",
+    "SKIPPED",
+]

@@ -1,0 +1,143 @@
+"""Asynchronous composition operators via ActiveMonitor (§5.3).
+
+Operands must live on distinct monitors (the paper's pre-processor raises a
+parsing error otherwise — cross-monitor program order under conditional
+synchronization cannot be guaranteed for same-monitor operands).
+
+``async_and`` / ``async_select_all`` delegate one task per operand to that
+monitor's server and then force the worker to evaluate every future.
+
+``async_or`` / ``async_select_one`` delegate a task per operand that shares
+one atomic ``taken`` flag: when a server finds an operand's guard true it
+performs a compare-and-swap on the flag, and only the winner executes its
+body (§5.3.1); losers resolve to :data:`SKIPPED`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Sequence
+
+from repro.active.activemonitor import ActiveMonitor
+from repro.active.futures import LightFuture
+from repro.active.tasks import MonitorTask
+from repro.compose.guarded import GuardedCall
+from repro.core.predicates import Predicate
+from repro.runtime.errors import CompositionError
+
+#: sentinel result of a losing OR operand
+SKIPPED = object()
+
+
+class _TakenFlag:
+    """Atomic boolean with compare-and-swap semantics (a CAS on ``taken``)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = False
+
+    def try_take(self) -> bool:
+        with self._lock:
+            if self._value:
+                return False
+            self._value = True
+            return True
+
+    def is_set(self) -> bool:
+        with self._lock:
+            return self._value
+
+
+def _validate(calls: Sequence[GuardedCall]) -> list[GuardedCall]:
+    calls = list(calls)
+    if not calls:
+        raise CompositionError("composition needs at least one operand")
+    monitors = {id(c.monitor) for c in calls}
+    if len(monitors) != len(calls):
+        raise CompositionError(
+            "asynchronous composition operands must be on distinct monitors"
+        )
+    for call in calls:
+        if not isinstance(call.monitor, ActiveMonitor) or not call.monitor.is_active:
+            raise CompositionError(
+                f"operand {call.name} is not on a live ActiveMonitor; use the "
+                "synchronous operators instead"
+            )
+    return calls
+
+
+def _submit(call: GuardedCall, precondition, body) -> MonitorTask:
+    task = MonitorTask(body, (), {}, precondition=precondition, name=call.name)
+    call.monitor.server.submit(task)
+    return task
+
+
+def async_and(*operands: GuardedCall) -> list[Any]:
+    """Delegate every operand; block until all complete; results by position."""
+    return async_select_all(list(operands))
+
+
+def async_select_all(calls: Sequence[GuardedCall]) -> list[Any]:
+    calls = _validate(calls)
+    tasks = [
+        _submit(
+            call,
+            Predicate(_guard_thunk(call)),
+            _body_thunk(call),
+        )
+        for call in calls
+    ]
+    return [task.future.get() for task in tasks]
+
+
+def async_or(*operands: GuardedCall) -> tuple[int, Any]:
+    """Delegate all operands; exactly one executes; returns (index, result)."""
+    return async_select_one(list(operands))
+
+
+def async_select_one(calls: Sequence[GuardedCall]) -> tuple[int, Any]:
+    calls = _validate(calls)
+    taken = _TakenFlag()
+    winner_future: LightFuture = LightFuture()
+
+    def make_guard(call: GuardedCall):
+        # executable once the real guard holds — or once somebody else won,
+        # so the loser task drains from the pending set as SKIPPED.
+        real = _guard_thunk(call)
+        return lambda: taken.is_set() or real()
+
+    def make_body(index: int, call: GuardedCall):
+        run = _body_thunk(call)
+
+        def body():
+            if not taken.try_take():
+                return SKIPPED
+            result = run()
+            winner_future.set_result((index, result))
+            # losers may be parked behind false guards on other servers;
+            # kick those servers so the SKIPPED drain happens promptly
+            for other in calls:
+                if other is not call and other.monitor.server is not None:
+                    other.monitor.server._wake.set()
+            return (index, result)
+
+        return body
+
+    tasks = [
+        _submit(call, Predicate(make_guard(call)), make_body(index, call))
+        for index, call in enumerate(calls)
+    ]
+    del tasks  # futures resolve via winner_future; losers drain as SKIPPED
+    return winner_future.get()
+
+
+def _guard_thunk(call: GuardedCall):
+    if call.pre is None:
+        return lambda: True
+    return lambda: bool(call.pre(call.monitor, *call.args, **call.kwargs))
+
+
+def _body_thunk(call: GuardedCall):
+    return lambda: call.execute()

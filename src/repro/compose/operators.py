@@ -1,0 +1,119 @@
+"""Synchronous composition operators (§5.2, Algorithms 5-8).
+
+``or_`` / ``select_one`` execute exactly one operand; ``and_`` /
+``select_all`` execute every operand, in whatever order their guards become
+true.  Each operator runs in two phases:
+
+* **speculative** — iterate over the operands with non-blocking lock
+  attempts, executing any whose guard holds (Algorithm 5);
+* **synchronized** — if the speculative phase did not finish the job,
+  acquire all remaining operand locks in id order (as ``multisynch`` does),
+  derive the disjunction of the remaining guards as a global predicate
+  (Algorithm 6), and ``waituntil`` it before trying again.
+
+Results carry the operand index so callers can tell which branch ran
+(standing in for the paper's ``x = Q1.take() OR x = Q2.take()`` assignment
+forms).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.compose.guarded import GuardedCall
+from repro.multi.global_predicates import GOr, LocalPredicate
+from repro.multi.multisync import Multisynch
+from repro.runtime.errors import CompositionError
+
+
+def _execute_one(calls: Sequence[GuardedCall]) -> tuple[int, Any] | None:
+    """Algorithm 5 (executeOneOperand): run the first executable operand."""
+    for index, call in enumerate(calls):
+        ok, result = call.try_execute()
+        if ok:
+            return index, result
+    return None
+
+
+def _executable_predicate(calls: Sequence[GuardedCall]) -> GOr:
+    """Algorithm 6: the disjunction of the operands' guards as a global
+    predicate (one local atom per operand's monitor)."""
+    atoms = [
+        LocalPredicate(call.monitor, _guard_atom(call))
+        for call in calls
+    ]
+    return GOr(atoms)
+
+
+def _guard_atom(call: GuardedCall):
+    if call.pre is None:
+        return lambda: True
+    return lambda: bool(call.pre(call.monitor, *call.args, **call.kwargs))
+
+
+def _check(calls: Sequence[GuardedCall]) -> list[GuardedCall]:
+    calls = list(calls)
+    if not calls:
+        raise CompositionError("composition needs at least one operand")
+    return calls
+
+
+def or_(*operands: GuardedCall, strategy: str = "CC") -> tuple[int, Any]:
+    """Execute exactly one operand (Algorithm 7); returns (index, result)."""
+    return select_one(_check(operands), strategy=strategy)
+
+
+def select_one(calls: Sequence[GuardedCall], strategy: str = "CC") -> tuple[int, Any]:
+    """Generalized OR over a collection of operands (Algorithm 7)."""
+    calls = _check(calls)
+    # Speculative phase
+    hit = _execute_one(calls)
+    if hit is not None:
+        return hit
+    # Synchronized phase
+    block = Multisynch([c.monitor for c in calls], strategy=strategy)
+    predicate = _executable_predicate(calls)
+    with block:
+        while True:
+            block.wait_until(predicate)
+            hit = _execute_one(calls)   # reentrant tryLocks succeed: we hold them
+            if hit is not None:
+                return hit
+            # a signaled-but-stale guard: wait again
+
+
+def and_(*operands: GuardedCall, strategy: str = "CC") -> list[Any]:
+    """Execute every operand, any order (Algorithm 8); results by position."""
+    return select_all(_check(operands), strategy=strategy)
+
+
+def select_all(calls: Sequence[GuardedCall], strategy: str = "CC") -> list[Any]:
+    """Generalized AND over a collection of operands (Algorithm 8)."""
+    calls = _check(calls)
+    results: list[Any] = [None] * len(calls)
+    remaining = {i: c for i, c in enumerate(calls)}
+
+    # Speculative phase: keep executing any executable operand until stuck.
+    progress = True
+    while remaining and progress:
+        progress = False
+        for i in list(remaining):
+            ok, result = remaining[i].try_execute()
+            if ok:
+                results[i] = result
+                del remaining[i]
+                progress = True
+    # Synchronized phase over the leftovers.
+    while remaining:
+        leftover = [remaining[i] for i in sorted(remaining)]
+        block = Multisynch([c.monitor for c in leftover], strategy=strategy)
+        predicate = _executable_predicate(leftover)
+        with block:
+            block.wait_until(predicate)
+            for i in list(remaining):
+                call = remaining[i]
+                lock_ok, result = call.try_execute()
+                if lock_ok:
+                    results[i] = result
+                    del remaining[i]
+    return results

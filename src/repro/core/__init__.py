@@ -1,0 +1,28 @@
+"""AutoSynch: automatic-signal monitors (Chapter 2 of the paper)."""
+
+from repro.core.condition_manager import SIGNALING_MODES, ConditionManager
+from repro.core.expressions import S, SharedExpr, SharedVar
+from repro.core.monitor import Monitor, MonitorMeta, synchronized, unmonitored
+from repro.core.predicates import And, Comparison, FuncAtom, Or, Predicate
+from repro.core.tags import Tag, TagKind, tag_conjunction, tag_predicate
+
+__all__ = [
+    "Monitor",
+    "MonitorMeta",
+    "synchronized",
+    "unmonitored",
+    "S",
+    "SharedVar",
+    "SharedExpr",
+    "Predicate",
+    "Comparison",
+    "FuncAtom",
+    "And",
+    "Or",
+    "Tag",
+    "TagKind",
+    "tag_conjunction",
+    "tag_predicate",
+    "ConditionManager",
+    "SIGNALING_MODES",
+]

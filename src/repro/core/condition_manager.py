@@ -1,0 +1,254 @@
+"""The condition manager: waiter registry + relay signaling.
+
+This is the component the paper's §1.2 describes as "responsible for
+determining which thread to signal by analyzing the predicates and the state
+of the shared object".  Three signaling disciplines are implemented so the
+benchmarks can compare them exactly as Chapter 2's evaluation does:
+
+* ``autosynch`` — tag-accelerated relay signaling (the full system);
+* ``autosynch_t`` — relay signaling with a linear scan over waiters (the
+  paper's *AutoSynch-T*: tags disabled);
+* ``baseline`` — one condition variable, broadcast on every exit, every
+  woken thread re-checks its own predicate (the paper's *Baseline*).
+
+All entry points require the monitor lock to be held by the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.core.expressions import Expr
+from repro.core.predicates import Predicate
+from repro.core.tag_index import TagIndex
+from repro.core.tags import tag_predicate
+from repro.core.waiter import Waiter
+from repro.runtime.config import get_config
+from repro.runtime.metrics import Metrics, PhaseTimer
+
+SIGNALING_MODES = ("autosynch", "autosynch_t", "baseline")
+
+
+class ConditionManager:
+    """Per-monitor waiter registry implementing the relay signaling rule."""
+
+    def __init__(self, monitor: Any, lock: threading.RLock, metrics: Metrics,
+                 mode: str = "autosynch"):
+        if mode not in SIGNALING_MODES:
+            raise ValueError(f"unknown signaling mode {mode!r}")
+        self.monitor = monitor
+        self.lock = lock
+        self.metrics = metrics
+        self.mode = mode
+        self.waiters: list[Waiter] = []     # insertion order (autosynch_t scan)
+        self.index = TagIndex()             # tag structures (autosynch)
+        self._broadcast_cv = threading.Condition(lock)  # baseline mode
+        #: cache of compiled shared-expression evaluators, keyed by expr_key
+        self._expr_cache: dict[Any, Expr] = {}
+        #: §2.5.1: recycled per-waiter condition variables — when a waiter
+        #: leaves, its CV joins an inactive pool for reuse, bounded by
+        #: ``inactive_predicate_factor × live waiters`` (the paper's 2n cap)
+        self._cv_pool: list[threading.Condition] = []
+
+    # ------------------------------------------------------------------ wait
+    def wait(self, predicate: Predicate) -> None:
+        """Block until ``predicate`` holds; caller holds the monitor lock.
+
+        Implements the waiting side of the relay protocol: before parking,
+        the thread passes the baton (relay-signals some other satisfied
+        waiter, since this thread is "going into waiting state"); after each
+        wakeup it re-evaluates, counting futile wakeups when the state moved
+        under it between signal and lock re-acquisition.
+        """
+        m = self.metrics
+        if predicate.evaluate(self.monitor):
+            m.bump("predicate_evals")
+            return
+        m.bump("predicate_evals")
+        m.bump("waits")
+
+        if self.mode == "baseline":
+            self._wait_baseline(predicate)
+            return
+
+        waiter = Waiter(predicate, self.lock,
+                        cv=self._cv_pool.pop() if self._cv_pool else None)
+        self._register(waiter)
+        try:
+            while True:
+                # Pass the baton before sleeping (relay rule: a thread going
+                # into waiting state signals some satisfied waiter).
+                self.relay_signal()
+                cfg = get_config()
+                with PhaseTimer(m, "await_time", cfg.phase_timing):
+                    waiter.cv.wait()
+                waiter.signaled = False
+                m.bump("wakeups")
+                if waiter.poison is not None:
+                    # our predicate blew up while a signaler evaluated it;
+                    # the failure belongs to this thread — re-raise it here
+                    raise waiter.poison
+                if predicate.evaluate(self.monitor):
+                    m.bump("predicate_evals")
+                    return
+                m.bump("predicate_evals")
+                m.bump("futile_wakeups")
+        finally:
+            self._deregister(waiter)
+
+    def _wait_baseline(self, predicate: Predicate) -> None:
+        m = self.metrics
+        self._broadcast_cv.notify_all()  # baton-pass equivalent
+        m.bump("broadcasts")
+        while True:
+            self._broadcast_cv.wait()
+            m.bump("wakeups")
+            if predicate.evaluate(self.monitor):
+                m.bump("predicate_evals")
+                return
+            m.bump("predicate_evals")
+            m.bump("futile_wakeups")
+
+    # ---------------------------------------------------------------- signal
+    def relay_signal(self) -> Optional[Waiter]:
+        """Signal one waiter whose condition is true, if any (relay rule).
+
+        Called whenever a thread exits the monitor or goes to wait.  Returns
+        the signaled waiter (already marked) or None.  Guarantees relay
+        invariance (Prop. 2): if some waiter's predicate is true, an active
+        thread exists afterwards.
+        """
+        m = self.metrics
+        cfg = get_config()
+        if self.mode == "baseline":
+            if self._waiting_baseline():
+                with PhaseTimer(m, "relay_time", cfg.phase_timing):
+                    self._broadcast_cv.notify_all()
+                m.bump("broadcasts")
+            return None
+        if not self.waiters:
+            return None
+        with PhaseTimer(m, "relay_time", cfg.phase_timing):
+            waiter = self._find_satisfied_waiter()
+            if waiter is not None:
+                waiter.signal()
+                m.bump("signals")
+            return waiter
+
+    def _find_satisfied_waiter(self) -> Optional[Waiter]:
+        m = self.metrics
+        if self.mode == "autosynch_t":
+            for waiter in self.waiters:
+                if waiter.signaled:
+                    continue
+                m.bump("predicate_evals")
+                if self._safe_evaluate(waiter):
+                    return waiter
+            return None
+        # autosynch: tag-index search
+        cfg = get_config()
+
+        def evaluate_expr(expr_key):
+            m.bump("tag_checks")
+            return self._evaluate_expr_key(expr_key)
+
+        def predicate_true(waiter: Waiter) -> bool:
+            if waiter.signaled:
+                return False
+            m.bump("predicate_evals")
+            return self._safe_evaluate(waiter)
+
+        with PhaseTimer(m, "tag_time", cfg.phase_timing):
+            return self.index.search(evaluate_expr, predicate_true)
+
+    def _safe_evaluate(self, waiter: Waiter) -> bool:
+        """Evaluate a waiter's predicate on behalf of another thread.
+
+        A predicate that *raises* must not crash the signaling thread (it
+        did nothing wrong); instead the waiter is poisoned and woken so the
+        exception re-raises in the thread that owns the broken predicate —
+        returning True here routes the relay signal to it.
+        """
+        try:
+            return waiter.evaluate(self.monitor)
+        except BaseException as exc:  # noqa: BLE001 — re-raised by the owner
+            waiter.poison = exc
+            return True
+
+    # ------------------------------------------------------------- internals
+    def _register(self, waiter: Waiter) -> None:
+        self.waiters.append(waiter)
+        if self.mode == "autosynch":
+            self._cache_expressions(waiter.predicate)
+            for tag in tag_predicate(waiter.predicate.conjunctions):
+                waiter.records.append(self.index.add(tag, waiter))
+
+    def _cache_expressions(self, predicate: Predicate) -> None:
+        """Record evaluators for every sub-expression appearing in the
+        predicate, keyed by structural key, so the tag search can evaluate a
+        canonical shared expression from its key alone."""
+        from repro.core.predicates import Comparison
+
+        for conj in predicate.conjunctions:
+            for atom in conj:
+                if not isinstance(atom, Comparison):
+                    continue
+                for node in atom.shared_subexpressions():
+                    try:
+                        self._expr_cache.setdefault(node.key(), node)
+                    except TypeError:
+                        pass  # unhashable constant keys are never looked up
+
+    def _deregister(self, waiter: Waiter) -> None:
+        try:
+            self.waiters.remove(waiter)
+        except ValueError:
+            pass
+        for record in waiter.records:
+            self.index.remove(record, waiter)
+        waiter.records.clear()
+        # recycle the condition variable (paper §2.5.1): cap the inactive
+        # pool at factor × live waiters, minimum a small constant
+        cap = max(4, get_config().inactive_predicate_factor * (len(self.waiters) + 1))
+        if len(self._cv_pool) < cap:
+            self._cv_pool.append(waiter.cv)
+
+    def dump_waiters(self) -> list[str]:
+        """Human-readable descriptions of every parked predicate — the
+        first thing to look at when a program seems wedged."""
+        return [repr(w) for w in self.waiters]
+
+    def _waiting_baseline(self) -> bool:
+        # Condition keeps private waiter list; len() of it is an internal
+        # detail, so track via the public API instead: notify_all on a CV
+        # with no waiters is a cheap no-op — just always report True.
+        return True
+
+    def _evaluate_expr_key(self, expr_key: Any) -> Any:
+        """Evaluate the canonical shared expression identified by a key.
+
+        Keys produced by the linear normalizer are tuples of
+        ``(term_key, coeff)``; each term key is ``("var", name)`` or
+        ``("expr", name)``.  Non-linear fallback keys are 1-tuples of a
+        structural expression key whose first term is evaluated directly.
+        """
+        # Single unit-coefficient term: return the raw term value (this also
+        # covers non-numeric equality keys such as object identity).
+        if len(expr_key) == 1 and expr_key[0][1] == 1.0:
+            return self._evaluate_term(expr_key[0][0])
+        total = 0.0
+        for term_key, coeff in expr_key:
+            total += coeff * self._evaluate_term(term_key)
+        return total
+
+    def _evaluate_term(self, term_key: Any) -> Any:
+        if isinstance(term_key, tuple) and len(term_key) == 2 and term_key[0] == "var":
+            return getattr(self.monitor, term_key[1])
+        expr = self._expr_cache.get(term_key)
+        if expr is not None:
+            return expr.evaluate(self.monitor)
+        raise TypeError(f"cannot evaluate term {term_key!r}")
+
+    def waiting_count(self) -> int:
+        return len(self.waiters)

@@ -1,0 +1,245 @@
+"""The automatic-signal monitor (AutoSynch) base class.
+
+Subclassing :class:`Monitor` corresponds to the paper's ``monitor class``
+modifier: every public method is wrapped so it runs under the monitor's
+reentrant lock, and on final exit the relay signaling rule fires (signal one
+waiter whose condition has become true — never a broadcast).
+
+``wait_until(condition)`` is the paper's ``waituntil`` statement.  The
+condition may be a DSL predicate built from :data:`repro.core.expressions.S`
+(enabling Equivalence/Threshold tagging) or any zero/one-argument callable
+(an opaque complex predicate — still correct, just untagged).
+
+Example (Fig. 1.2 / 2.2 of the paper)::
+
+    class BoundedQueue(Monitor):
+        def __init__(self, n):
+            super().__init__()
+            self.items = [None] * n
+            self.put_ptr = self.take_ptr = self.count = 0
+            self.capacity = n
+
+        def put(self, item):
+            self.wait_until(S.count < S.capacity)
+            self.items[self.put_ptr] = item
+            self.put_ptr = (self.put_ptr + 1) % self.capacity
+            self.count += 1
+
+        def take(self):
+            self.wait_until(S.count > 0)
+            x = self.items[self.take_ptr]
+            self.take_ptr = (self.take_ptr + 1) % self.capacity
+            self.count -= 1
+            return x
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import Callable
+
+from repro.core.condition_manager import SIGNALING_MODES, ConditionManager
+from repro.core.predicates import BoolNode, Predicate
+from repro.runtime.config import get_config
+from repro.runtime.errors import MonitorError, NotOwnerError
+from repro.runtime.ids import next_monitor_id
+from repro.runtime.metrics import Metrics, PhaseTimer
+
+#: attribute set by :func:`unmonitored` to opt a method out of auto-locking
+_UNMONITORED = "_repro_unmonitored"
+
+
+def unmonitored(fn: Callable) -> Callable:
+    """Mark a method as *not* a critical section (no lock wrapping).
+
+    The paper's nonblocking helpers (e.g. a lock-free ``isEmpty`` used from
+    global predicates) correspond to this.
+    """
+    setattr(fn, _UNMONITORED, True)
+    return fn
+
+
+def _wrap_method(fn: Callable) -> Callable:
+    @functools.wraps(fn)
+    def wrapper(self: "Monitor", *args, **kwargs):
+        self._monitor_enter()
+        try:
+            return fn(self, *args, **kwargs)
+        finally:
+            self._monitor_exit()
+
+    setattr(wrapper, "_repro_wrapped", True)
+    return wrapper
+
+
+class MonitorMeta(type):
+    """Wraps every public callable of a Monitor subclass with lock + relay.
+
+    Dunder methods, names starting with ``_``, ``@unmonitored`` methods,
+    static/class methods, and properties are left untouched.
+    """
+
+    def __new__(mcls, name, bases, namespace, **kwargs):
+        for attr, value in list(namespace.items()):
+            if attr.startswith("_"):
+                continue
+            if not callable(value):
+                continue
+            if isinstance(value, (staticmethod, classmethod, property, type)):
+                continue
+            if getattr(value, _UNMONITORED, False):
+                continue
+            if getattr(value, "_repro_wrapped", False):
+                continue
+            namespace[attr] = _wrap_method(value)
+        return super().__new__(mcls, name, bases, namespace, **kwargs)
+
+
+class Monitor(metaclass=MonitorMeta):
+    """Base class for automatic-signal monitor objects.
+
+    Parameters
+    ----------
+    signaling:
+        one of ``"autosynch"`` (default: relay + predicate tags),
+        ``"autosynch_t"`` (relay, linear waiter scan), ``"baseline"``
+        (broadcast-everyone; the strawman automatic monitor the paper's
+        Figs. 2.4–2.5 show to be 10–50× slower).
+    """
+
+    def __init__(self, signaling: str = "autosynch"):
+        if signaling not in SIGNALING_MODES:
+            raise MonitorError(f"unknown signaling mode {signaling!r}")
+        self._monitor_id = next_monitor_id()
+        self._lock = threading.RLock()
+        self._depth = 0          # reentrancy depth for the owning thread
+        self._metrics = Metrics()
+        self._cond_mgr = ConditionManager(self, self._lock, self._metrics, signaling)
+        #: hook used by the multi-object layer: callables run (with the lock
+        #: held) just before the final lock release of a monitor section.
+        self._exit_hooks: list[Callable[["Monitor"], None]] = []
+        #: when inside a multisynch block, lock acquisition is redirected to
+        #: the block (which may need to acquire several locks in id order).
+        self._external_section = threading.local()
+
+    # ------------------------------------------------------------ properties
+    @property
+    def monitor_id(self) -> int:
+        """Globally unique id; multisynch's lock order is ascending id."""
+        return self._monitor_id
+
+    @property
+    def metrics(self) -> Metrics:
+        return self._metrics
+
+    # ------------------------------------------------------- section control
+    def _monitor_enter(self) -> None:
+        cfg = get_config()
+        if self._depth == 0 or not self._owned():
+            with PhaseTimer(self._metrics, "lock_time", cfg.phase_timing):
+                self._lock.acquire()
+        else:
+            self._lock.acquire()
+        self._depth += 1
+
+    def _monitor_exit(self) -> None:
+        self._depth -= 1
+        if self._depth == 0:
+            try:
+                for hook in self._exit_hooks:
+                    hook(self)
+                self._cond_mgr.relay_signal()
+            finally:
+                self._lock.release()
+        else:
+            self._lock.release()
+
+    def _owned(self) -> bool:
+        # RLock exposes no owner query; acquire(blocking=False) would be
+        # racy.  Track depth instead: depth>0 while some thread is inside,
+        # and only the owner can observe its own depth consistently.
+        return self._depth > 0
+
+    # -------------------------------------------------------------- waituntil
+    @unmonitored
+    def wait_until(self, condition: BoolNode | Callable[..., bool] | bool) -> None:
+        """The paper's ``waituntil(P)`` statement.
+
+        Must be called from inside a monitor method (the lock is held).  If
+        the predicate is false the thread parks; the relay rule wakes it when
+        another thread makes the predicate true.
+        """
+        if self._depth <= 0:
+            raise NotOwnerError("wait_until called outside a monitor method")
+        predicate = condition if isinstance(condition, Predicate) else Predicate(condition)
+        # A waiting thread must not hold the lock reentrantly: Condition.wait
+        # releases the lock exactly once, so a nested hold would deadlock.
+        # Inside a nested call (e.g. a monitor method invoked under
+        # multisynch) the wait is legal only when the predicate already
+        # holds — which it does in the paper's idioms, since the enclosing
+        # section owns every monitor the condition reads.  Blocking waits on
+        # conditions spanning the enclosing section must go through
+        # ``Multisynch.wait_until`` instead.
+        if self._depth > 1:
+            if predicate.evaluate(self):
+                self._metrics.bump("predicate_evals")
+                return
+            raise MonitorError(
+                "a blocking wait_until inside a nested monitor call would "
+                "deadlock; use multisynch(...).wait_until for conditions "
+                "spanning an enclosing section"
+            )
+        saved_depth = self._depth
+        self._depth = 0  # we are not an active holder while parked
+        try:
+            self._cond_mgr.wait(predicate)
+        finally:
+            self._depth = saved_depth
+
+    # ------------------------------------------------------------- utilities
+    @unmonitored
+    def signal_hint(self) -> None:
+        """Explicitly run the relay rule now (rarely needed; the framework
+        runs it on every monitor exit and before every wait)."""
+        if self._depth <= 0:
+            raise NotOwnerError("signal_hint called outside a monitor method")
+        self._cond_mgr.relay_signal()
+
+    @unmonitored
+    def waiting_count(self) -> int:
+        """Number of threads currently parked in ``wait_until`` (racy read,
+        intended for tests and instrumentation)."""
+        return self._cond_mgr.waiting_count()
+
+    @unmonitored
+    def dump_waiters(self) -> list[str]:
+        """Describe every parked predicate — the first diagnostic to check
+        when a program appears wedged (racy read)."""
+        return self._cond_mgr.dump_waiters()
+
+    def __repr__(self):
+        return f"<{type(self).__name__} monitor #{self._monitor_id}>"
+
+
+class synchronized:
+    """Context manager giving ad-hoc monitor sections on a Monitor::
+
+        with synchronized(queue):
+            queue.wait_until(S.count > 0)   # via queue.wait_until
+            ...
+
+    Equivalent to wrapping the block body in an anonymous monitor method.
+    """
+
+    __slots__ = ("_monitor",)
+
+    def __init__(self, monitor: Monitor):
+        self._monitor = monitor
+
+    def __enter__(self) -> Monitor:
+        self._monitor._monitor_enter()
+        return self._monitor
+
+    def __exit__(self, *exc) -> None:
+        self._monitor._monitor_exit()

@@ -1,0 +1,321 @@
+"""Boolean predicate DSL: atoms, connectives, DNF conversion, closure.
+
+A predicate handed to ``wait_until`` is converted to disjunctive normal form
+(§2.2: "we assume that every predicate P = ∨ cᵢ is in disjunctive normal
+form … every Boolean formula can be converted into DNF using De Morgan's
+laws and distributive law").  Each conjunction then receives one tag via
+Algorithm 1 (see :mod:`repro.core.tags`).
+
+Three atom kinds exist:
+
+* :class:`Comparison` — ``shared_expr op constant`` after normalization;
+  these yield Equivalence / Threshold tags;
+* :class:`FuncAtom` — an opaque boolean callable of the monitor (the paper's
+  ``foo1()``); always a None tag;
+* plain Python callables passed to ``wait_until`` are wrapped in a
+  :class:`FuncAtom` automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.expressions import Const, Expr, linear_key
+from repro.runtime.errors import PredicateError
+
+#: Cap on DNF size to guard against exponential blow-up of pathological
+#: formulas; real synchronization conditions are tiny.
+MAX_DNF_CONJUNCTIONS = 256
+
+_NEGATE = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+_EVAL = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class BoolNode:
+    """Base class of the boolean expression tree."""
+
+    __slots__ = ()
+
+    def evaluate(self, monitor: Any) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "BoolNode") -> "And":
+        return And([self, _as_bool(other)])
+
+    def __rand__(self, other):
+        return And([_as_bool(other), self])
+
+    def __or__(self, other: "BoolNode") -> "Or":
+        return Or([self, _as_bool(other)])
+
+    def __ror__(self, other):
+        return Or([_as_bool(other), self])
+
+    def __invert__(self) -> "BoolNode":
+        return self.negate()
+
+    def negate(self) -> "BoolNode":
+        raise NotImplementedError
+
+    def dnf(self) -> list[tuple["Atom", ...]]:
+        """Return the formula as a list of conjunctions of atoms."""
+        raise NotImplementedError
+
+
+def _as_bool(value) -> BoolNode:
+    if isinstance(value, BoolNode):
+        return value
+    if callable(value):
+        return FuncAtom(value)
+    if isinstance(value, bool):
+        return TrueAtom() if value else FalseAtom()
+    raise PredicateError(f"cannot use {value!r} as a boolean predicate")
+
+
+class Atom(BoolNode):
+    """A leaf of the boolean tree."""
+
+    __slots__ = ()
+
+    def dnf(self):
+        return [(self,)]
+
+
+class TrueAtom(Atom):
+    __slots__ = ()
+
+    def evaluate(self, monitor):
+        return True
+
+    def negate(self):
+        return FalseAtom()
+
+    def __repr__(self):
+        return "true"
+
+
+class FalseAtom(Atom):
+    __slots__ = ()
+
+    def evaluate(self, monitor):
+        return False
+
+    def negate(self):
+        return TrueAtom()
+
+    def __repr__(self):
+        return "false"
+
+
+class FuncAtom(Atom):
+    """Opaque boolean function of the monitor state (None tag).
+
+    ``fn`` may take the monitor as its single argument, or no arguments at
+    all (a closure over ``self``); arity is probed once at construction.
+    """
+
+    __slots__ = ("fn", "negated", "_takes_monitor")
+
+    def __init__(self, fn: Callable[..., bool], negated: bool = False):
+        self.fn = fn
+        self.negated = negated
+        code = getattr(fn, "__code__", None)
+        if code is None:
+            self._takes_monitor = False
+        else:
+            required = code.co_argcount - len(getattr(fn, "__defaults__", None) or ())
+            if hasattr(fn, "__self__"):
+                required -= 1  # bound method: self is pre-bound
+            self._takes_monitor = required >= 1
+
+    def evaluate(self, monitor):
+        result = bool(self.fn(monitor) if self._takes_monitor else self.fn())
+        return (not result) if self.negated else result
+
+    def negate(self):
+        return FuncAtom(self.fn, not self.negated)
+
+    def __repr__(self):
+        bang = "!" if self.negated else ""
+        return f"{bang}{getattr(self.fn, '__name__', 'fn')}()"
+
+
+class Comparison(Atom):
+    """``lhs op rhs`` over expression trees.
+
+    At construction the comparison is *normalized*: if ``lhs - rhs`` is
+    linear in shared terms, the atom is rewritten as
+    ``canonical_shared_expr op constant`` so equal-shaped conditions share a
+    canonical key.  Non-linear comparisons keep their structural form; they
+    are still evaluable but only taggable when one side is constant.
+    """
+
+    __slots__ = ("lhs", "op", "rhs", "_shape")
+
+    def __init__(self, lhs: Expr, op: str, rhs: Expr):
+        if op not in _EVAL:
+            raise PredicateError(f"unsupported comparison {op!r}")
+        self.lhs = lhs
+        self.op = op
+        self.rhs = rhs
+        self._shape = self._normalize()
+
+    def _normalize(self):
+        """Return ``(expr_key, op, const)`` or None when untaggable."""
+        lin_l = self.lhs.linear()
+        lin_r = self.rhs.linear()
+        if lin_l is not None and lin_r is not None:
+            terms = dict(lin_l[0])
+            for k, v in lin_r[0].items():
+                terms[k] = terms.get(k, 0.0) - v
+                if terms[k] == 0.0:
+                    del terms[k]
+            const = lin_r[1] - lin_l[1]
+            if not terms:
+                return None  # constant comparison; degenerate
+            items = sorted(terms.items(), key=lambda kv: repr(kv[0]))
+            scale = items[0][1]
+            op = self.op
+            if scale < 0 and op in ("<", "<=", ">", ">="):
+                op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+            return (linear_key(terms), op, const / scale)
+        # fall back: shared expr vs plain constant (e.g. equality on objects);
+        # expressed as a single canonical term with coefficient 1 so the key
+        # format matches the linear normalizer's.
+        if isinstance(self.rhs, Const):
+            return (((self.lhs.key(), 1.0),), self.op, self.rhs.value)
+        if isinstance(self.lhs, Const):
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(self.op, self.op)
+            return (((self.rhs.key(), 1.0),), flipped, self.lhs.value)
+        return None
+
+    def shared_subexpressions(self):
+        """Yield every Expr node in this atom (for evaluator registration)."""
+        stack = [self.lhs, self.rhs]
+        while stack:
+            node = stack.pop()
+            yield node
+            lhs = getattr(node, "lhs", None)
+            rhs = getattr(node, "rhs", None)
+            if lhs is not None:
+                stack.append(lhs)
+            if rhs is not None:
+                stack.append(rhs)
+
+    @property
+    def tag_shape(self):
+        """``(expr_key, op, const)`` for the tagger, or None."""
+        return self._shape
+
+    def evaluate(self, monitor):
+        return _EVAL[self.op](self.lhs.evaluate(monitor), self.rhs.evaluate(monitor))
+
+    def negate(self):
+        return Comparison(self.lhs, _NEGATE[self.op], self.rhs)
+
+    def __bool__(self):
+        # guards against `if S.x == 3:` silently taking a branch
+        raise PredicateError(
+            "predicate atoms have no truth value; pass them to wait_until"
+        )
+
+    def __repr__(self):
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+class And(BoolNode):
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence[BoolNode]):
+        flat: list[BoolNode] = []
+        for c in children:
+            c = _as_bool(c)
+            if isinstance(c, And):
+                flat.extend(c.children)
+            else:
+                flat.append(c)
+        self.children = tuple(flat)
+
+    def evaluate(self, monitor):
+        return all(c.evaluate(monitor) for c in self.children)
+
+    def negate(self):
+        return Or([c.negate() for c in self.children])
+
+    def dnf(self):
+        # distribute: cartesian product of child DNFs
+        result: list[tuple[Atom, ...]] = [()]
+        for child in self.children:
+            child_dnf = child.dnf()
+            result = [r + c for r in result for c in child_dnf]
+            if len(result) > MAX_DNF_CONJUNCTIONS:
+                raise PredicateError("predicate too large to convert to DNF")
+        return result
+
+    def __repr__(self):
+        return "(" + " && ".join(map(repr, self.children)) + ")"
+
+
+class Or(BoolNode):
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence[BoolNode]):
+        flat: list[BoolNode] = []
+        for c in children:
+            c = _as_bool(c)
+            if isinstance(c, Or):
+                flat.extend(c.children)
+            else:
+                flat.append(c)
+        self.children = tuple(flat)
+
+    def evaluate(self, monitor):
+        return any(c.evaluate(monitor) for c in self.children)
+
+    def negate(self):
+        return And([c.negate() for c in self.children])
+
+    def dnf(self):
+        result: list[tuple[Atom, ...]] = []
+        for child in self.children:
+            result.extend(child.dnf())
+            if len(result) > MAX_DNF_CONJUNCTIONS:
+                raise PredicateError("predicate too large to convert to DNF")
+        return result
+
+    def __repr__(self):
+        return "(" + " || ".join(map(repr, self.children)) + ")"
+
+
+class Predicate:
+    """A wait condition: the DNF of a boolean tree plus evaluation support.
+
+    Construction applies the closure operation implicitly: any constant in
+    the tree was captured from the waiting thread's locals at build time, so
+    evaluation by *other* threads is sound for the whole waituntil period
+    (Prop. 1).
+    """
+
+    __slots__ = ("root", "conjunctions")
+
+    def __init__(self, condition: BoolNode | Callable[..., bool] | bool):
+        self.root = _as_bool(condition)
+        self.conjunctions: list[tuple[Atom, ...]] = self.root.dnf()
+
+    def evaluate(self, monitor: Any) -> bool:
+        return self.root.evaluate(monitor)
+
+    def __repr__(self):
+        return f"Predicate({self.root!r})"
+
+
+def conjunction_true(conj: Iterable[Atom], monitor: Any) -> bool:
+    """Evaluate a single DNF conjunction."""
+    return all(a.evaluate(monitor) for a in conj)

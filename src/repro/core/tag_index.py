@@ -1,0 +1,238 @@
+"""Tag indexes: equivalence hash tables and threshold heaps (§2.4.2, Alg. 2).
+
+Per monitor, the condition manager keeps:
+
+* for each shared-expression key carrying Equivalence tags, a hash table
+  from constant value → tag record (O(1) lookup after one evaluation of the
+  shared expression);
+* for each shared-expression key carrying Threshold tags, a min-heap for
+  ``>``/``>=`` tags and a max-heap for ``<``/``<=`` tags, exploiting
+  monotonicity: if the root's condition fails, every descendant's fails too.
+  Ties between ``>=`` and ``>`` on the same constant rank the inclusive
+  operator first, exactly as §2.4.2 specifies;
+* a plain list of None-tag records scanned exhaustively as the last resort.
+
+Each record holds the waiters whose predicate owns a conjunction with that
+tag; multiple predicates sharing a conjunct share one record.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.core.tags import Tag, TagKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.waiter import Waiter
+
+_SATISFIES = {
+    "<": lambda value, key: value < key,
+    "<=": lambda value, key: value <= key,
+    ">": lambda value, key: value > key,
+    ">=": lambda value, key: value >= key,
+}
+
+
+class TagRecord:
+    """All waiters sharing one tag identity."""
+
+    __slots__ = ("tag", "waiters")
+
+    def __init__(self, tag: Tag):
+        self.tag = tag
+        self.waiters: list["Waiter"] = []
+
+    def __repr__(self):
+        return f"TagRecord({self.tag}, {len(self.waiters)} waiters)"
+
+
+class _HeapEntry:
+    """Heap node ordering threshold tags by key, inclusive-op first.
+
+    For the min-heap (``>``/``>=`` family) smaller keys are checked first,
+    and ``>=`` sorts before ``>`` on equal keys.  For the max-heap family
+    keys are negated via ``sign``.
+    """
+
+    __slots__ = ("sort_key", "record")
+
+    def __init__(self, record: TagRecord, sign: float):
+        strictness = 0 if record.tag.op in ("<=", ">=") else 1
+        self.sort_key = (sign * record.tag.key, strictness)
+        self.record = record
+
+    def __lt__(self, other: "_HeapEntry") -> bool:
+        return self.sort_key < other.sort_key
+
+
+class ThresholdHeap:
+    """One heap of threshold tag records for a single shared expression."""
+
+    __slots__ = ("sign", "_heap", "_records")
+
+    def __init__(self, ascending: bool):
+        #: ascending=True → `>`/`>=` family (check smallest key first).
+        self.sign = 1.0 if ascending else -1.0
+        self._heap: list[_HeapEntry] = []
+        self._records: dict[tuple, TagRecord] = {}
+
+    def record_for(self, tag: Tag) -> TagRecord:
+        rec = self._records.get(tag.identity())
+        if rec is None:
+            rec = TagRecord(tag)
+            self._records[tag.identity()] = rec
+            heapq.heappush(self._heap, _HeapEntry(rec, self.sign))
+        return rec
+
+    def prune_empty(self) -> None:
+        """Drop records whose last waiter left (lazy: rebuild when stale)."""
+        if len(self._records) > 2 * max(1, self._live_count()):
+            live = [e for e in self._heap if e.record.waiters]
+            self._records = {e.record.tag.identity(): e.record for e in live}
+            self._heap = live
+            heapq.heapify(self._heap)
+
+    def _live_count(self) -> int:
+        return sum(1 for e in self._heap if e.record.waiters)
+
+    def candidates(self, value: Any) -> Iterator[TagRecord]:
+        """Yield records whose tag is true for ``value``, root-first.
+
+        Implements Algorithm 2's temporary-removal walk: check the root;
+        while it is true, yield its record (the caller evaluates the full
+        predicates), pop it to a backup list and look at the new root; when
+        a false root or an exhausted heap is reached, reinsert the backup.
+        The generator form lets the caller stop as soon as it has signaled.
+        """
+        backup: list[_HeapEntry] = []
+        try:
+            while self._heap:
+                entry = self._heap[0]
+                tag = entry.record.tag
+                if not _SATISFIES[tag.op](value, tag.key):
+                    break
+                if entry.record.waiters:
+                    yield entry.record
+                backup.append(heapq.heappop(self._heap))
+        finally:
+            for entry in backup:
+                heapq.heappush(self._heap, entry)
+
+    def __len__(self):
+        return self._live_count()
+
+
+class TagIndex:
+    """The complete per-monitor tag structure."""
+
+    __slots__ = ("eq_tables", "heaps", "none_records", "_eq_records")
+
+    def __init__(self):
+        #: expr_key → {constant → TagRecord}
+        self.eq_tables: dict[Any, dict[Any, TagRecord]] = {}
+        #: (expr_key, ascending) → ThresholdHeap
+        self.heaps: dict[tuple[Any, bool], ThresholdHeap] = {}
+        #: None-tag records (exhaustive scan)
+        self.none_records: list[TagRecord] = []
+        self._eq_records: dict[tuple, TagRecord] = {}
+
+    # -- registration ---------------------------------------------------------
+    def add(self, tag: Tag, waiter: "Waiter") -> TagRecord:
+        if tag.kind is TagKind.EQUIVALENCE:
+            rec = self._eq_records.get(tag.identity())
+            if rec is None:
+                rec = TagRecord(tag)
+                self._eq_records[tag.identity()] = rec
+                self.eq_tables.setdefault(tag.expr_key, {})[tag.key] = rec
+            rec.waiters.append(waiter)
+            return rec
+        if tag.kind is TagKind.THRESHOLD:
+            ascending = tag.op in (">", ">=")
+            heap = self.heaps.get((tag.expr_key, ascending))
+            if heap is None:
+                heap = ThresholdHeap(ascending)
+                self.heaps[(tag.expr_key, ascending)] = heap
+            rec = heap.record_for(tag)
+            rec.waiters.append(waiter)
+            return rec
+        for rec in self.none_records:
+            if not rec.waiters:
+                rec.waiters.append(waiter)
+                return rec
+        rec = TagRecord(tag)
+        self.none_records.append(rec)
+        rec.waiters.append(waiter)
+        return rec
+
+    def remove(self, record: TagRecord, waiter: "Waiter") -> None:
+        try:
+            record.waiters.remove(waiter)
+        except ValueError:
+            pass
+        if not record.waiters:
+            tag = record.tag
+            if tag.kind is TagKind.EQUIVALENCE:
+                self._eq_records.pop(tag.identity(), None)
+                table = self.eq_tables.get(tag.expr_key)
+                if table is not None:
+                    table.pop(tag.key, None)
+                    if not table:
+                        del self.eq_tables[tag.expr_key]
+            elif tag.kind is TagKind.THRESHOLD:
+                heap = self.heaps.get((tag.expr_key, tag.op in (">", ">=")))
+                if heap is not None:
+                    heap.prune_empty()
+            # None records are recycled in place by ``add``.
+
+    # -- search ---------------------------------------------------------------
+    def search(
+        self,
+        evaluate_expr: Callable[[Any], Any],
+        predicate_true: Callable[["Waiter"], bool],
+    ) -> "Waiter | None":
+        """Find one waiter whose predicate is true, cheapest tags first.
+
+        ``evaluate_expr(expr_key)`` evaluates the canonical shared
+        expression against the monitor state; ``predicate_true(waiter)``
+        evaluates the waiter's full closure predicate.  Returns the first
+        satisfied waiter, or None.
+        """
+        # 1. Equivalence tables: one expression evaluation + one hash probe.
+        for expr_key, table in self.eq_tables.items():
+            value = evaluate_expr(expr_key)
+            rec = table.get(value)
+            if rec is None and isinstance(value, float) and value.is_integer():
+                rec = table.get(int(value))
+            if rec is not None:
+                for waiter in rec.waiters:
+                    if predicate_true(waiter):
+                        return waiter
+        # 2. Threshold heaps: monotone root-first walk.
+        for (expr_key, _asc), heap in self.heaps.items():
+            if not len(heap):
+                continue
+            value = evaluate_expr(expr_key)
+            for rec in heap.candidates(value):
+                for waiter in rec.waiters:
+                    if predicate_true(waiter):
+                        return waiter
+        # 3. None tags: exhaustive.
+        for rec in self.none_records:
+            for waiter in rec.waiters:
+                if predicate_true(waiter):
+                    return waiter
+        return None
+
+    def waiter_count(self) -> int:
+        seen: set[int] = set()
+        for rec in self._iter_records():
+            for w in rec.waiters:
+                seen.add(id(w))
+        return len(seen)
+
+    def _iter_records(self) -> Iterator[TagRecord]:
+        yield from self._eq_records.values()
+        for heap in self.heaps.values():
+            yield from (e.record for e in heap._heap)
+        yield from self.none_records

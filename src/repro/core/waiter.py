@@ -1,0 +1,47 @@
+"""Per-thread wait records.
+
+Each blocked ``wait_until`` call owns a Waiter: its closure predicate, the
+tag records it was indexed under, and a private condition variable bound to
+the monitor lock so that the relay rule can wake exactly this thread (the
+framework never broadcasts; relay invariance makes ``signalAll`` unnecessary).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.core.predicates import Predicate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.tag_index import TagRecord
+
+
+class Waiter:
+    """One blocked thread's registration with a condition manager."""
+
+    __slots__ = ("predicate", "cv", "signaled", "records", "thread_id", "poison")
+
+    def __init__(self, predicate: Predicate, lock: threading.RLock,
+                 cv: threading.Condition | None = None):
+        self.predicate = predicate
+        # condition variables are recycled through the manager's inactive
+        # pool (§2.5.1); a fresh one is built only when the pool is empty
+        self.cv = cv if cv is not None else threading.Condition(lock)
+        self.signaled = False
+        self.records: list["TagRecord"] = []
+        self.thread_id = threading.get_ident()
+        #: exception raised while another thread evaluated this predicate;
+        #: re-raised in the owning thread when it wakes
+        self.poison: BaseException | None = None
+
+    def evaluate(self, monitor: Any) -> bool:
+        return self.predicate.evaluate(monitor)
+
+    def signal(self) -> None:
+        """Wake this waiter (caller holds the monitor lock)."""
+        self.signaled = True
+        self.cv.notify()
+
+    def __repr__(self):
+        return f"Waiter(tid={self.thread_id}, {self.predicate!r})"

@@ -1,0 +1,84 @@
+"""Per-monitor registry of global-condition waiters + the signaling rule.
+
+Each monitor keeps a list of all related global conditions (Algorithm 4's
+table).  The manager installs an exit hook on every involved monitor; the
+hook runs while the exiting thread still holds that monitor's lock, asks
+each registered waiter's strategy whether to wake (AS / AV / CC), and
+signals at most the waiters whose check passes.  Evaluations that come back
+false are counted as *false evaluations* only on the waiter side (a wakeup
+whose full predicate re-check fails), which is the quantity Fig. 4.8 plots.
+"""
+
+from __future__ import annotations
+
+import threading
+from repro.core.monitor import Monitor
+from repro.multi.strategies import STRATEGIES, GlobalWaiter
+from repro.runtime.metrics import Metrics
+
+#: process-global aggregate of global-condition activity
+global_condition_metrics = Metrics()
+
+_HOOK_ATTR = "_repro_global_hook_installed"
+_TABLE_ATTR = "_repro_global_waiters"
+
+
+def _table(monitor: Monitor) -> list[GlobalWaiter]:
+    table = getattr(monitor, _TABLE_ATTR, None)
+    if table is None:
+        table = []
+        setattr(monitor, _TABLE_ATTR, table)
+    return table
+
+
+def _ensure_hook(monitor: Monitor) -> None:
+    if getattr(monitor, _HOOK_ATTR, False):
+        return
+    setattr(monitor, _HOOK_ATTR, True)
+    monitor._exit_hooks.append(_on_monitor_exit)
+
+
+def _on_monitor_exit(monitor: Monitor) -> None:
+    """Algorithm 4: before releasing Mᵢ, check related global conditions."""
+    table = getattr(monitor, _TABLE_ATTR, None)
+    if not table:
+        return
+    m = global_condition_metrics
+    me = threading.get_ident()
+    for waiter in list(table):
+        if waiter.owner == me:
+            # a thread releasing its own locks on the way into a wait must
+            # not signal itself (would livelock the AS strategy)
+            continue
+        m.bump("predicate_evals")
+        if waiter.check_on_exit(monitor):
+            waiter.signal()
+            m.bump("signals")
+
+
+def register(waiter: GlobalWaiter) -> None:
+    """Install ``waiter`` on every involved monitor.
+
+    Caller holds all involved locks (so each per-monitor table mutation is
+    protected by that monitor's own lock)."""
+    waiter.prepare()
+    for monitor in waiter.monitors:
+        _ensure_hook(monitor)
+        _table(monitor).append(waiter)
+
+
+def deregister(waiter: GlobalWaiter) -> None:
+    """Remove ``waiter`` from every table (caller holds all locks)."""
+    for monitor in waiter.monitors:
+        table = getattr(monitor, _TABLE_ATTR, None)
+        if table is not None:
+            try:
+                table.remove(waiter)
+            except ValueError:
+                pass
+
+
+def validate_strategy(strategy: str) -> str:
+    if strategy not in STRATEGIES:
+        raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+    return strategy

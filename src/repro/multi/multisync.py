@@ -1,0 +1,138 @@
+"""The ``multisynch`` statement: multi-object mutual exclusion (§4.1).
+
+``multisynch(a, b, c)`` acquires the monitor locks of ``a``, ``b`` and ``c``
+in ascending monitor-id order — the system, not the programmer, decides the
+locking order, eliminating deadlocks from inconsistent ordering (assuming,
+as the paper does, that all multi-object acquisitions go through multisynch
+and blocks do not nest).
+
+Inside the block, :meth:`Multisynch.wait_until` accepts a *global predicate*
+(a boolean combination of per-monitor local predicates, see
+:mod:`repro.multi.global_predicates`).  While parked, the thread holds no
+locks; re-acquisition follows the same ascending order.  Signaling follows
+the configured strategy (AS / AV / CC).
+
+Example (the paper's Fig. 1.5)::
+
+    with multisynch(src, dst) as ms:
+        ms.wait_until(local(src, S.count > 0) & local(dst, S.count < S.capacity))
+        dst.put(src.take())
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from repro.core.monitor import Monitor
+from repro.multi import manager
+from repro.multi.global_predicates import GlobalNode
+from repro.multi.strategies import GlobalWaiter
+from repro.runtime.errors import NestedMultisynchError, PredicateError
+
+_active = threading.local()
+
+
+def _flatten(objs: Iterable) -> list[Monitor]:
+    """Accept monitors and (nested) sequences of monitors, as the paper
+    allows arrays of monitor objects as multisynch parameters."""
+    out: list[Monitor] = []
+    for obj in objs:
+        if isinstance(obj, Monitor):
+            out.append(obj)
+        elif isinstance(obj, (list, tuple)):
+            out.extend(_flatten(obj))
+        else:
+            raise TypeError(f"multisynch expects Monitor objects, got {obj!r}")
+    # dedupe, preserving nothing in particular: ordering is by id anyway
+    seen: dict[int, Monitor] = {}
+    for m in out:
+        seen.setdefault(m.monitor_id, m)
+    return [seen[k] for k in sorted(seen)]
+
+
+class Multisynch:
+    """Context manager holding several monitors at once."""
+
+    def __init__(self, *objs, strategy: str = "CC"):
+        self.monitors: list[Monitor] = _flatten(objs)
+        if not self.monitors:
+            raise ValueError("multisynch needs at least one monitor")
+        self.strategy = manager.validate_strategy(strategy)
+        self._held = False
+
+    # ------------------------------------------------------------- lock mgmt
+    def _acquire_all(self) -> None:
+        for m in self.monitors:           # ascending id
+            m._monitor_enter()
+        self._held = True
+
+    def _release_all(self) -> None:
+        self._held = False
+        for m in reversed(self.monitors):  # descending id
+            m._monitor_exit()
+
+    def __enter__(self) -> "Multisynch":
+        if getattr(_active, "block", None) is not None:
+            raise NestedMultisynchError(
+                "nested multisynch blocks are not supported; pass all "
+                "monitors to one multisynch"
+            )
+        _active.block = self
+        self._acquire_all()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        try:
+            self._release_all()
+        finally:
+            _active.block = None
+
+    # -------------------------------------------------------- global waiting
+    def wait_until(self, condition: GlobalNode) -> None:
+        """Block until the global condition holds (no global lock needed).
+
+        The condition's monitors must all be covered by this multisynch
+        block — otherwise its evaluation under the held locks would be
+        unsound.
+        """
+        if not self._held:
+            raise PredicateError("wait_until outside the multisynch block")
+        if not isinstance(condition, GlobalNode):
+            raise PredicateError(
+                "multisynch.wait_until takes a global predicate; build one "
+                "with local(monitor, ...) / complex_pred(...)"
+            )
+        held = set(self.monitors)
+        if not condition.monitors() <= held:
+            missing = [m.monitor_id for m in condition.monitors() - held]
+            raise PredicateError(
+                f"global predicate involves monitors {missing} not held by "
+                "this multisynch block"
+            )
+        if condition.evaluate():
+            return
+        waiter = GlobalWaiter(condition, self.strategy)
+        while True:
+            manager.register(waiter)
+            self._release_all()
+            waiter.event.wait()
+            self._acquire_all()
+            manager.deregister(waiter)
+            if condition.evaluate():
+                return
+            manager.global_condition_metrics.bump("false_evals")
+
+    def __repr__(self):
+        ids = [m.monitor_id for m in self.monitors]
+        return f"<multisynch {ids} strategy={self.strategy}>"
+
+
+def multisynch(*objs, strategy: str = "CC") -> Multisynch:
+    """Build a :class:`Multisynch` block (use with ``with``)."""
+    return Multisynch(*objs, strategy=strategy)
+
+
+def current_multisynch() -> Multisynch | None:
+    """The multisynch block active on this thread, if any."""
+    return getattr(_active, "block", None)

@@ -1,0 +1,5 @@
+"""The preprocessor component (paper Fig. 1.8): waituntil → DSL rewriting."""
+
+from repro.preprocess.transformer import monitor_compile, waituntil
+
+__all__ = ["monitor_compile", "waituntil"]

@@ -1,0 +1,282 @@
+"""The preprocessor: natural-Python predicates → taggable DSL (Fig. 1.8).
+
+The original framework ships a source preprocessor that turns ``monitor
+class`` / ``waituntil(count < items.length)`` keyword syntax into library
+calls.  This module is its Python analogue: decorate a Monitor subclass
+with :func:`monitor_compile` and write waits as *plain Python expressions*::
+
+    @monitor_compile
+    class BoundedQueue(Monitor):
+        def put(self, item):
+            waituntil(self.count < self.capacity)
+            ...
+
+Without the transform, ``self.count < self.capacity`` would evaluate
+eagerly to a bool; the preprocessor rewrites each ``waituntil(expr)`` call
+to ``self.wait_until(<DSL form of expr>)`` where
+
+* ``self.attr`` reads become :data:`~repro.core.expressions.S` shared
+  variables (``S.attr``) — so the condition manager can tag them;
+* ``and`` / ``or`` / ``not`` become the DSL's ``&`` / ``|`` / ``~``
+  (Python boolean operators are not overloadable);
+* any other self-dependent subexpression (method calls, subscripts,
+  ``len(self.items)``, …) becomes a named
+  :class:`~repro.core.expressions.SharedExpr` so it can still anchor a tag;
+* local variables and parameters are left in place — they are frozen into
+  the predicate as constants when ``wait_until`` builds it, which is
+  exactly the paper's closure operation.
+
+Limitations (documented, mirroring the original's): the transform needs the
+class's source (``inspect.getsource``), so it does not work in the REPL;
+``waituntil`` must be called as a statement with a single positional
+argument; comparison chains (``a < b < c``) are split into conjunctions.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import inspect
+import textwrap
+from typing import Any, Callable, TypeVar
+
+from repro.runtime.errors import PredicateError
+
+T = TypeVar("T", bound=type)
+
+#: the name the preprocessor recognizes, mirroring the paper's keyword
+WAITUNTIL = "waituntil"
+
+
+def waituntil(condition: Any) -> None:  # pragma: no cover - always rewritten
+    """Placeholder for the ``waituntil`` statement.
+
+    Calls to this function only exist in *source* form; ``monitor_compile``
+    rewrites them away.  Executing it directly means the enclosing class was
+    not compiled — fail loudly rather than silently skipping the wait.
+    """
+    raise PredicateError(
+        "waituntil() reached at runtime — decorate the class with "
+        "@monitor_compile (or call self.wait_until(...) directly)"
+    )
+
+
+class _SelfExprCheck(ast.NodeVisitor):
+    """Classify an expression: does it mention ``self``, and is it a plain
+    ``self.attr`` read?"""
+
+    def __init__(self, self_name: str):
+        self.self_name = self_name
+        self.mentions_self = False
+
+    def visit_Name(self, node: ast.Name):
+        if node.id == self.self_name:
+            self.mentions_self = True
+
+
+def _mentions_self(node: ast.AST, self_name: str) -> bool:
+    checker = _SelfExprCheck(self_name)
+    checker.visit(node)
+    for child in ast.walk(node):
+        checker.visit(child)
+    return checker.mentions_self
+
+
+def _is_plain_self_attr(node: ast.AST, self_name: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == self_name
+    )
+
+
+class _PredicateRewriter(ast.NodeTransformer):
+    """Rewrite one waituntil argument into DSL form."""
+
+    def __init__(self, self_name: str):
+        self.self_name = self_name
+
+    # -- boolean structure ----------------------------------------------------
+    def visit_BoolOp(self, node: ast.BoolOp) -> ast.AST:
+        op = ast.BitAnd() if isinstance(node.op, ast.And) else ast.BitOr()
+        values = [self.visit(v) for v in node.values]
+        out = values[0]
+        for value in values[1:]:
+            out = ast.BinOp(left=out, op=op, right=value)
+        return out
+
+    def visit_UnaryOp(self, node: ast.UnaryOp) -> ast.AST:
+        if isinstance(node.op, ast.Not):
+            return ast.UnaryOp(op=ast.Invert(), operand=self.visit(node.operand))
+        return self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> ast.AST:
+        # split chains (a < b < c) into (a < b) & (b < c)
+        left = self.visit(node.left)
+        comparisons: list[ast.AST] = []
+        current_left = left
+        for op, comparator in zip(node.ops, node.comparators):
+            right = self.visit(comparator)
+            comparisons.append(
+                ast.Compare(left=current_left, ops=[op], comparators=[right])
+            )
+            current_left = right
+        out = comparisons[0]
+        for comparison in comparisons[1:]:
+            out = ast.BinOp(left=out, op=ast.BitAnd(), right=comparison)
+        return out
+
+    # -- leaves ----------------------------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> ast.AST:
+        if _is_plain_self_attr(node, self.self_name):
+            # self.attr  →  S.attr
+            return ast.Attribute(
+                value=ast.Name(id="__repro_S", ctx=ast.Load()),
+                attr=node.attr,
+                ctx=ast.Load(),
+            )
+        return self._lift_if_self(node)
+
+    def visit_Call(self, node: ast.Call) -> ast.AST:
+        return self._lift_if_self(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> ast.AST:
+        return self._lift_if_self(node)
+
+    def _lift_if_self(self, node: ast.AST) -> ast.AST:
+        """Wrap a self-dependent compound expression into a SharedExpr:
+        ``len(self.items)`` → ``__repro_shared(lambda m: len(m.items), "...")``
+        (keyed by source text so equal expressions share tag tables)."""
+        if not _mentions_self(node, self.self_name):
+            return node  # pure-local: closure constant, leave untouched
+        source = ast.unparse(node)
+        renamed = _RenameSelf(self.self_name).visit(
+            ast.parse(source, mode="eval").body
+        )
+        lam = ast.Lambda(
+            args=ast.arguments(
+                posonlyargs=[],
+                args=[ast.arg(arg="__repro_m")],
+                kwonlyargs=[],
+                kw_defaults=[],
+                defaults=[],
+            ),
+            body=renamed,
+        )
+        return ast.Call(
+            func=ast.Name(id="__repro_shared", ctx=ast.Load()),
+            args=[lam, ast.Constant(value=source)],
+            keywords=[],
+        )
+
+
+class _RenameSelf(ast.NodeTransformer):
+    def __init__(self, self_name: str):
+        self.self_name = self_name
+
+    def visit_Name(self, node: ast.Name) -> ast.AST:
+        if node.id == self.self_name:
+            return ast.Name(id="__repro_m", ctx=node.ctx)
+        return node
+
+
+class _MethodRewriter(ast.NodeTransformer):
+    """Replace ``waituntil(expr)`` statements inside one method body."""
+
+    def __init__(self, self_name: str):
+        self.self_name = self_name
+        self.rewrote = False
+
+    def visit_Expr(self, node: ast.Expr) -> ast.AST:
+        call = node.value
+        if (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Name)
+            and call.func.id == WAITUNTIL
+        ):
+            if len(call.args) != 1 or call.keywords:
+                raise PredicateError(
+                    "waituntil takes exactly one positional condition"
+                )
+            predicate = _PredicateRewriter(self.self_name).visit(call.args[0])
+            ast.fix_missing_locations(predicate)
+            self.rewrote = True
+            return ast.Expr(
+                value=ast.Call(
+                    func=ast.Attribute(
+                        value=ast.Name(id=self.self_name, ctx=ast.Load()),
+                        attr="wait_until",
+                        ctx=ast.Load(),
+                    ),
+                    args=[predicate],
+                    keywords=[],
+                )
+            )
+        return node
+
+
+def _compile_method(fn: Callable, cls_globals: dict) -> Callable | None:
+    """Rewrite one method; returns the new function or None if untouched."""
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError):
+        return None
+    if WAITUNTIL not in source:
+        return None
+    tree = ast.parse(source)
+    func_def = tree.body[0]
+    if not isinstance(func_def, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    if not func_def.args.args:
+        return None
+    self_name = func_def.args.args[0].arg
+    rewriter = _MethodRewriter(self_name)
+    rewriter.visit(func_def)
+    if not rewriter.rewrote:
+        return None
+    func_def.decorator_list = []     # decorators already applied to `fn`
+    ast.fix_missing_locations(tree)
+    namespace: dict = {}
+    exec_globals = dict(cls_globals)
+    from repro.core.expressions import S, SharedExpr
+
+    exec_globals["__repro_S"] = S
+    exec_globals["__repro_shared"] = lambda f, name: SharedExpr(f, name)
+    code = compile(tree, filename=f"<monitor_compile {fn.__qualname__}>", mode="exec")
+    exec(code, exec_globals, namespace)  # noqa: S102 — compiling our own AST
+    new_fn = namespace[func_def.name]
+    functools.update_wrapper(new_fn, fn)
+    # closure variables (rare in methods) cannot be rebuilt by exec; detect
+    if fn.__closure__:
+        raise PredicateError(
+            f"{fn.__qualname__}: waituntil methods must not close over "
+            "enclosing-scope variables (pass them as parameters instead)"
+        )
+    return new_fn
+
+
+def monitor_compile(cls: T) -> T:
+    """Class decorator: rewrite every ``waituntil(...)`` in the class body.
+
+    Must sit *above* the Monitor metaclass's wrapping — i.e. applied to the
+    already-created class — so it unwraps each auto-wrapped method, rewrites
+    the original body, and re-wraps it.
+    """
+    from repro.core.monitor import Monitor, _wrap_method
+
+    if not issubclass(cls, Monitor):
+        raise PredicateError("@monitor_compile requires a Monitor subclass")
+    module = inspect.getmodule(cls)
+    cls_globals = vars(module) if module else {}
+    for name, value in list(vars(cls).items()):
+        if not callable(value) or name.startswith("_"):
+            continue
+        raw = getattr(value, "__wrapped__", value)
+        compiled = _compile_method(raw, cls_globals)
+        if compiled is None:
+            continue
+        if getattr(value, "_repro_wrapped", False):
+            setattr(cls, name, _wrap_method(compiled))
+        else:
+            setattr(cls, name, compiled)
+    return cls

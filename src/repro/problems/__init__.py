@@ -1,0 +1,14 @@
+"""The evaluation workload zoo: every problem the paper benchmarks."""
+
+from repro.problems.common import OpCounter, RunResult, StopFlag, run_threads, spin_delay
+from repro.problems.registry import PROBLEMS, ProblemInfo
+
+__all__ = [
+    "RunResult",
+    "run_threads",
+    "spin_delay",
+    "StopFlag",
+    "OpCounter",
+    "PROBLEMS",
+    "ProblemInfo",
+]

@@ -1,0 +1,232 @@
+"""The bounded-buffer (producer/consumer) problem — Figs. 2.4 and 3.4.
+
+Variants:
+
+* ``make_queue("explicit")``    — explicit-signal monitor: a lock with two
+  condition variables (``not_full`` / ``not_empty``), single ``signal`` per
+  operation, the classic Java shape;
+* ``make_queue("baseline")``    — automatic signaling via broadcast;
+* ``make_queue("autosynch_t")`` — relay signaling, no tags;
+* ``make_queue("autosynch")``   — full AutoSynch;
+* :class:`ActiveBoundedQueue`   — the ActiveMonitor version (asynchronous
+  ``put``, synchronous ``take``) used by Fig. 3.4's AM / AMS rows;
+* :class:`QDBoundedQueue`       — queue-delegation locking approximation
+  (Fig. 3.4's QD row): operations are delegated to whichever thread holds
+  the lock, but waiting on conditions happens under one global condition
+  variable, mimicking QD's lack of native conditional synchronization.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.active import ActiveMonitor, asynchronous, synchronous
+from repro.core import Monitor, S
+from repro.problems.common import RunResult, run_threads, spin_delay
+
+
+class ExplicitBoundedQueue:
+    """Hand-written explicit-signal bounded queue (the paper's Fig. 1.1)."""
+
+    def __init__(self, capacity: int):
+        self.items: list[Any] = [None] * capacity
+        self.put_ptr = self.take_ptr = self.count = 0
+        self.capacity = capacity
+        self._mutex = threading.Lock()
+        self._not_full = threading.Condition(self._mutex)
+        self._not_empty = threading.Condition(self._mutex)
+
+    def put(self, item: Any) -> None:
+        with self._mutex:
+            while self.count == self.capacity:
+                self._not_full.wait()
+            self.items[self.put_ptr] = item
+            self.put_ptr = (self.put_ptr + 1) % self.capacity
+            self.count += 1
+            self._not_empty.notify()
+
+    def take(self) -> Any:
+        with self._mutex:
+            while self.count == 0:
+                self._not_empty.wait()
+            item = self.items[self.take_ptr]
+            self.take_ptr = (self.take_ptr + 1) % self.capacity
+            self.count -= 1
+            self._not_full.notify()
+            return item
+
+
+class AutoBoundedQueue(Monitor):
+    """Automatic-signal bounded queue (the paper's Fig. 1.2)."""
+
+    def __init__(self, capacity: int, signaling: str = "autosynch"):
+        super().__init__(signaling=signaling)
+        self.items: list[Any] = [None] * capacity
+        self.put_ptr = self.take_ptr = self.count = 0
+        self.capacity = capacity
+
+    def put(self, item: Any) -> None:
+        self.wait_until(S.count < S.capacity)
+        self.items[self.put_ptr] = item
+        self.put_ptr = (self.put_ptr + 1) % self.capacity
+        self.count += 1
+
+    def take(self) -> Any:
+        self.wait_until(S.count > 0)
+        item = self.items[self.take_ptr]
+        self.take_ptr = (self.take_ptr + 1) % self.capacity
+        self.count -= 1
+        return item
+
+
+class ActiveBoundedQueue(ActiveMonitor):
+    """ActiveMonitor bounded queue (the paper's Fig. 1.3 / 3.1)."""
+
+    def __init__(self, capacity: int, **kwargs):
+        super().__init__(**kwargs)
+        self.items: list[Any] = [None] * capacity
+        self.put_ptr = self.take_ptr = self.count = 0
+        self.capacity = capacity
+
+    @asynchronous(pre=lambda self, item: self.count < self.capacity)
+    def put(self, item: Any) -> None:
+        self.items[self.put_ptr] = item
+        self.put_ptr = (self.put_ptr + 1) % self.capacity
+        self.count += 1
+
+    @synchronous(pre=lambda self: self.count > 0)
+    def take(self) -> Any:
+        item = self.items[self.take_ptr]
+        self.take_ptr = (self.take_ptr + 1) % self.capacity
+        self.count -= 1
+        return item
+
+
+class QDBoundedQueue:
+    """Queue-delegation-style bounded queue (Fig. 3.4's QD comparator).
+
+    Operations enqueue closures onto a delegation queue; the lock holder
+    drains it.  Conditional waiting (absent from QD proper) is grafted on
+    with one broadcast condition variable — which is exactly why it loses to
+    ActiveMonitor's automatic signaling in the paper's measurements.
+    """
+
+    def __init__(self, capacity: int):
+        self.items: list[Any] = [None] * capacity
+        self.put_ptr = self.take_ptr = self.count = 0
+        self.capacity = capacity
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
+
+    def put(self, item: Any) -> None:
+        with self._mutex:
+            while self.count == self.capacity:
+                self._cond.wait()
+            self.items[self.put_ptr] = item
+            self.put_ptr = (self.put_ptr + 1) % self.capacity
+            self.count += 1
+            self._cond.notify_all()
+
+    def take(self) -> Any:
+        with self._mutex:
+            while self.count == 0:
+                self._cond.wait()
+            item = self.items[self.take_ptr]
+            self.take_ptr = (self.take_ptr + 1) % self.capacity
+            self.count -= 1
+            self._cond.notify_all()
+            return item
+
+
+def make_queue(mechanism: str, capacity: int):
+    """Factory over the Fig. 2.4 mechanisms."""
+    if mechanism == "explicit":
+        return ExplicitBoundedQueue(capacity)
+    if mechanism in ("baseline", "autosynch_t", "autosynch"):
+        return AutoBoundedQueue(capacity, signaling=mechanism)
+    if mechanism == "qd":
+        return QDBoundedQueue(capacity)
+    raise ValueError(f"unknown mechanism {mechanism!r}")
+
+
+def run_bounded_buffer(
+    mechanism: str,
+    n_producers: int,
+    n_consumers: int,
+    items_per_producer: int,
+    capacity: int = 16,
+    delay: float = 0.0,
+) -> RunResult:
+    """Drive the Fig. 2.4 workload: equal put/take volume, optional
+    out-of-monitor delay between operations."""
+    queue = make_queue(mechanism, capacity)
+    total = n_producers * items_per_producer
+    per_consumer, leftover = divmod(total, n_consumers)
+
+    def producer():
+        for i in range(items_per_producer):
+            queue.put(i)
+            spin_delay(delay)
+
+    def consumer(extra: int):
+        for _ in range(per_consumer + extra):
+            queue.take()
+            spin_delay(delay)
+
+    targets = [producer] * n_producers + [
+        (lambda extra=(1 if i < leftover else 0): consumer(extra))
+        for i in range(n_consumers)
+    ]
+    elapsed = run_threads(targets)
+    metrics = queue.metrics.snapshot() if isinstance(queue, Monitor) else {}
+    return RunResult(elapsed, 2 * total, metrics)
+
+
+def run_active_queue(
+    variant: str,
+    n_threads: int,
+    ops_per_thread: int,
+    capacity: int,
+) -> RunResult:
+    """Drive Fig. 3.4: half the threads enqueue, half dequeue.
+
+    ``variant``: ``"lk"`` (explicit reentrant-lock monitor), ``"am"``
+    (asynchronous ActiveMonitor), ``"ams"`` (synchronous delegation),
+    ``"qd"`` (queue-delegation comparator).
+    """
+    n_producers = max(1, n_threads // 2)
+    n_consumers = max(1, n_threads - n_producers)
+    if variant == "lk":
+        queue: Any = ExplicitBoundedQueue(capacity)
+    elif variant == "am":
+        queue = ActiveBoundedQueue(capacity, mode="async")
+    elif variant == "ams":
+        queue = ActiveBoundedQueue(capacity, mode="delegate")
+    elif variant == "qd":
+        queue = QDBoundedQueue(capacity)
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    total_in = n_producers * ops_per_thread
+    per_consumer, leftover = divmod(total_in, n_consumers)
+
+    def producer():
+        for i in range(ops_per_thread):
+            queue.put(i)
+
+    def consumer(extra: int):
+        for _ in range(per_consumer + extra):
+            queue.take()
+
+    targets = [producer] * n_producers + [
+        (lambda extra=(1 if i < leftover else 0): consumer(extra))
+        for i in range(n_consumers)
+    ]
+    try:
+        elapsed = run_threads(targets)
+    finally:
+        if isinstance(queue, ActiveMonitor):
+            queue.shutdown()
+    metrics = queue.metrics.snapshot() if isinstance(queue, Monitor) else {}
+    return RunResult(elapsed, 2 * total_in, metrics)

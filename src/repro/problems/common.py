@@ -1,0 +1,111 @@
+"""Shared driver utilities for the evaluation workloads.
+
+Every problem module exposes ``run_*`` functions that spin up worker
+threads, run a fixed amount of work (or a fixed duration), and return a
+:class:`RunResult` with wall-clock time, operation counts, and the monitor
+metrics the paper's figures report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+
+@dataclass
+class RunResult:
+    """Outcome of one workload run."""
+
+    elapsed: float                      #: wall-clock seconds
+    operations: int                     #: total completed operations
+    metrics: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Operations per second."""
+        return self.operations / self.elapsed if self.elapsed > 0 else 0.0
+
+
+def run_threads(
+    targets: Sequence[Callable[[], Any]],
+    timeout: float = 120.0,
+) -> float:
+    """Run one thread per target behind a start barrier; return elapsed time.
+
+    Raises if any worker raised or failed to finish within ``timeout``
+    (silent hangs must fail tests loudly, not stall them).
+    """
+    barrier = threading.Barrier(len(targets) + 1)
+    errors: list[BaseException] = []
+
+    def runner(fn: Callable[[], Any]) -> None:
+        try:
+            barrier.wait()
+            fn()
+        except BaseException as exc:  # noqa: BLE001 — reported to the caller
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(fn,), daemon=True) for fn in targets
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    deadline = start + timeout
+    for t in threads:
+        t.join(max(0.0, deadline - time.perf_counter()))
+    elapsed = time.perf_counter() - start
+    alive = [t for t in threads if t.is_alive()]
+    if alive:
+        raise TimeoutError(
+            f"{len(alive)} worker(s) still running after {timeout}s "
+            f"(likely a lost signal / deadlock)"
+        )
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def spin_delay(seconds: float) -> None:
+    """Busy-wait for ``seconds`` — the paper's "delay time" between monitor
+    operations (work performed *outside* the monitor).  Spinning (not
+    sleeping) mirrors the original methodology of simulating computation."""
+    if seconds <= 0:
+        return
+    end = time.perf_counter() + seconds
+    while time.perf_counter() < end:
+        pass
+
+
+class StopFlag:
+    """Cooperative cancellation for duration-bounded throughput runs."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self):
+        self._event = threading.Event()
+
+    def stop(self) -> None:
+        self._event.set()
+
+    def __bool__(self) -> bool:
+        return not self._event.is_set()
+
+    def run_for(self, seconds: float) -> None:
+        timer = threading.Timer(seconds, self.stop)
+        timer.daemon = True
+        timer.start()
+
+
+class OpCounter:
+    """Per-thread operation counter aggregated at the end (no contention)."""
+
+    def __init__(self, n_threads: int):
+        self.counts = [0] * n_threads
+
+    def total(self) -> int:
+        return sum(self.counts)

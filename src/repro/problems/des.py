@@ -1,0 +1,177 @@
+"""Distributed discrete-event simulation — Fig. 4.9 (the paper's Fig. 4.5).
+
+A process has one event queue per incoming neighbour and may only execute an
+event once every (non-exhausted) queue is non-empty, so the globally
+smallest timestamp is known.  The wait condition is a conjunction of
+per-queue non-emptiness — a global condition over all neighbour monitors.
+Variants: gl / tm / as / av / cc (as in the pizza store).
+
+The paper's observation reproduced here: with few threads the coarse lock
+wins (the process locks everything anyway), while at higher thread counts
+the per-queue monitors with AV/CC overtake it.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.core import Monitor, S
+from repro.multi import local, manager, multisynch
+from repro.problems.common import RunResult, run_threads
+from repro.stm import TVar, atomic, retry
+
+
+class EventQueue(Monitor):
+    """One neighbour's event queue (timestamps arrive in increasing order)."""
+
+    def __init__(self, signaling: str = "autosynch"):
+        super().__init__(signaling=signaling)
+        self.events: list[float] = []
+        self.count = 0
+
+    def push(self, ts: float) -> None:
+        self.events.append(ts)
+        self.count += 1
+
+    def head(self) -> float:
+        return self.events[0]
+
+    def pop(self) -> float:
+        self.count -= 1
+        return self.events.pop(0)
+
+
+def _make_streams(n_neighbors: int, events_per_neighbor: int, seed: int):
+    rng = random.Random(seed)
+    streams = []
+    for _ in range(n_neighbors):
+        ts, stream = 0.0, []
+        for _ in range(events_per_neighbor):
+            ts += rng.random()
+            stream.append(ts)
+        streams.append(stream)
+    return streams
+
+
+def run_des(
+    variant: str,
+    n_neighbors: int,
+    events_per_neighbor: int,
+    seed: int = 5,
+) -> RunResult:
+    """Fig. 4.9's workload: ``n_neighbors`` generator threads feed one
+    process thread that must always execute the globally-earliest event."""
+    streams = _make_streams(n_neighbors, events_per_neighbor, seed)
+    total_events = n_neighbors * events_per_neighbor
+    executed: list[float] = []
+    remaining = [events_per_neighbor] * n_neighbors  # not yet executed
+    manager.global_condition_metrics.reset()
+
+    if variant == "gl":
+        feed, process = _build_gl(streams, remaining, executed, total_events)
+    elif variant == "tm":
+        feed, process = _build_tm(streams, remaining, executed, total_events)
+    elif variant in ("as", "av", "cc"):
+        feed, process = _build_ms(
+            streams, remaining, executed, total_events, variant.upper()
+        )
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    targets = [(lambda i=i: feed(i)) for i in range(len(streams))] + [process]
+    elapsed = run_threads(targets, timeout=300.0)
+    ordered = all(executed[i] <= executed[i + 1] for i in range(len(executed) - 1))
+    return RunResult(
+        elapsed,
+        total_events,
+        manager.global_condition_metrics.snapshot(),
+        extra={"in_order": ordered, "executed": len(executed)},
+    )
+
+
+def _pop_smallest(queues: list[list[float]], remaining: list[int]) -> float:
+    best = min((i for i, q in enumerate(queues) if q), key=lambda i: queues[i][0])
+    remaining[best] -= 1
+    return queues[best].pop(0)
+
+
+def _build_gl(streams, remaining, executed, total_events):
+    n = len(streams)
+    queues: list[list[float]] = [[] for _ in range(n)]
+    mutex = threading.Lock()
+    cond = threading.Condition(mutex)
+
+    def feed(i: int):
+        for ts in streams[i]:
+            with mutex:
+                queues[i].append(ts)
+                cond.notify_all()
+
+    def process():
+        for _ in range(total_events):
+            with mutex:
+                while not all(queues[i] or remaining[i] == 0 for i in range(n)):
+                    cond.wait()
+                executed.append(_pop_smallest(queues, remaining))
+
+    return feed, process
+
+
+def _build_tm(streams, remaining, executed, total_events):
+    n = len(streams)
+    counts = [TVar(0) for _ in range(n)]
+    queues: list[list[float]] = [[] for _ in range(n)]
+    data_lock = threading.Lock()  # protects the payload lists; TVars carry counts
+
+    def feed(i: int):
+        for ts in streams[i]:
+            with data_lock:
+                queues[i].append(ts)
+            atomic(lambda: counts[i].set(counts[i].get() + 1))
+
+    def process():
+        for _ in range(total_events):
+            def wait_all():
+                for i in range(n):
+                    if counts[i].get() == 0 and remaining[i] > 0:
+                        retry()
+
+            atomic(wait_all)
+            with data_lock:
+                best = min(
+                    (i for i in range(n) if queues[i]), key=lambda i: queues[i][0]
+                )
+                executed.append(queues[best].pop(0))
+                remaining[best] -= 1
+            atomic(lambda: counts[best].set(counts[best].get() - 1))
+
+    return feed, process
+
+
+def _build_ms(streams, remaining, executed, total_events, strategy: str):
+    n = len(streams)
+    queues = [EventQueue() for _ in range(n)]
+
+    def feed(i: int):
+        for ts in streams[i]:
+            queues[i].push(ts)
+
+    def process():
+        for _ in range(total_events):
+            live = [i for i in range(n) if remaining[i] > 0]
+            condition = None
+            for i in live:
+                atom = local(queues[i], S.count > 0)
+                condition = atom if condition is None else (condition & atom)
+            with multisynch(queues, strategy=strategy) as ms:
+                if condition is not None:
+                    ms.wait_until(condition)
+                best = min(
+                    (i for i in range(n) if queues[i].count > 0),
+                    key=lambda i: queues[i].head(),
+                )
+                executed.append(queues[best].pop())
+                remaining[best] -= 1
+
+    return feed, process

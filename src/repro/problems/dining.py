@@ -1,0 +1,163 @@
+"""Dining philosophers — Fig. 2.8 (single monitor) and Fig. 4.3 (multisynch).
+
+Chapter 2 (Fig. 2.8) models the table as *one* monitor: a philosopher waits
+until both neighbouring forks are free.  Mechanisms: explicit (per-
+philosopher condition variables), baseline, autosynch_t, autosynch.
+
+Chapter 4 (Fig. 4.3) makes each fork its own object:
+
+* **FL** — fine-grained locking with the textbook asymmetric acquisition
+  (odd philosophers pick left first, even pick right first);
+* **TM** — each fork is a transactional boolean; pick both atomically;
+* **MS** — each fork is a monitor; ``multisynch(left, right)`` (the paper's
+  Fig. 1.4), with the system choosing the lock order.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import Monitor, S
+from repro.multi import multisynch
+from repro.problems.common import RunResult, run_threads, spin_delay
+from repro.stm import TVar, atomic, retry
+
+
+# --------------------------------------------------------------- Chapter 2
+class DiningTableMonitor(Monitor):
+    """Single-monitor philosophers: wait until both forks free (Fig. 2.8)."""
+
+    def __init__(self, n: int, signaling: str = "autosynch"):
+        super().__init__(signaling=signaling)
+        self.n = n
+        self.forks = [True] * n  # True = free
+
+    def pick_up(self, i: int) -> None:
+        left, right = i, (i + 1) % self.n
+        self.wait_until(lambda: self.forks[left] and self.forks[right])
+        self.forks[left] = self.forks[right] = False
+
+    def put_down(self, i: int) -> None:
+        left, right = i, (i + 1) % self.n
+        self.forks[left] = self.forks[right] = True
+
+
+class ExplicitDiningTable:
+    """Explicit-signal single-monitor philosophers: notify both neighbours."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.forks = [True] * n
+        self._mutex = threading.Lock()
+        self._conds = [threading.Condition(self._mutex) for _ in range(n)]
+
+    def pick_up(self, i: int) -> None:
+        left, right = i, (i + 1) % self.n
+        with self._mutex:
+            while not (self.forks[left] and self.forks[right]):
+                self._conds[i].wait()
+            self.forks[left] = self.forks[right] = False
+
+    def put_down(self, i: int) -> None:
+        left, right = i, (i + 1) % self.n
+        with self._mutex:
+            self.forks[left] = self.forks[right] = True
+            self._conds[(i - 1) % self.n].notify()
+            self._conds[(i + 1) % self.n].notify()
+
+
+def run_dining_monitor(mechanism: str, n_philosophers: int, meals: int) -> RunResult:
+    """Fig. 2.8's workload: each philosopher eats ``meals`` times."""
+    if mechanism == "explicit":
+        table = ExplicitDiningTable(n_philosophers)
+    else:
+        table = DiningTableMonitor(n_philosophers, signaling=mechanism)
+
+    def philosopher(i: int):
+        for _ in range(meals):
+            table.pick_up(i)
+            table.put_down(i)
+
+    targets = [(lambda i=i: philosopher(i)) for i in range(n_philosophers)]
+    elapsed = run_threads(targets, timeout=300.0)
+    metrics = table.metrics.snapshot() if isinstance(table, Monitor) else {}
+    return RunResult(elapsed, n_philosophers * meals, metrics)
+
+
+# --------------------------------------------------------------- Chapter 4
+class ForkMonitor(Monitor):
+    """One fork as a monitor object (for the MS variant, Fig. 1.4)."""
+
+    def __init__(self, signaling: str = "autosynch"):
+        super().__init__(signaling=signaling)
+        self.free = True
+
+    def pick(self) -> None:
+        self.wait_until(S.free == True)  # noqa: E712 — DSL comparison
+        self.free = False
+
+    def put(self) -> None:
+        self.free = True
+
+
+def run_dining_multi(
+    variant: str,
+    n_philosophers: int,
+    meals: int,
+    think: float = 0.0,
+) -> RunResult:
+    """Fig. 4.3's saturation workload over FL / TM / MS fork objects."""
+    n = n_philosophers
+
+    if variant == "fl":
+        forks = [threading.Lock() for _ in range(n)]
+
+        def eat(i: int):
+            left, right = i, (i + 1) % n
+            # asymmetric order avoids deadlock
+            first, second = (left, right) if i % 2 == 0 else (right, left)
+            with forks[first]:
+                with forks[second]:
+                    pass
+
+    elif variant == "tm":
+        forks = [TVar(True) for _ in range(n)]
+
+        def eat(i: int):
+            left, right = i, (i + 1) % n
+
+            def grab():
+                if not (forks[left].get() and forks[right].get()):
+                    retry()
+                forks[left].set(False)
+                forks[right].set(False)
+
+            def release():
+                forks[left].set(True)
+                forks[right].set(True)
+
+            atomic(grab)
+            atomic(release)
+
+    elif variant == "ms":
+        forks = [ForkMonitor() for _ in range(n)]
+
+        def eat(i: int):
+            left, right = forks[i], forks[(i + 1) % n]
+            with multisynch(left, right):
+                left.pick()
+                right.pick()
+                left.put()
+                right.put()
+
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    def philosopher(i: int):
+        for _ in range(meals):
+            eat(i)
+            spin_delay(think)
+
+    targets = [(lambda i=i: philosopher(i)) for i in range(n)]
+    elapsed = run_threads(targets, timeout=300.0)
+    return RunResult(elapsed, n * meals, {})

@@ -1,0 +1,259 @@
+"""genome+ — Fig. 4.4 (the STAMP-style genome assembly workload).
+
+Structure of the STAMP ``genome`` benchmark, rebuilt synthetically:
+
+1. generate a random genome string and shred it into overlapping segments;
+2. **phase 1 (dedup)** — threads insert segments into a shared hash set;
+3. **phase 2 (overlap matching)** — threads repeatedly try to link segments
+   whose suffix matches another segment's prefix, shrinking the match
+   length until the genome chain is rebuilt.
+
+The synchronization the paper contrasts lives in the shared hash-set
+buckets and the per-segment link records:
+
+* ``fl`` — fine-grained locking: one lock per bucket stripe / per segment;
+* ``tm`` — buckets and link records in TVars, each operation a transaction;
+* ``ms`` — buckets and segments as monitor objects under ``multisynch``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Optional
+
+from repro.core import Monitor
+from repro.multi import multisynch
+from repro.problems.common import RunResult, run_threads
+from repro.stm import TVar, atomic
+
+ALPHABET = "ACGT"
+
+
+def make_genome(length: int, segment_length: int, seed: int = 9) -> tuple[str, list[str]]:
+    """Generate a genome and its overlapping segment shreds."""
+    rng = random.Random(seed)
+    genome = "".join(rng.choice(ALPHABET) for _ in range(length))
+    step = max(1, segment_length // 2)
+    segments = [
+        genome[i : i + segment_length]
+        for i in range(0, length - segment_length + 1, step)
+    ]
+    rng.shuffle(segments)
+    # duplicates are the point of the dedup phase
+    segments += [rng.choice(segments) for _ in range(len(segments) // 4)]
+    rng.shuffle(segments)
+    return genome, segments
+
+
+class _Buckets:
+    """Shared-hash-set shape common to all variants."""
+
+    def __init__(self, n_buckets: int):
+        self.n_buckets = n_buckets
+
+    def index(self, segment: str) -> int:
+        return hash(segment) % self.n_buckets
+
+
+class FLHashSet(_Buckets):
+    """Fine-grained: one lock per bucket."""
+
+    def __init__(self, n_buckets: int = 64):
+        super().__init__(n_buckets)
+        self.buckets: list[set[str]] = [set() for _ in range(n_buckets)]
+        self.locks = [threading.Lock() for _ in range(n_buckets)]
+
+    def add(self, segment: str) -> bool:
+        i = self.index(segment)
+        with self.locks[i]:
+            if segment in self.buckets[i]:
+                return False
+            self.buckets[i].add(segment)
+            return True
+
+    def contents(self) -> set[str]:
+        out: set[str] = set()
+        for bucket in self.buckets:
+            out |= bucket
+        return out
+
+
+class TMHashSet(_Buckets):
+    """Transactional: each bucket is a TVar holding a frozenset."""
+
+    def __init__(self, n_buckets: int = 64):
+        super().__init__(n_buckets)
+        self.buckets = [TVar(frozenset()) for _ in range(n_buckets)]
+
+    def add(self, segment: str) -> bool:
+        i = self.index(segment)
+
+        def txn():
+            current = self.buckets[i].get()
+            if segment in current:
+                return False
+            self.buckets[i].set(current | {segment})
+            return True
+
+        return atomic(txn)
+
+    def contents(self) -> set[str]:
+        out: set[str] = set()
+        for var in self.buckets:
+            out |= var.get()
+        return out
+
+
+class BucketMonitor(Monitor):
+    """One hash bucket as a monitor object (MS variant)."""
+
+    def __init__(self):
+        super().__init__()
+        self.entries: set[str] = set()
+
+    def add(self, segment: str) -> bool:
+        if segment in self.entries:
+            return False
+        self.entries.add(segment)
+        return True
+
+
+class MSHashSet(_Buckets):
+    def __init__(self, n_buckets: int = 64):
+        super().__init__(n_buckets)
+        self.buckets = [BucketMonitor() for _ in range(n_buckets)]
+
+    def add(self, segment: str) -> bool:
+        return self.buckets[self.index(segment)].add(segment)
+
+    def contents(self) -> set[str]:
+        out: set[str] = set()
+        for bucket in self.buckets:
+            out |= bucket.entries
+        return out
+
+
+class SegmentMonitor(Monitor):
+    """A segment's link record as a monitor (MS overlap phase)."""
+
+    def __init__(self, segment: str):
+        super().__init__()
+        self.segment = segment
+        self.next: Optional[str] = None    # linked successor
+        self.taken = False                  # already some predecessor's next
+
+
+def _overlap(a: str, b: str, k: int) -> bool:
+    return a[-k:] == b[:k]
+
+
+def run_genome(
+    variant: str,
+    n_threads: int,
+    genome_length: int = 512,
+    segment_length: int = 16,
+    seed: int = 9,
+) -> RunResult:
+    """Fig. 4.4's workload: dedup phase + overlap-link phase."""
+    genome, segments = make_genome(genome_length, segment_length, seed)
+    if variant == "fl":
+        table = FLHashSet()
+    elif variant == "tm":
+        table = TMHashSet()
+    elif variant == "ms":
+        table = MSHashSet()
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    # ---- phase 1: dedup -----------------------------------------------------
+    chunk = (len(segments) + n_threads - 1) // n_threads
+    shards = [segments[i * chunk : (i + 1) * chunk] for i in range(n_threads)]
+
+    def dedup(shard):
+        for segment in shard:
+            table.add(segment)
+
+    elapsed1 = run_threads([(lambda s=s: dedup(s)) for s in shards], timeout=300.0)
+    unique = sorted(table.contents())
+
+    # ---- phase 2: overlap matching ------------------------------------------
+    step = max(1, segment_length // 2)
+    match_len = segment_length - step
+    if variant == "fl":
+        links: dict[str, Optional[str]] = {s: None for s in unique}
+        taken: dict[str, bool] = {s: False for s in unique}
+        link_locks = [threading.Lock() for _ in range(64)]
+
+        def try_link(a: str, b: str) -> bool:
+            i, j = hash(a) % 64, hash(b) % 64
+            first, second = min(i, j), max(i, j)
+            with link_locks[first]:
+                if first != second:
+                    link_locks[second].acquire()
+                try:
+                    if links[a] is None and not taken[b] and _overlap(a, b, match_len):
+                        links[a] = b
+                        taken[b] = True
+                        return True
+                    return False
+                finally:
+                    if first != second:
+                        link_locks[second].release()
+
+    elif variant == "tm":
+        links_tm = {s: TVar(None) for s in unique}
+        taken_tm = {s: TVar(False) for s in unique}
+
+        def try_link(a: str, b: str) -> bool:
+            def txn():
+                if (
+                    links_tm[a].get() is None
+                    and not taken_tm[b].get()
+                    and _overlap(a, b, match_len)
+                ):
+                    links_tm[a].set(b)
+                    taken_tm[b].set(True)
+                    return True
+                return False
+
+            return atomic(txn)
+
+    else:  # ms
+        records = {s: SegmentMonitor(s) for s in unique}
+
+        def try_link(a: str, b: str) -> bool:
+            ra, rb = records[a], records[b]
+            if ra is rb:
+                return False
+            with multisynch(ra, rb):
+                if ra.next is None and not rb.taken and _overlap(a, b, match_len):
+                    ra.next = b
+                    rb.taken = True
+                    return True
+                return False
+
+    pairs = [
+        (a, b) for a in unique for b in unique if a != b and _overlap(a, b, match_len)
+    ]
+    pair_chunk = (len(pairs) + n_threads - 1) // n_threads
+    pair_shards = [
+        pairs[i * pair_chunk : (i + 1) * pair_chunk] for i in range(n_threads)
+    ]
+    linked = [0] * n_threads
+
+    def link(tid: int, shard):
+        for a, b in shard:
+            if try_link(a, b):
+                linked[tid] += 1
+
+    elapsed2 = run_threads(
+        [(lambda t=t, s=s: link(t, s)) for t, s in enumerate(pair_shards)],
+        timeout=300.0,
+    )
+    return RunResult(
+        elapsed1 + elapsed2,
+        len(segments) + len(pairs),
+        {},
+        extra={"unique": len(unique), "linked": sum(linked), "genome": len(genome)},
+    )

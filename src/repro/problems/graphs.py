@@ -1,0 +1,120 @@
+"""Graph generators for the PSSSP benchmark (Fig. 3.3).
+
+The paper evaluates on two USA road-network graphs (NY, FLA) and three
+R-MAT synthetic graphs (R16, R128, R512, average degree 16/128/512).  The
+road networks are not shipped here, so:
+
+* :func:`road_network` builds a sparse planar-ish grid with perturbed edge
+  weights and a few long-range shortcuts — the same structural regime
+  (low degree, large diameter) that makes road graphs priority-queue-bound;
+* :func:`rmat` implements the standard R-MAT recursive quadrant sampler
+  with the GTgraph default parameters (a=0.45, b=0.15, c=0.15, d=0.25),
+  at the three densities the paper uses.
+
+Graphs are adjacency lists: ``graph[u] = [(v, weight), ...]``.
+"""
+
+from __future__ import annotations
+
+import random
+
+Adjacency = list[list[tuple[int, float]]]
+
+
+def road_network(side: int, seed: int = 0) -> Adjacency:
+    """A ``side × side`` grid road network with weight jitter + shortcuts."""
+    rng = random.Random(seed)
+    n = side * side
+    graph: Adjacency = [[] for _ in range(n)]
+
+    def add_edge(u: int, v: int, w: float) -> None:
+        graph[u].append((v, w))
+        graph[v].append((u, w))
+
+    for row in range(side):
+        for col in range(side):
+            u = row * side + col
+            if col + 1 < side:
+                add_edge(u, u + 1, 1.0 + rng.random())
+            if row + 1 < side:
+                add_edge(u, u + side, 1.0 + rng.random())
+    # sparse long-range "highways"
+    for _ in range(max(1, n // 50)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            add_edge(u, v, 5.0 + 10.0 * rng.random())
+    return graph
+
+
+def rmat(n_vertices: int, n_edges: int, seed: int = 0,
+         a: float = 0.45, b: float = 0.15, c: float = 0.15) -> Adjacency:
+    """R-MAT generator: recursively pick a quadrant per edge endpoint bit."""
+    rng = random.Random(seed)
+    bits = max(1, (n_vertices - 1).bit_length())
+    size = 1 << bits
+    graph: Adjacency = [[] for _ in range(n_vertices)]
+    seen: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(seen) < n_edges and attempts < 20 * n_edges:
+        attempts += 1
+        u = v = 0
+        span = size
+        while span > 1:
+            span //= 2
+            roll = rng.random()
+            if roll < a:
+                pass
+            elif roll < a + b:
+                v += span
+            elif roll < a + b + c:
+                u += span
+            else:
+                u += span
+                v += span
+        u %= n_vertices
+        v %= n_vertices
+        if u == v or (u, v) in seen:
+            continue
+        seen.add((u, v))
+        w = 1.0 + rng.random() * 9.0
+        graph[u].append((v, w))
+        graph[v].append((u, w))
+    # guarantee connectivity with a cheap spanning chain
+    for u in range(1, n_vertices):
+        v = rng.randrange(u)
+        graph[u].append((v, 10.0 + rng.random()))
+        graph[v].append((u, 10.0 + rng.random()))
+    return graph
+
+
+#: the paper's graph suite, scaled to laptop size (quick) by the bench layer
+PAPER_GRAPHS = {
+    "NY": lambda scale=1.0: road_network(max(8, int(24 * scale)), seed=1),
+    "FLA": lambda scale=1.0: road_network(max(8, int(32 * scale)), seed=2),
+    "R16": lambda scale=1.0: rmat(max(64, int(512 * scale)), max(512, int(4096 * scale)), seed=3),
+    "R128": lambda scale=1.0: rmat(max(64, int(256 * scale)), max(2048, int(16384 * scale)), seed=4),
+    "R512": lambda scale=1.0: rmat(max(64, int(128 * scale)), max(4096, int(32768 * scale)), seed=5),
+}
+
+
+def edge_count(graph: Adjacency) -> int:
+    return sum(len(adj) for adj in graph) // 2
+
+
+def sequential_dijkstra(graph: Adjacency, source: int) -> list[float]:
+    """Reference single-threaded Dijkstra (oracle for correctness tests)."""
+    import heapq
+
+    dist = [float("inf")] * len(graph)
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in graph[u]:
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist

@@ -1,0 +1,130 @@
+"""The H2O problem — Fig. 2.5 (shared-predicate synchronization).
+
+Hydrogen threads wait until an oxygen and another hydrogen are available;
+the oxygen thread waits for two hydrogens (the paper's Fig. A.1 barrier).
+All conditions are shared predicates, so every signaling mechanism can in
+principle be efficient here — the figure's point is that the broadcast
+baseline alone falls off a cliff.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import Monitor, S
+from repro.problems.common import RunResult, run_threads
+
+
+class H2OBarrier(Monitor):
+    """AutoSynch H2O barrier (paper Fig. A.1)."""
+
+    def __init__(self, signaling: str = "autosynch"):
+        super().__init__(signaling=signaling)
+        self.available_o = 0
+        self.available_h = 0
+        self.waiting_o = 0
+        self.waiting_h = 0
+
+    def o_ready(self) -> None:
+        self.waiting_o += 1
+        self.wait_until((S.available_o > 0) | (S.waiting_h >= 2))
+        if self.available_o == 0:
+            self.waiting_h -= 2
+            self.available_h += 2
+            self.waiting_o -= 1
+        else:
+            self.available_o -= 1
+
+    def h_ready(self) -> None:
+        self.waiting_h += 1
+        self.wait_until(
+            (S.available_h > 0) | ((S.waiting_o >= 1) & (S.waiting_h >= 2))
+        )
+        if self.available_h == 0:
+            self.waiting_h -= 2
+            self.available_h += 1
+            self.waiting_o -= 1
+            self.available_o += 1
+        else:
+            self.available_h -= 1
+
+
+class ExplicitH2OBarrier:
+    """Explicit-signal H2O barrier: broadcast whenever the pool changes
+    (hand-optimizing which waiter to wake needs per-thread CVs)."""
+
+    def __init__(self):
+        self.available_o = 0
+        self.available_h = 0
+        self.waiting_o = 0
+        self.waiting_h = 0
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
+
+    def o_ready(self) -> None:
+        with self._mutex:
+            self.waiting_o += 1
+            while not (self.available_o > 0 or self.waiting_h >= 2):
+                self._cond.wait()
+            if self.available_o == 0:
+                self.waiting_h -= 2
+                self.available_h += 2
+                self.waiting_o -= 1
+            else:
+                self.available_o -= 1
+            self._cond.notify_all()
+
+    def h_ready(self) -> None:
+        with self._mutex:
+            self.waiting_h += 1
+            while not (
+                self.available_h > 0 or (self.waiting_o >= 1 and self.waiting_h >= 2)
+            ):
+                self._cond.wait()
+            if self.available_h == 0:
+                self.waiting_h -= 2
+                self.available_h += 1
+                self.waiting_o -= 1
+                self.available_o += 1
+            else:
+                self.available_h -= 1
+            self._cond.notify_all()
+
+
+def run_h2o(mechanism: str, n_hydrogen: int, molecules: int) -> RunResult:
+    """Fig. 2.5's workload: one O thread, ``n_hydrogen`` H threads, forming
+    ``molecules`` water molecules total (each = 1 O + 2 H arrivals)."""
+    if n_hydrogen < 2:
+        raise ValueError("need at least two hydrogen threads")
+    if mechanism == "explicit":
+        barrier = ExplicitH2OBarrier()
+    else:
+        barrier = H2OBarrier(signaling=mechanism)
+
+    # H arrivals are claimed from a shared ticket pool rather than split into
+    # fixed per-thread quotas: with quotas, one thread can end up holding all
+    # remaining arrivals and strand (a lone H has no partner).  With a pool,
+    # the terminal in-flight count is even (completed arrivals come in pairs),
+    # so two waiting H threads always exist for the last molecule.
+    tickets = [2 * molecules]
+    ticket_lock = threading.Lock()
+
+    def claim() -> bool:
+        with ticket_lock:
+            if tickets[0] == 0:
+                return False
+            tickets[0] -= 1
+            return True
+
+    def oxygen():
+        for _ in range(molecules):
+            barrier.o_ready()
+
+    def hydrogen():
+        while claim():
+            barrier.h_ready()
+
+    targets = [oxygen] + [hydrogen] * n_hydrogen
+    elapsed = run_threads(targets, timeout=300.0)
+    metrics = barrier.metrics.snapshot() if isinstance(barrier, Monitor) else {}
+    return RunResult(elapsed, 3 * molecules, metrics)

@@ -1,0 +1,173 @@
+"""Multicast channels communication — Fig. 5.2 (the paper's Fig. 5.1).
+
+A server drains requests from one bounded queue per client using
+``selectone`` (take a message from *any* non-empty queue).  Variants:
+
+* ``gl`` — one coarse lock + broadcast condition over all queues;
+* ``tm`` — per-queue counts in TVars, server transaction retries until some
+  queue is non-empty;
+* ``as`` / ``av`` / ``cc`` — synchronous ``select_one`` over per-queue
+  monitors under each global-condition strategy;
+* ``am`` — asynchronous ``async_select_one`` on ActiveMonitor queues
+  (§5.3's delegated composition — slower, as Fig. 5.2 shows, because task
+  creation overhead offsets the parallelism).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.active import ActiveMonitor, asynchronous, synchronous
+from repro.compose import async_select_one, bind, select_one
+from repro.core import Monitor
+from repro.problems.common import RunResult, run_threads
+
+
+class ChannelQueue(ActiveMonitor):
+    """A client's request queue (usable in both sync and async variants)."""
+
+    def __init__(self, capacity: int, **kwargs):
+        super().__init__(**kwargs)
+        self.items: list[int] = []
+        self.capacity = capacity
+        self.count = 0
+
+    @synchronous(pre=lambda self, item: self.count < self.capacity)
+    def put(self, item: int) -> None:
+        self.items.append(item)
+        self.count += 1
+
+    @synchronous(pre=lambda self: self.count > 0)
+    def take(self) -> int:
+        self.count -= 1
+        return self.items.pop(0)
+
+
+class AsyncChannelQueue(ActiveMonitor):
+    """Async variant: the put is delegated too."""
+
+    def __init__(self, capacity: int, **kwargs):
+        super().__init__(**kwargs)
+        self.items: list[int] = []
+        self.capacity = capacity
+        self.count = 0
+
+    @asynchronous(pre=lambda self, item: self.count < self.capacity)
+    def put(self, item: int) -> None:
+        self.items.append(item)
+        self.count += 1
+
+    @synchronous(pre=lambda self: self.count > 0)
+    def take(self) -> int:
+        self.count -= 1
+        return self.items.pop(0)
+
+
+def run_multicast(
+    variant: str,
+    n_clients: int,
+    requests_per_client: int,
+    capacity: int = 64,
+) -> RunResult:
+    """Fig. 5.2's workload: clients enqueue; the server selectones until all
+    requests are handled."""
+    total = n_clients * requests_per_client
+
+    if variant == "gl":
+        queues_gl: list[list[int]] = [[] for _ in range(n_clients)]
+        mutex = threading.Lock()
+        cond = threading.Condition(mutex)
+
+        def client(i: int):
+            for r in range(requests_per_client):
+                with mutex:
+                    while len(queues_gl[i]) >= capacity:
+                        cond.wait()
+                    queues_gl[i].append(r)
+                    cond.notify_all()
+
+        def server():
+            for _ in range(total):
+                with mutex:
+                    while not any(queues_gl):
+                        cond.wait()
+                    q = next(q for q in queues_gl if q)
+                    q.pop(0)
+                    cond.notify_all()
+
+    elif variant == "tm":
+        from repro.stm import TVar, atomic, retry
+
+        counts = [TVar(0) for _ in range(n_clients)]
+        payloads: list[list[int]] = [[] for _ in range(n_clients)]
+        payload_lock = threading.Lock()
+
+        def client(i: int):
+            for r in range(requests_per_client):
+                def put_txn():
+                    c = counts[i].get()
+                    if c >= capacity:
+                        retry()
+                    counts[i].set(c + 1)
+
+                atomic(put_txn)
+                with payload_lock:
+                    payloads[i].append(r)
+
+        def server():
+            for _ in range(total):
+                def take_txn():
+                    for i in range(n_clients):
+                        c = counts[i].get()
+                        if c > 0:
+                            counts[i].set(c - 1)
+                            return i
+                    retry()
+
+                i = atomic(take_txn)
+                with payload_lock:
+                    if payloads[i]:
+                        payloads[i].pop(0)
+
+    elif variant in ("as", "av", "cc"):
+        strategy = variant.upper()
+        queues = [ChannelQueue(capacity, mode="sync") for _ in range(n_clients)]
+
+        def client(i: int):
+            for r in range(requests_per_client):
+                queues[i].put(r)
+
+        def server():
+            for _ in range(total):
+                select_one([bind(q.take) for q in queues], strategy=strategy)
+
+    elif variant == "am":
+        from repro.runtime import get_config
+
+        cfg = get_config()
+        saved_cap = cfg.max_server_threads
+        cfg.max_server_threads = n_clients + 2  # every channel needs a server
+        try:
+            queues = [AsyncChannelQueue(capacity, mode="async") for _ in range(n_clients)]
+        finally:
+            cfg.max_server_threads = saved_cap
+
+        def client(i: int):
+            for r in range(requests_per_client):
+                queues[i].put(r)
+
+        def server():
+            for _ in range(total):
+                async_select_one([bind(q.take) for q in queues])
+
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    targets = [(lambda i=i: client(i)) for i in range(n_clients)] + [server]
+    try:
+        elapsed = run_threads(targets, timeout=300.0)
+    finally:
+        if variant == "am":
+            for q in queues:
+                q.shutdown()
+    return RunResult(elapsed, total, {})

@@ -1,0 +1,117 @@
+"""Parameterized bounded-buffer — Figs. 2.9 / 2.10 (the signalAll stressor).
+
+Producers put *batches* of items, consumers take *num* items at a time, so
+each thread waits on its own threshold (``count + k <= capacity`` /
+``count >= num``).  Explicit-signal code cannot know which waiter to wake
+and must ``notify_all`` on every operation; AutoSynch's threshold tags find
+the (unique) satisfiable waiter and signal exactly one — this is the
+experiment where the paper measures a 26.9× speedup at 256 consumers and a
+~500× reduction in context switches.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any
+
+from repro.core import Monitor, S
+from repro.problems.common import RunResult, run_threads
+
+
+class ExplicitParamQueue:
+    """Explicit-signal parameterized queue (Fig. 2.1 shape: signalAll)."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.count = 0
+        self._mutex = threading.Lock()
+        self._insufficient_space = threading.Condition(self._mutex)
+        self._insufficient_items = threading.Condition(self._mutex)
+        self.broadcasts = 0
+        self.wakeups = 0
+
+    def put(self, n_items: int) -> None:
+        with self._mutex:
+            while self.count + n_items > self.capacity:
+                self._insufficient_space.wait()
+                self.wakeups += 1
+            self.count += n_items
+            self._insufficient_items.notify_all()
+            self.broadcasts += 1
+
+    def take(self, num: int) -> None:
+        with self._mutex:
+            while self.count < num:
+                self._insufficient_items.wait()
+                self.wakeups += 1
+            self.count -= num
+            self._insufficient_space.notify_all()
+            self.broadcasts += 1
+
+
+class AutoParamQueue(Monitor):
+    """AutoSynch parameterized queue (Fig. 2.3 shape: threshold tags)."""
+
+    def __init__(self, capacity: int, signaling: str = "autosynch"):
+        super().__init__(signaling=signaling)
+        self.capacity = capacity
+        self.count = 0
+
+    def put(self, n_items: int) -> None:
+        self.wait_until(S.count + n_items <= S.capacity)
+        self.count += n_items
+
+    def take(self, num: int) -> None:
+        self.wait_until(S.count >= num)
+        self.count -= num
+
+
+def run_param_bounded_buffer(
+    mechanism: str,
+    n_consumers: int,
+    batches: int,
+    capacity: int = 512,
+    max_batch: int = 128,
+    seed: int = 42,
+) -> RunResult:
+    """Fig. 2.9's workload: one producer, ``n_consumers`` consumers, random
+    batch sizes in [1, max_batch]."""
+    rng = random.Random(seed)
+    if mechanism == "explicit":
+        queue: Any = ExplicitParamQueue(capacity)
+    elif mechanism in ("autosynch", "autosynch_t", "baseline"):
+        queue = AutoParamQueue(capacity, signaling=mechanism)
+    else:
+        raise ValueError(f"unknown mechanism {mechanism!r}")
+
+    # pre-plan batch sizes so producer volume == consumer volume exactly
+    consumer_plans = [
+        [rng.randint(1, max_batch) for _ in range(batches)]
+        for _ in range(n_consumers)
+    ]
+    producer_plan: list[int] = []
+    for plan in consumer_plans:
+        producer_plan.extend(plan)
+    rng.shuffle(producer_plan)
+
+    def producer():
+        for n in producer_plan:
+            queue.put(n)
+
+    def consumer(plan):
+        for num in plan:
+            queue.take(num)
+
+    targets = [producer] + [
+        (lambda p=plan: consumer(p)) for plan in consumer_plans
+    ]
+    elapsed = run_threads(targets, timeout=300.0)
+    ops = len(producer_plan) * 2
+    if isinstance(queue, Monitor):
+        metrics = queue.metrics.snapshot()
+    else:
+        metrics = {"broadcasts": queue.broadcasts, "wakeups": queue.wakeups}
+    # "context switches" = total thread wakeups caused by signaling
+    metrics.setdefault("wakeups", 0)
+    return RunResult(elapsed, ops, metrics)

@@ -1,0 +1,170 @@
+"""Parallel SSSP (Dijkstra with a shared priority queue) — Fig. 3.3.
+
+The paper parallelizes Dijkstra by sharing one blocking priority queue
+among worker threads: each worker pops the globally smallest tentative
+distance, relaxes its edges, and pushes improved neighbours.  The three
+variants mirror the figure's series:
+
+* ``lk``  — explicit-lock blocking priority queue;
+* ``am``  — ActiveMonitor priority queue with *asynchronous* ``put`` (the
+  only change the paper makes);
+* ``ams`` — same monitor, synchronous delegation.
+
+Termination uses an in-flight counter: the algorithm is done when the queue
+is empty and no worker is mid-relaxation.  Distances are tracked in a
+per-slot-locked array (the relaxation CAS loop of the original).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Optional
+
+from repro.active import ActiveMonitor, asynchronous, synchronous
+from repro.problems.common import RunResult, run_threads
+from repro.problems.graphs import Adjacency, edge_count
+
+
+class LockPriorityQueue:
+    """Blocking priority queue: one mutex + one condition (LK variant)."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int]] = []
+        self._mutex = threading.Lock()
+        self._nonempty = threading.Condition(self._mutex)
+        self._closed = False
+
+    def put(self, item: tuple[float, int]) -> None:
+        with self._mutex:
+            heapq.heappush(self._heap, item)
+            self._nonempty.notify()
+
+    def take(self) -> Optional[tuple[float, int]]:
+        with self._mutex:
+            while not self._heap and not self._closed:
+                self._nonempty.wait()
+            if self._heap:
+                return heapq.heappop(self._heap)
+            return None
+
+    def close(self) -> None:
+        with self._mutex:
+            self._closed = True
+            self._nonempty.notify_all()
+
+
+class ActivePriorityQueue(ActiveMonitor):
+    """ActiveMonitor priority queue: asynchronous put (AM / AMS variants)."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.heap: list[tuple[float, int]] = []
+        self.closed = False
+
+    @asynchronous()
+    def put(self, item: tuple[float, int]) -> None:
+        heapq.heappush(self.heap, item)
+
+    @synchronous(pre=lambda self: bool(self.heap) or self.closed)
+    def take(self) -> Optional[tuple[float, int]]:
+        if self.heap:
+            return heapq.heappop(self.heap)
+        return None
+
+    @synchronous()
+    def close(self) -> None:
+        self.closed = True
+
+
+class _DistanceTable:
+    """Tentative distances with a striped-lock relax operation."""
+
+    STRIPES = 64
+
+    def __init__(self, n: int, source: int):
+        self.dist = [float("inf")] * n
+        self.dist[source] = 0.0
+        self._locks = [threading.Lock() for _ in range(self.STRIPES)]
+
+    def relax(self, v: int, candidate: float) -> bool:
+        with self._locks[v % self.STRIPES]:
+            if candidate < self.dist[v]:
+                self.dist[v] = candidate
+                return True
+            return False
+
+
+def parallel_sssp(
+    graph: Adjacency,
+    source: int,
+    variant: str,
+    n_threads: int,
+) -> tuple[list[float], float]:
+    """Run one PSSSP computation; returns (distances, elapsed_seconds)."""
+    if variant == "lk":
+        queue = LockPriorityQueue()
+    elif variant == "am":
+        queue = ActivePriorityQueue(mode="async")
+    elif variant == "ams":
+        queue = ActivePriorityQueue(mode="delegate")
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    table = _DistanceTable(len(graph), source)
+    pending = _PendingCounter()
+
+    pending.increment()
+    queue.put((0.0, source))
+
+    def worker():
+        while True:
+            item = queue.take()
+            if item is None:
+                return
+            d, u = item
+            try:
+                if d <= table.dist[u]:
+                    for v, w in graph[u]:
+                        nd = d + w
+                        if table.relax(v, nd):
+                            pending.increment()
+                            queue.put((nd, v))
+            finally:
+                if pending.decrement() == 0:
+                    queue.close()
+
+    targets = [worker] * n_threads
+    try:
+        elapsed = run_threads(targets, timeout=300.0)
+    finally:
+        if isinstance(queue, ActiveMonitor):
+            queue.shutdown()
+    return table.dist, elapsed
+
+
+class _PendingCounter:
+    """Counts queue items not yet fully processed (termination detection)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self):
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def increment(self) -> None:
+        with self._lock:
+            self._value += 1
+
+    def decrement(self) -> int:
+        with self._lock:
+            self._value -= 1
+            return self._value
+
+
+def run_psssp(graph: Adjacency, variant: str, n_threads: int,
+              source: int = 0) -> RunResult:
+    """Fig. 3.3's measurement: throughput in edges traversed per second."""
+    dist, elapsed = parallel_sssp(graph, source, variant, n_threads)
+    edges = edge_count(graph)
+    return RunResult(elapsed, edges, {}, extra={"distances": dist})

@@ -1,0 +1,129 @@
+"""Ticket readers/writers — Figs. 2.7 / 2.12 (FIFO fairness via tickets).
+
+Every arriving reader or writer draws a ticket; access is granted strictly
+in ticket order (readers additionally overlap with the current reader
+batch).  Each waiter blocks on an equivalence predicate over its own ticket
+number — like round-robin, a workload where equivalence tags shine and a
+hand-written array-of-conditions explicit monitor is the optimum.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import Monitor, S
+from repro.problems.common import RunResult, run_threads, spin_delay
+
+
+class TicketReadersWriters(Monitor):
+    """AutoSynch ticket readers/writers monitor (paper Fig. A.3)."""
+
+    def __init__(self, signaling: str = "autosynch"):
+        super().__init__(signaling=signaling)
+        self.reader_count = 0
+        self.tickets = 0
+        self.serving = 0
+
+    def start_read(self) -> None:
+        ticket = self.tickets
+        self.tickets += 1
+        self.wait_until(S.serving == ticket)
+        self.reader_count += 1
+        self.serving += 1
+
+    def end_read(self) -> None:
+        self.reader_count -= 1
+
+    def start_write(self) -> None:
+        ticket = self.tickets
+        self.tickets += 1
+        self.wait_until((S.serving == ticket) & (S.reader_count == 0))
+        # hold `serving` at our ticket until end_write so later arrivals wait
+
+    def end_write(self) -> None:
+        self.serving += 1
+
+
+class ExplicitTicketReadersWriters:
+    """Explicit-signal version: per-waiter condition keyed by ticket."""
+
+    def __init__(self):
+        self.reader_count = 0
+        self.tickets = 0
+        self.serving = 0
+        self._mutex = threading.Lock()
+        self._conds: dict[int, threading.Condition] = {}
+
+    def _cond_for(self, ticket: int) -> threading.Condition:
+        cond = self._conds.get(ticket)
+        if cond is None:
+            cond = threading.Condition(self._mutex)
+            self._conds[ticket] = cond
+        return cond
+
+    def _signal_next(self) -> None:
+        cond = self._conds.get(self.serving)
+        if cond is not None:
+            cond.notify()
+
+    def start_read(self) -> None:
+        with self._mutex:
+            ticket = self.tickets
+            self.tickets += 1
+            while self.serving != ticket:
+                self._cond_for(ticket).wait()
+            self._conds.pop(ticket, None)
+            self.reader_count += 1
+            self.serving += 1
+            self._signal_next()
+
+    def end_read(self) -> None:
+        with self._mutex:
+            self.reader_count -= 1
+            if self.reader_count == 0:
+                self._signal_next()
+
+    def start_write(self) -> None:
+        with self._mutex:
+            ticket = self.tickets
+            self.tickets += 1
+            while self.serving != ticket or self.reader_count != 0:
+                self._cond_for(ticket).wait()
+            self._conds.pop(ticket, None)
+
+    def end_write(self) -> None:
+        with self._mutex:
+            self.serving += 1
+            self._signal_next()
+
+
+def run_readers_writers(
+    mechanism: str,
+    n_writers: int,
+    n_readers: int,
+    rounds: int,
+    delay: float = 0.0,
+) -> RunResult:
+    """Figs. 2.7/2.12 workload: readers:writers at the paper's 5:1 ratio by
+    default (callers pass n_readers = 5 * n_writers)."""
+    if mechanism == "explicit":
+        monitor = ExplicitTicketReadersWriters()
+    else:
+        monitor = TicketReadersWriters(signaling=mechanism)
+
+    def reader():
+        for _ in range(rounds):
+            monitor.start_read()
+            monitor.end_read()
+            spin_delay(delay)
+
+    def writer():
+        for _ in range(rounds):
+            monitor.start_write()
+            monitor.end_write()
+            spin_delay(delay)
+
+    targets = [reader] * n_readers + [writer] * n_writers
+    elapsed = run_threads(targets, timeout=300.0)
+    metrics = monitor.metrics.snapshot() if isinstance(monitor, Monitor) else {}
+    return RunResult(elapsed, (n_readers + n_writers) * rounds, metrics)

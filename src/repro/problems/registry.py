@@ -1,0 +1,58 @@
+"""Problem inventory — regenerates Tables 3.1 and 3.2.
+
+Each entry records the paper's short description and critical-section
+classification so the bench layer can print the tables verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProblemInfo:
+    name: str
+    description: str           # Table 3.1's "Short Description"
+    cs_work: str               # Table 3.2's "CS Work [Type]"
+    details: str               # Table 3.2's "Details"
+    module: str                # where this repo implements it
+
+
+PROBLEMS: dict[str, ProblemInfo] = {
+    "PSSSP": ProblemInfo(
+        "PSSSP",
+        "Parallel Dijkstra's single-source-shortest-path algorithm",
+        "O(log n) [Heavy]",
+        "(a) road-network-style grids  (b) R-MAT graphs",
+        "repro.problems.psssp",
+    ),
+    "BQ": ProblemInfo(
+        "BQ",
+        "Bounded FIFO queue of plain objects",
+        "O(1) [Light]",
+        "capacity varied from 4 to 64 (# enqueuers = # dequeuers)",
+        "repro.problems.bounded_buffer",
+    ),
+    "SLL": ProblemInfo(
+        "SLL",
+        "Non-decreasing sorted linked-list of integers",
+        "O(n) [Heavy]",
+        "read-heavy 90/9/1; write-heavy 0/50/50; mixed 70/20/10",
+        "repro.problems.sorted_list",
+    ),
+    "RR": ProblemInfo(
+        "RR",
+        "Round-robin monitor access",
+        "O(1) [Light]",
+        "each thread accesses the monitor in round-robin order by id",
+        "repro.problems.round_robin",
+    ),
+}
+
+
+def table_3_1_rows() -> list[tuple[str, str]]:
+    return [(p.name, p.description) for p in PROBLEMS.values()]
+
+
+def table_3_2_rows() -> list[tuple[str, str, str]]:
+    return [(p.name, p.cs_work, p.details) for p in PROBLEMS.values()]

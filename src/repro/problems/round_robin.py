@@ -1,0 +1,71 @@
+"""Round-robin access pattern — Figs. 2.6 / 2.11, Table 2.1, Fig. 3.5's RR.
+
+Each of N threads may only enter the monitor when it is its turn
+(``current == my_id``); leaving advances the turn.  Every waiter blocks on
+an *equivalence* predicate with a distinct key, making this the showcase for
+equivalence-tag hashing: AutoSynch finds the unique next thread in O(1),
+AutoSynch-T scans all N waiters, and the explicit version (an array of
+per-thread condition variables) is the hand-tuned optimum.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import Monitor, S
+from repro.problems.common import RunResult, run_threads, spin_delay
+
+
+class RoundRobinMonitor(Monitor):
+    """AutoSynch round-robin monitor (paper Fig. A.2)."""
+
+    def __init__(self, n_threads: int, signaling: str = "autosynch"):
+        super().__init__(signaling=signaling)
+        self.n_threads = n_threads
+        self.current = 0
+
+    def access(self, my_id: int) -> None:
+        self.wait_until(S.current == my_id)
+        self.current = (self.current + 1) % self.n_threads
+
+
+class ExplicitRoundRobin:
+    """Explicit-signal round robin: one condition variable per thread, each
+    exit signals exactly the successor (the paper's best case for explicit)."""
+
+    def __init__(self, n_threads: int):
+        self.n_threads = n_threads
+        self.current = 0
+        self._mutex = threading.Lock()
+        self._turn = [threading.Condition(self._mutex) for _ in range(n_threads)]
+
+    def access(self, my_id: int) -> None:
+        with self._mutex:
+            while self.current != my_id:
+                self._turn[my_id].wait()
+            self.current = (self.current + 1) % self.n_threads
+            self._turn[self.current].notify()
+
+
+def run_round_robin(
+    mechanism: str,
+    n_threads: int,
+    rounds: int,
+    delay: float = 0.0,
+) -> RunResult:
+    """Figs. 2.6/2.11 workload: every thread takes ``rounds`` turns; with
+    ``delay`` seconds of out-of-monitor spinning between turns."""
+    if mechanism == "explicit":
+        monitor = ExplicitRoundRobin(n_threads)
+    else:
+        monitor = RoundRobinMonitor(n_threads, signaling=mechanism)
+
+    def worker(my_id: int):
+        for _ in range(rounds):
+            monitor.access(my_id)
+            spin_delay(delay)
+
+    targets = [(lambda i=i: worker(i)) for i in range(n_threads)]
+    elapsed = run_threads(targets, timeout=300.0)
+    metrics = monitor.metrics.snapshot() if isinstance(monitor, Monitor) else {}
+    return RunResult(elapsed, n_threads * rounds, metrics)

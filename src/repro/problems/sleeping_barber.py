@@ -1,0 +1,87 @@
+"""The sleeping-barber problem — appendix Fig. A.4 (extra example workload).
+
+The barber waits until a customer occupies a waiting-room seat; customers
+with no free seat leave immediately.  A compact exercise of ``wait_until``
+with mixed outcomes (blocking vs balking)."""
+
+from __future__ import annotations
+
+from repro.core import Monitor, S
+from repro.problems.common import RunResult, run_threads
+
+
+class BarberShop(Monitor):
+    """AutoSynch sleeping-barber monitor (paper Fig. A.4)."""
+
+    def __init__(self, max_seats: int, signaling: str = "autosynch"):
+        super().__init__(signaling=signaling)
+        self.max_seats = max_seats
+        self.free_seats = max_seats
+        self.available_barbers = 0
+
+    def cut_hair(self) -> None:
+        """Barber side: wait for a seated customer, then serve them."""
+        self.wait_until(S.free_seats < S.max_seats)
+        self.free_seats += 1
+        self.available_barbers += 1
+
+    def wait_to_cut(self) -> bool:
+        """Customer side: take a seat if one is free; balk otherwise."""
+        if self.free_seats == 0:
+            return False
+        self.free_seats -= 1
+        self.wait_until(S.available_barbers > 0)
+        self.available_barbers -= 1
+        return True
+
+
+def run_sleeping_barber(
+    n_customers: int,
+    visits_per_customer: int,
+    seats: int = 4,
+    signaling: str = "autosynch",
+) -> RunResult:
+    shop = BarberShop(seats, signaling=signaling)
+    served = [0]
+    import threading
+
+    served_lock = threading.Lock()
+    done = threading.Event()
+
+    def barber():
+        while not done.is_set() or shop.free_seats < shop.max_seats:
+            # keep cutting while customers remain; exit via the poison seat
+            shop.cut_hair()
+
+    def customer():
+        for _ in range(visits_per_customer):
+            if shop.wait_to_cut():
+                with served_lock:
+                    served[0] += 1
+
+    def closer():
+        # after all customers finish, seat one phantom so the barber wakes
+        # and can observe the shop closing
+        for t in customer_threads:
+            t.join()
+        done.set()
+        shop.wait_to_cut()
+
+    import threading as _t
+
+    customer_threads = [
+        _t.Thread(target=customer, daemon=True) for _ in range(n_customers)
+    ]
+    barber_thread = _t.Thread(target=barber, daemon=True)
+    import time
+
+    start = time.perf_counter()
+    barber_thread.start()
+    for t in customer_threads:
+        t.start()
+    closer()
+    barber_thread.join(30)
+    elapsed = time.perf_counter() - start
+    if barber_thread.is_alive():
+        raise TimeoutError("barber never observed shop closing")
+    return RunResult(elapsed, served[0], shop.metrics.snapshot())

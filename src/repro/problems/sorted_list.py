@@ -1,0 +1,180 @@
+"""Concurrent sorted linked list (SLL) — Fig. 3.5's heavy-critical-section
+workload.
+
+The list is a non-decreasing singly linked list of integers protected by one
+monitor; every operation walks the list inside the critical section (the
+paper classifies SLL as *heavy*, O(n) work under the lock).  Variants:
+
+* ``lk``  — reentrant-lock monitor (read/write via one mutex);
+* ``am``  — ActiveMonitor: inserts/deletes asynchronous, searches synchronous;
+* ``ams`` — same tasks but every call blocks on its future (delegation only).
+
+Workload mixes follow Table 3.2: read-heavy (90/9/1), write-heavy (0/50/50),
+mixed (70/20/10); operands uniform in [0, 2000); pre-populated with 1000
+entries so ~half the operations succeed.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.active import ActiveMonitor, asynchronous, synchronous
+from repro.problems.common import RunResult, run_threads
+
+MIXES = {
+    "read-heavy": (0.90, 0.09, 0.01),
+    "write-heavy": (0.00, 0.50, 0.50),
+    "mixed": (0.70, 0.20, 0.10),
+}
+
+VALUE_RANGE = 2000
+PREPOPULATE = 1000
+
+
+class _Node:
+    __slots__ = ("value", "next")
+
+    def __init__(self, value: int, nxt: "_Node | None" = None):
+        self.value = value
+        self.next = nxt
+
+
+def _insert(head: _Node, value: int) -> bool:
+    node = head
+    while node.next is not None and node.next.value < value:
+        node = node.next
+    if node.next is not None and node.next.value == value:
+        return False
+    node.next = _Node(value, node.next)
+    return True
+
+
+def _delete(head: _Node, value: int) -> bool:
+    node = head
+    while node.next is not None and node.next.value < value:
+        node = node.next
+    if node.next is None or node.next.value != value:
+        return False
+    node.next = node.next.next
+    return True
+
+
+def _contains(head: _Node, value: int) -> bool:
+    node = head.next
+    while node is not None and node.value < value:
+        node = node.next
+    return node is not None and node.value == value
+
+
+class LockSortedList:
+    """Plain mutex-protected sorted list (the LK comparator)."""
+
+    def __init__(self):
+        self._head = _Node(-1)
+        self._mutex = threading.Lock()
+
+    def insert(self, value: int) -> bool:
+        with self._mutex:
+            return _insert(self._head, value)
+
+    def delete(self, value: int) -> bool:
+        with self._mutex:
+            return _delete(self._head, value)
+
+    def contains(self, value: int) -> bool:
+        with self._mutex:
+            return _contains(self._head, value)
+
+    def snapshot(self) -> list[int]:
+        with self._mutex:
+            out, node = [], self._head.next
+            while node is not None:
+                out.append(node.value)
+                node = node.next
+            return out
+
+
+class ActiveSortedList(ActiveMonitor):
+    """ActiveMonitor sorted list: asynchronous mutators, synchronous reads."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.head = _Node(-1)
+
+    @asynchronous()
+    def insert(self, value: int) -> bool:
+        return _insert(self.head, value)
+
+    @asynchronous()
+    def delete(self, value: int) -> bool:
+        return _delete(self.head, value)
+
+    @synchronous()
+    def contains(self, value: int) -> bool:
+        return _contains(self.head, value)
+
+    @synchronous()
+    def snapshot(self) -> list[int]:
+        out, node = [], self.head.next
+        while node is not None:
+            out.append(node.value)
+            node = node.next
+        return out
+
+
+def run_sorted_list(
+    variant: str,
+    mix: str,
+    n_threads: int,
+    ops_per_thread: int,
+    seed: int = 7,
+) -> RunResult:
+    """Fig. 3.5's SLL workload."""
+    p_read, p_ins, _p_del = MIXES[mix]
+    rng = random.Random(seed)
+    if variant == "lk":
+        lst = LockSortedList()
+    elif variant == "am":
+        lst = ActiveSortedList(mode="async")
+    elif variant == "ams":
+        lst = ActiveSortedList(mode="delegate")
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    base = rng.sample(range(VALUE_RANGE), PREPOPULATE)
+    if isinstance(lst, ActiveSortedList):
+        for v in base:
+            lst.insert(v)
+        lst.flush()
+    else:
+        for v in base:
+            lst.insert(v)
+
+    plans = []
+    for _ in range(n_threads):
+        plan = []
+        for _ in range(ops_per_thread):
+            roll = rng.random()
+            value = rng.randrange(VALUE_RANGE)
+            if roll < p_read:
+                plan.append(("contains", value))
+            elif roll < p_read + p_ins:
+                plan.append(("insert", value))
+            else:
+                plan.append(("delete", value))
+        plans.append(plan)
+
+    def worker(plan):
+        for op, value in plan:
+            getattr(lst, op)(value)
+
+    targets = [(lambda p=plan: worker(p)) for plan in plans]
+    try:
+        elapsed = run_threads(targets, timeout=300.0)
+        if isinstance(lst, ActiveSortedList):
+            lst.flush()
+    finally:
+        if isinstance(lst, ActiveSortedList):
+            lst.shutdown()
+    return RunResult(elapsed, n_threads * ops_per_thread, {})

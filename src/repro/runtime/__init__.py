@@ -1,0 +1,39 @@
+"""Runtime substrate shared by every subsystem.
+
+Provides monotonically increasing object ids (the basis of ``multisynch``'s
+deadlock-free lock ordering), framework-wide configuration, error types, and
+the instrumentation counters that back the paper's context-switch /
+predicate-evaluation / false-signal measurements.
+"""
+
+from repro.runtime.config import Config, get_config
+from repro.runtime.errors import (
+    CompositionError,
+    MonitorError,
+    NestedMultisynchError,
+    NotOwnerError,
+    PredicateError,
+    ReproError,
+    TaskError,
+)
+from repro.runtime.ids import next_monitor_id
+from repro.runtime.metrics import Metrics, PhaseTimer, global_metrics
+from repro.runtime.tracing import TraceEvent, Tracer
+
+__all__ = [
+    "Config",
+    "get_config",
+    "ReproError",
+    "MonitorError",
+    "PredicateError",
+    "NotOwnerError",
+    "NestedMultisynchError",
+    "CompositionError",
+    "TaskError",
+    "next_monitor_id",
+    "Metrics",
+    "PhaseTimer",
+    "global_metrics",
+    "Tracer",
+    "TraceEvent",
+]

@@ -1,0 +1,68 @@
+"""Framework-wide configuration.
+
+Mirrors the runtime knobs the paper exposes: whether asynchronous execution
+is enabled at all (§1.6 step 3: "the user can easily disable asynchronous
+executions at runtime by simply passing a flag"), the combining batch size
+(§3.3.2 fixes five tasks per combining turn), the per-server bounded-queue
+capacity, and the cap on monitor server threads (§3.3.4).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+
+
+def _hardware_threads() -> int:
+    return os.cpu_count() or 1
+
+
+@dataclass
+class Config:
+    """Mutable runtime configuration; one process-global instance."""
+
+    #: Master switch for delegated/asynchronous execution.  When False every
+    #: ActiveMonitor behaves as a plain (synchronous) automatic-signal monitor.
+    asynchronous_enabled: bool = True
+
+    #: Number of queued tasks a combiner executes per lock acquisition
+    #: (the paper's implementation uses five).
+    combining_batch: int = 5
+
+    #: Capacity of each server's single-consumer bounded task queue.
+    task_queue_capacity: int = 64
+
+    #: Upper bound on concurrently live monitor server threads.  ``None``
+    #: means "derive from hardware" exactly as §3.3.4 prescribes.
+    max_server_threads: int | None = None
+
+    #: Threshold above which inactive (waiter-less) predicate records are
+    #: recycled, expressed as a multiple of the live thread count (§2.5.1
+    #: describes a 2n inactive list).
+    inactive_predicate_factor: int = 2
+
+    #: Collect phase timings (await / lock / relay / tag management).  Off by
+    #: default because timers cost more than the counters.
+    phase_timing: bool = False
+
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def effective_server_cap(self) -> int:
+        """Resolve the server-thread cap against available hardware.
+
+        Python server threads are parked (never spinning) when idle, so the
+        floor is generous even on small machines; the paper's stricter
+        hardware coupling can be restored via ``max_server_threads``.
+        """
+        if self.max_server_threads is not None:
+            return max(0, self.max_server_threads)
+        return max(8, _hardware_threads() - 1)
+
+
+_config = Config()
+
+
+def get_config() -> Config:
+    """Return the process-global configuration object."""
+    return _config

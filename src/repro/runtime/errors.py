@@ -1,0 +1,40 @@
+"""Exception hierarchy for the framework."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every framework error."""
+
+
+class MonitorError(ReproError):
+    """Misuse of a monitor object (e.g. wait outside a monitor method)."""
+
+
+class NotOwnerError(MonitorError):
+    """A thread touched monitor state without holding the monitor lock."""
+
+
+class PredicateError(ReproError):
+    """Malformed predicate passed to ``wait_until`` / the predicate DSL."""
+
+
+class NestedMultisynchError(ReproError):
+    """``multisynch`` blocks may not nest (paper §4.1 assumption)."""
+
+
+class CompositionError(ReproError):
+    """Invalid use of OR / AND / selectone / selectall operands."""
+
+
+class TaskError(ReproError):
+    """An asynchronous monitor task failed; wraps the original exception.
+
+    Chapter 6.2.1 of the paper calls for an exception handler that records
+    failures of delegated tasks and re-raises them at future-evaluation time;
+    this is the carrier type.
+    """
+
+    def __init__(self, message: str, cause: BaseException | None = None):
+        super().__init__(message)
+        self.cause = cause

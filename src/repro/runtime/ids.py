@@ -1,0 +1,23 @@
+"""Global monotonically increasing ids for monitor objects.
+
+Every monitor gets a unique integer id at construction time.  ``multisynch``
+acquires monitor locks in increasing-id order, which is the paper's
+deadlock-avoidance rule (§4.1): with all multi-object acquisitions following
+one global total order, no cycle of lock waits can form.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+_counter = itertools.count(1)
+_lock = threading.Lock()
+
+
+def next_monitor_id() -> int:
+    """Return the next unique monitor id (thread-safe, strictly increasing)."""
+    # itertools.count.__next__ is atomic under CPython, but we do not rely on
+    # that implementation detail: correctness here underpins deadlock freedom.
+    with _lock:
+        return next(_counter)

@@ -1,0 +1,115 @@
+"""Instrumentation counters and phase timers.
+
+The paper's evaluation reports (beyond wall-clock runtime):
+
+* number of context switches (Fig. 2.10) — here the exact count of thread
+  wakeups (``signals``) plus futile wakeups (a woken thread whose predicate
+  turned false again before it re-entered the monitor);
+* number of predicate evaluations and false evaluations of global conditions
+  (Fig. 4.8);
+* CPU-usage breakdown across await / lock / relay-signal / tag-management
+  phases (Table 2.1).
+
+Counters are plain ints mutated while the caller already holds the monitor
+lock (or with a tiny dedicated lock for cross-monitor aggregation), so the
+instrumentation cost is a handful of integer adds per monitor operation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Metrics:
+    """A bundle of event counters; one per monitor plus one global."""
+
+    signals: int = 0            #: single-thread signals issued (relay rule)
+    broadcasts: int = 0         #: signalAll-style broadcasts (baseline mode)
+    wakeups: int = 0            #: threads that actually woke from a wait
+    futile_wakeups: int = 0     #: wakeups whose predicate was false on re-entry
+    waits: int = 0              #: wait_until calls that actually blocked
+    predicate_evals: int = 0    #: closure-predicate evaluations
+    tag_checks: int = 0         #: tag-index probes
+    false_evals: int = 0        #: global-condition evaluations that were false
+    tasks_submitted: int = 0    #: ActiveMonitor task submissions
+    tasks_combined: int = 0     #: tasks executed by a combiner (not the server)
+    stm_commits: int = 0        #: STM transactions committed
+    stm_aborts: int = 0         #: STM transactions aborted/retried
+
+    # Phase timers (seconds), populated only when Config.phase_timing is on.
+    await_time: float = 0.0
+    lock_time: float = 0.0
+    relay_time: float = 0.0
+    tag_time: float = 0.0
+
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Thread-safe increment, for call sites outside any monitor lock."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Unsynchronized increment, for call sites holding the monitor lock."""
+        setattr(self, name, getattr(self, name) + amount)
+
+    def add_time(self, phase: str, seconds: float) -> None:
+        with self._lock:
+            setattr(self, phase, getattr(self, phase) + seconds)
+
+    def snapshot(self) -> dict[str, float]:
+        """Return a plain-dict copy of every counter and timer."""
+        with self._lock:
+            return {k: getattr(self, k) for k in self._FIELDS}
+
+    _FIELDS = (
+        "signals", "broadcasts", "wakeups", "futile_wakeups",
+        "waits", "predicate_evals", "tag_checks", "false_evals",
+        "tasks_submitted", "tasks_combined", "stm_commits", "stm_aborts",
+        "await_time", "lock_time", "relay_time", "tag_time",
+    )
+
+    def reset(self) -> None:
+        with self._lock:
+            for k in self._FIELDS:
+                setattr(self, k, 0 if isinstance(getattr(self, k), int) else 0.0)
+
+    def merge_from(self, other: "Metrics") -> None:
+        """Accumulate ``other``'s counters into this one."""
+        snap = other.snapshot()
+        with self._lock:
+            for k, v in snap.items():
+                setattr(self, k, getattr(self, k) + v)
+
+
+class PhaseTimer:
+    """Context manager attributing elapsed time to a metrics phase.
+
+    Used to regenerate Table 2.1's await / lock / relay-signal / tag-manager
+    CPU breakdown.  A no-op (single branch) when timing is disabled.
+    """
+
+    __slots__ = ("_metrics", "_phase", "_enabled", "_start")
+
+    def __init__(self, metrics: Metrics, phase: str, enabled: bool):
+        self._metrics = metrics
+        self._phase = phase
+        self._enabled = enabled
+        self._start = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        if self._enabled:
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._enabled:
+            self._metrics.add_time(self._phase, time.perf_counter() - self._start)
+
+
+#: Process-global aggregate; individual monitors keep their own ``Metrics``
+#: and benchmarks merge them here (or read them per-monitor).
+global_metrics = Metrics()

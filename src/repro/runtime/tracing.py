@@ -1,0 +1,134 @@
+"""Event tracing: a bounded ring buffer of monitor synchronization events.
+
+Debugging a signaling bug from counters alone is painful; a trace answers
+*what happened, in what order*.  Attach a tracer to a monitor and every
+wait / signal / wakeup / broadcast is recorded with a timestamp and the
+acting thread::
+
+    from repro.runtime.tracing import Tracer
+
+    tracer = Tracer(capacity=512)
+    tracer.attach(queue)
+    ...
+    for event in tracer.events():
+        print(event)
+    # TraceEvent(t=0.0012, thread=123, monitor=7, kind='wait', detail='(count > 0)')
+
+The tracer hooks the condition manager's metric bumps non-invasively (it
+wraps ``Metrics.bump`` for the monitor's metrics object), so tracing costs
+one method call per event and nothing when detached.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.monitor import Monitor
+
+#: metric counter names treated as traceable events
+_EVENT_COUNTERS = {
+    "signals": "signal",
+    "broadcasts": "broadcast",
+    "waits": "wait",
+    "wakeups": "wakeup",
+    "futile_wakeups": "futile_wakeup",
+}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded synchronization event."""
+
+    t: float          #: seconds since the tracer attached
+    thread: int       #: acting thread id
+    monitor: int      #: monitor id
+    kind: str         #: signal | broadcast | wait | wakeup | futile_wakeup
+    detail: str = ""
+
+    def __str__(self):
+        return (f"[{self.t:9.6f}] tid={self.thread} mon#{self.monitor} "
+                f"{self.kind} {self.detail}".rstrip())
+
+
+class Tracer:
+    """Bounded ring buffer of TraceEvents across one or more monitors."""
+
+    def __init__(self, capacity: int = 1024):
+        self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter()
+        self._attached: list[tuple[Any, Any]] = []   # (metrics, original bump)
+
+    # ------------------------------------------------------------- recording
+    def record(self, monitor_id: int, kind: str, detail: str = "") -> None:
+        event = TraceEvent(
+            t=time.perf_counter() - self._t0,
+            thread=threading.get_ident(),
+            monitor=monitor_id,
+            kind=kind,
+            detail=detail,
+        )
+        with self._lock:
+            self._buffer.append(event)
+
+    # ------------------------------------------------------------ attachment
+    def attach(self, monitor: "Monitor") -> None:
+        """Start recording this monitor's signaling events."""
+        metrics = monitor.metrics
+        original_bump = metrics.bump
+        monitor_id = monitor.monitor_id
+        tracer = self
+
+        def traced_bump(name: str, amount: int = 1,
+                        _orig=original_bump, _mid=monitor_id):
+            kind = _EVENT_COUNTERS.get(name)
+            if kind is not None:
+                tracer.record(_mid, kind)
+            _orig(name, amount)
+
+        metrics.bump = traced_bump  # type: ignore[method-assign]
+        self._attached.append((metrics, original_bump))
+
+    def detach_all(self) -> None:
+        """Stop recording on every attached monitor."""
+        for metrics, original in self._attached:
+            metrics.bump = original  # type: ignore[method-assign]
+        self._attached.clear()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach_all()
+
+    # --------------------------------------------------------------- reading
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """Snapshot of recorded events, optionally filtered by kind."""
+        with self._lock:
+            snapshot = list(self._buffer)
+        if kind is None:
+            return snapshot
+        return [e for e in snapshot if e.kind == kind]
+
+    def counts(self) -> dict[str, int]:
+        """Event counts by kind (from the retained window)."""
+        out: dict[str, int] = {}
+        for event in self.events():
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buffer.clear()
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)

@@ -1,0 +1,35 @@
+"""Deterministic discrete-event multicore simulator (the hardware substitute)."""
+
+from repro.sim.active import Rule2Worker, SimActiveMonitor, SimFuture
+from repro.sim.kernel import Kernel, SimCondVar, SimLock, SimThread
+from repro.sim.monitors import SimMonitor
+from repro.sim.multicast import sim_multicast
+from repro.sim.multiobj import sim_pizza_store, sim_take_and_put
+from repro.sim.workloads import (
+    sim_bounded_buffer,
+    sim_param_bounded_buffer,
+    sim_round_robin,
+)
+from repro.sim.workloads_active import sim_active_queue
+from repro.sim.workloads_ch2 import sim_dining, sim_h2o, sim_readers_writers
+
+__all__ = [
+    "Kernel",
+    "SimLock",
+    "SimCondVar",
+    "SimThread",
+    "SimMonitor",
+    "SimActiveMonitor",
+    "SimFuture",
+    "Rule2Worker",
+    "sim_bounded_buffer",
+    "sim_param_bounded_buffer",
+    "sim_round_robin",
+    "sim_active_queue",
+    "sim_pizza_store",
+    "sim_take_and_put",
+    "sim_multicast",
+    "sim_h2o",
+    "sim_dining",
+    "sim_readers_writers",
+]

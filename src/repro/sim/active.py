@@ -1,0 +1,159 @@
+"""Simulated ActiveMonitor: delegation on the DES multicore.
+
+Chapter 3's claim — asynchronous delegated execution beats lock-based
+monitors because workers overlap local computation with critical sections
+running on the monitor's server core — is exactly the effect the GIL hides
+from real-thread runs.  This module reproduces it on the simulated machine:
+
+* :class:`SimFuture` — future with simulated park/unpark;
+* :class:`SimActiveMonitor` — a server *simulated thread* draining a task
+  queue; asynchronous submissions cost ``submit_cost`` and return
+  immediately; synchronous submissions block on the future;
+* unexecutable tasks (precondition false) park in a pending set and are
+  re-scanned after every state change, as in the real runtime.
+
+The server owns the monitor state outright (every access is a task), so
+Rule 1 holds by construction and no monitor lock is simulated — only the
+short task-queue lock, which mirrors the real implementation's mostly
+uncontended acquisitions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.kernel import Kernel
+
+
+class SimFuture:
+    """Single-result future in the simulated machine."""
+
+    __slots__ = ("lock", "cv", "done", "value")
+
+    def __init__(self, kernel: Kernel):
+        self.lock = kernel.lock("future")
+        self.cv = kernel.condvar(self.lock, "future-cv")
+        self.done = False
+        self.value: Any = None
+
+    def get(self):
+        """Generator: block until completed; returns the value."""
+        yield ("acquire", self.lock)
+        while not self.done:
+            yield ("wait", self.cv)
+        yield ("release", self.lock)
+        return self.value
+
+    def complete(self, value: Any):
+        """Generator: complete and wake the (single) waiter."""
+        yield ("acquire", self.lock)
+        self.done = True
+        self.value = value
+        yield ("signal", self.cv)
+        yield ("release", self.lock)
+
+
+class SimTask:
+    __slots__ = ("pre", "cost", "effect", "future")
+
+    def __init__(self, pre, cost: float, effect, future: Optional[SimFuture]):
+        self.pre = pre          #: () -> bool, or None
+        self.cost = cost        #: simulated critical-section work
+        self.effect = effect    #: () -> value, applied when executed
+        self.future = future
+
+
+class SimActiveMonitor:
+    """Monitor-as-server on the simulated machine."""
+
+    def __init__(self, kernel: Kernel, submit_cost: float = 1.0,
+                 eval_cost: float = 0.5):
+        self.kernel = kernel
+        self.submit_cost = submit_cost
+        self.eval_cost = eval_cost
+        self.qlock = kernel.lock("taskq")
+        self.qcv = kernel.condvar(self.qlock, "taskq-cv")
+        self.queue: deque[SimTask] = deque()
+        self.pending: list[SimTask] = []
+        self.executed = 0
+        self._expected: Optional[int] = None
+
+    # ----------------------------------------------------------- submission
+    def submit_async(self, pre, cost: float, effect) -> SimFuture:
+        """Generator: enqueue a task and return its future without waiting.
+
+        Callers enforcing the paper's Rule 2 (at most one outstanding
+        asynchronous task per worker) should ``yield from future.get()`` on
+        the *previous* submission's future before submitting the next —
+        :class:`Rule2Worker` packages that pattern.
+        """
+        future = SimFuture(self.kernel)
+        task = SimTask(pre, cost, effect, future)
+        yield ("compute", self.submit_cost)
+        yield ("acquire", self.qlock)
+        self.queue.append(task)
+        yield ("signal", self.qcv)
+        yield ("release", self.qlock)
+        return future
+
+    def call_sync(self, pre, cost: float, effect):
+        """Generator: enqueue a task and block on its future."""
+        future = SimFuture(self.kernel)
+        task = SimTask(pre, cost, effect, future)
+        yield ("compute", self.submit_cost)
+        yield ("acquire", self.qlock)
+        self.queue.append(task)
+        yield ("signal", self.qcv)
+        yield ("release", self.qlock)
+        value = yield from future.get()
+        return value
+
+    # --------------------------------------------------------------- server
+    def server(self, expected_tasks: int):
+        """Generator: the monitor thread; exits after ``expected_tasks``."""
+        self._expected = expected_tasks
+        while self.executed < expected_tasks:
+            yield ("acquire", self.qlock)
+            while self.queue:
+                self.pending.append(self.queue.popleft())
+            task = None
+            for candidate in self.pending:
+                if candidate.pre is not None:
+                    yield ("compute", self.eval_cost)
+                if candidate.pre is None or candidate.pre():
+                    task = candidate
+                    break
+            if task is None:
+                yield ("wait", self.qcv)
+                yield ("release", self.qlock)
+                continue
+            self.pending.remove(task)
+            yield ("release", self.qlock)
+            # execute outside the queue lock: the server exclusively owns
+            # the monitor state (Rule 1 by construction)
+            yield ("compute", task.cost)
+            value = task.effect()
+            self.executed += 1
+            if task.future is not None:
+                yield from task.future.complete(value)
+
+
+class Rule2Worker:
+    """Per-worker Rule-2 enforcement: one outstanding async task at a time."""
+
+    __slots__ = ("monitor", "_last")
+
+    def __init__(self, monitor: SimActiveMonitor):
+        self.monitor = monitor
+        self._last: Optional[SimFuture] = None
+
+    def put_async(self, pre, cost: float, effect):
+        """Generator: wait for the previous async task, then submit."""
+        if self._last is not None and not self._last.done:
+            yield from self._last.get()
+        self._last = yield from self.monitor.submit_async(pre, cost, effect)
+
+    def call_sync(self, pre, cost: float, effect):
+        value = yield from self.monitor.call_sync(pre, cost, effect)
+        return value

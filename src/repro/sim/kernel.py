@@ -1,0 +1,251 @@
+"""Deterministic discrete-event multicore simulator.
+
+The paper's evaluation machines (16×4-core and 4×10-core Xeons) are not
+available, and CPython's GIL serializes real threads anyway; this kernel
+reproduces the *shape* of every thread-scaling figure by simulating the
+scheduling behaviour the paper's analysis actually rests on: context-switch
+cost per wakeup, serialized critical sections, predicate-evaluation work,
+and bounded hardware parallelism.
+
+Simulated threads are Python generators yielding kernel requests:
+
+* ``("compute", cycles)``      — occupy a core for ``cycles`` time units;
+* ``("acquire", lock)``        — block until the lock is granted;
+* ``("release", lock)``        — hand the lock to the next waiter (FIFO);
+* ``("wait", condvar)``        — atomically release the condvar's lock and
+  sleep until signaled, then re-acquire;
+* ``("signal", condvar)`` / ``("signal_all", condvar)``;
+* plain ``yield`` of a positive number is shorthand for compute.
+
+Causality: synchronization requests are executed in strict global
+(time, sequence) order — a thread that reaches a lock operation at local
+time ``t`` is suspended until every pending event earlier than ``t`` has
+been processed.  This makes runs fully deterministic and makes FIFO lock
+grants honour true arrival times, not host scheduling accidents.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Generator, Optional
+
+SimGen = Generator[Any, Any, None]
+
+_SYNC_KINDS = ("acquire", "release", "wait", "signal", "signal_all")
+
+
+class SimLock:
+    """FIFO mutex in the simulated machine."""
+
+    __slots__ = ("owner", "queue", "name")
+
+    def __init__(self, name: str = "lock"):
+        self.owner: Optional["SimThread"] = None
+        self.queue: deque["SimThread"] = deque()
+        self.name = name
+
+    def __repr__(self):
+        return f"<SimLock {self.name}>"
+
+
+class SimCondVar:
+    """Condition variable bound to a :class:`SimLock`."""
+
+    __slots__ = ("lock", "queue", "name")
+
+    def __init__(self, lock: SimLock, name: str = "cv"):
+        self.lock = lock
+        self.queue: deque["SimThread"] = deque()
+        self.name = name
+
+
+class SimThread:
+    """Bookkeeping for one simulated thread."""
+
+    __slots__ = ("gen", "tid", "done", "pending", "blocked_at", "blocked_kind")
+
+    def __init__(self, gen: SimGen, tid: int):
+        self.gen = gen
+        self.tid = tid
+        self.done = False
+        #: a sync request that reached its action time but had to queue
+        #: behind earlier global events
+        self.pending: Any = None
+        #: virtual time at which the thread blocked, and why ("lock"/"wait")
+        self.blocked_at: float | None = None
+        self.blocked_kind: str = ""
+
+    def __repr__(self):
+        return f"<SimThread {self.tid}>"
+
+
+class Kernel:
+    """The simulated machine: cores, clock, scheduler."""
+
+    def __init__(self, n_cores: int = 8, ctx_switch_cost: float = 5.0):
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        self.n_cores = n_cores
+        self.ctx_switch_cost = ctx_switch_cost
+        self._cores = [0.0] * n_cores          # earliest-free time per core
+        self._events: list[tuple[float, int, SimThread]] = []
+        self._seq = itertools.count()
+        self._tids = itertools.count()
+        self.threads: list[SimThread] = []
+        self.context_switches = 0
+        self.now = 0.0
+        self._max_time = float("inf")
+        #: virtual time charged per compute category — a ``("compute", c,
+        #: "tag")`` request adds to ``time_by_category["tag"]``; uncategorized
+        #: computes land in "work".  Regenerates Table 2.1 in the simulator.
+        self.time_by_category: dict[str, float] = {}
+        #: total virtual time threads spent blocked, split by cause
+        self.blocked_time: dict[str, float] = {"lock": 0.0, "wait": 0.0}
+
+    # ---------------------------------------------------------------- spawn
+    def spawn(self, gen: SimGen) -> SimThread:
+        thread = SimThread(gen, next(self._tids))
+        self.threads.append(thread)
+        self._push(thread, 0.0)
+        return thread
+
+    def _push(self, thread: SimThread, at: float) -> None:
+        heapq.heappush(self._events, (at, next(self._seq), thread))
+
+    def _wake(self, thread: SimThread, at: float) -> None:
+        """Schedule a blocked thread's resumption (pays a context switch)."""
+        self.context_switches += 1
+        if thread.blocked_at is not None:
+            self.blocked_time[thread.blocked_kind] += max(0.0, at - thread.blocked_at)
+            thread.blocked_at = None
+        self._push(thread, at + self.ctx_switch_cost)
+
+    # ------------------------------------------------------------------ run
+    def run(self, max_time: float = float("inf")) -> float:
+        """Run to quiescence (or ``max_time``); returns the final clock."""
+        self._max_time = max_time
+        while self._events:
+            ready_at, _, thread = heapq.heappop(self._events)
+            if ready_at > max_time:
+                self.now = max_time
+                return self.now
+            t = ready_at
+            blocked = False
+            # a sync request deferred from an earlier step executes first
+            if thread.pending is not None:
+                request = thread.pending
+                thread.pending = None
+                blocked = not self._apply_sync(thread, request, t)
+            if not blocked:
+                # charge core occupancy for the compute segment(s)
+                core = min(range(self.n_cores), key=self._cores.__getitem__)
+                start = max(t, self._cores[core])
+                end = self._advance(thread, start)
+                self._cores[core] = end
+                self.now = max(self.now, end)
+            else:
+                self.now = max(self.now, t)
+        return self.now
+
+    def _advance(self, thread: SimThread, t: float) -> float:
+        """Run ``thread`` from time ``t`` until it blocks, defers, or ends."""
+        gen = thread.gen
+        step = gen.send if hasattr(gen, "send") else (lambda _none: next(gen))
+        while True:
+            try:
+                request = step(None)
+            except StopIteration:
+                thread.done = True
+                return t
+            if isinstance(request, (int, float)):
+                t += request
+                self.time_by_category["work"] = (
+                    self.time_by_category.get("work", 0.0) + request
+                )
+                if t > self._max_time:
+                    return t    # deadline: abandon this thread's remainder
+                continue
+            kind = request[0]
+            if kind == "compute":
+                t += request[1]
+                category = request[2] if len(request) > 2 else "work"
+                self.time_by_category[category] = (
+                    self.time_by_category.get(category, 0.0) + request[1]
+                )
+                if t > self._max_time:
+                    return t    # deadline: abandon this thread's remainder
+                continue
+            if kind not in _SYNC_KINDS:
+                raise ValueError(f"unknown sim request {request!r}")
+            # sync requests execute in global time order: if an earlier
+            # event is pending, defer this request to time t
+            if self._events and self._events[0][0] < t:
+                thread.pending = request
+                self._push(thread, t)
+                return t
+            if not self._apply_sync(thread, request, t):
+                return t  # blocked
+            # else: request completed synchronously, keep running
+
+    def _apply_sync(self, thread: SimThread, request: tuple, t: float) -> bool:
+        """Execute one sync request at time ``t``.
+
+        Returns False when the thread blocked (caller must stop stepping it).
+        """
+        kind = request[0]
+        if kind == "acquire":
+            lock: SimLock = request[1]
+            if lock.owner is None:
+                lock.owner = thread
+                return True
+            lock.queue.append(thread)
+            thread.blocked_at = t
+            thread.blocked_kind = "lock"
+            return False
+        if kind == "release":
+            self._release(request[1], t)
+            return True
+        if kind == "wait":
+            cv: SimCondVar = request[1]
+            cv.queue.append(thread)
+            self._release(cv.lock, t)
+            thread.blocked_at = t
+            thread.blocked_kind = "wait"
+            return False
+        if kind == "signal":
+            cv = request[1]
+            if cv.queue:
+                self._grant_or_queue(cv.queue.popleft(), cv.lock, t)
+            return True
+        # signal_all
+        cv = request[1]
+        while cv.queue:
+            self._grant_or_queue(cv.queue.popleft(), cv.lock, t)
+        return True
+
+    def _release(self, lock: SimLock, t: float) -> None:
+        if lock.queue:
+            successor = lock.queue.popleft()
+            lock.owner = successor
+            self._wake(successor, t)
+        else:
+            lock.owner = None
+
+    def _grant_or_queue(self, thread: SimThread, lock: SimLock, t: float) -> None:
+        if lock.owner is None:
+            lock.owner = thread
+            self._wake(thread, t)
+        else:
+            lock.queue.append(thread)
+
+    # ------------------------------------------------------------- factories
+    def lock(self, name: str = "lock") -> SimLock:
+        return SimLock(name)
+
+    def condvar(self, lock: SimLock, name: str = "cv") -> SimCondVar:
+        return SimCondVar(lock, name)
+
+    def all_done(self) -> bool:
+        return all(t.done for t in self.threads)

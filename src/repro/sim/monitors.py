@@ -1,0 +1,176 @@
+"""Simulated automatic-signal monitors over the DES kernel.
+
+Implements the four signaling disciplines of Chapter 2 inside the simulated
+machine so their scaling behaviour can be measured at paper-scale thread
+counts (the kernel charges ``ctx_switch_cost`` per wakeup and the monitor
+charges ``eval_cost`` per predicate evaluation and ``tag_cost`` per tag-index
+probe):
+
+* ``baseline``     — one condition variable, broadcast on every exit;
+* ``autosynch_t``  — relay signaling, linear scan over waiters;
+* ``autosynch``    — relay signaling with equivalence/threshold tag indexes;
+* (explicit variants are hand-written per workload in
+  :mod:`repro.sim.workloads`.)
+
+Predicates here are plain closures over shared state — safe because the
+simulation itself is sequential; costs are charged explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.kernel import Kernel, SimCondVar
+
+Pred = Callable[[], bool]
+
+#: tag hints: ("eq", keyfn, key) | ("th", keyfn, op, const) | None
+TagHint = Optional[tuple]
+
+
+class _SimWaiter:
+    __slots__ = ("pred", "cv", "hint", "signaled")
+
+    def __init__(self, pred: Pred, cv: SimCondVar, hint: TagHint):
+        self.pred = pred
+        self.cv = cv
+        self.hint = hint
+        self.signaled = False
+
+
+_OPS = {
+    ">": lambda v, k: v > k,
+    ">=": lambda v, k: v >= k,
+    "<": lambda v, k: v < k,
+    "<=": lambda v, k: v <= k,
+}
+
+
+class SimMonitor:
+    """One monitor object in the simulated machine."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        mode: str = "autosynch",
+        eval_cost: float = 1.0,
+        tag_cost: float = 0.5,
+    ):
+        if mode not in ("baseline", "autosynch_t", "autosynch"):
+            raise ValueError(f"unknown sim monitor mode {mode!r}")
+        self.kernel = kernel
+        self.mode = mode
+        self.eval_cost = eval_cost
+        self.tag_cost = tag_cost
+        self.lock = kernel.lock("monitor")
+        self._broadcast = kernel.condvar(self.lock, "broadcast")
+        self.waiters: list[_SimWaiter] = []
+        self.predicate_evals = 0
+        self.signals = 0
+        self.broadcasts = 0
+
+    # -- monitor sections (compose with `yield from`) ---------------------------
+    def enter(self):
+        yield ("acquire", self.lock)
+
+    def exit(self):
+        yield from self._relay()
+        yield ("release", self.lock)
+
+    def wait_until(self, pred: Pred, hint: TagHint = None):
+        """The simulated waituntil (caller holds the monitor lock)."""
+        self.predicate_evals += 1
+        yield ("compute", self.eval_cost, "eval")
+        if pred():
+            return
+        if self.mode == "baseline":
+            while True:
+                yield ("wait", self._broadcast)
+                self.predicate_evals += 1
+                yield ("compute", self.eval_cost, "eval")
+                if pred():
+                    return
+        cv = self.kernel.condvar(self.lock, "waiter")
+        waiter = _SimWaiter(pred, cv, hint)
+        self.waiters.append(waiter)
+        try:
+            while True:
+                yield from self._relay()   # pass the baton before sleeping
+                yield ("wait", cv)
+                waiter.signaled = False
+                self.predicate_evals += 1
+                yield ("compute", self.eval_cost, "eval")
+                if pred():
+                    return
+        finally:
+            self.waiters.remove(waiter)
+
+    # -- relay rule --------------------------------------------------------------
+    def _relay(self):
+        if self.mode == "baseline":
+            self.broadcasts += 1
+            yield ("signal_all", self._broadcast)
+            return
+        winner = None
+        if self.mode == "autosynch_t":
+            for waiter in self.waiters:
+                if waiter.signaled:
+                    continue
+                self.predicate_evals += 1
+                yield ("compute", self.eval_cost, "eval")
+                if waiter.pred():
+                    winner = waiter
+                    break
+        else:
+            winner = yield from self._tag_search()
+        if winner is not None:
+            winner.signaled = True
+            self.signals += 1
+            yield ("signal", winner.cv)
+
+    def _tag_search(self):
+        """Tag-accelerated search: equivalence hash probes first, threshold
+        roots next, untagged waiters last."""
+        eq_groups: dict[Any, dict[Any, list[_SimWaiter]]] = {}
+        th_groups: dict[Any, list[tuple[float, int, _SimWaiter]]] = {}
+        untagged: list[_SimWaiter] = []
+        for i, waiter in enumerate(self.waiters):
+            if waiter.signaled:
+                continue
+            hint = waiter.hint
+            if hint and hint[0] == "eq":
+                eq_groups.setdefault(hint[1], {}).setdefault(hint[2], []).append(waiter)
+            elif hint and hint[0] == "th":
+                th_groups.setdefault((hint[1], hint[2]), []).append(
+                    (hint[3], i, waiter)
+                )
+            else:
+                untagged.append(waiter)
+        for keyfn, table in eq_groups.items():
+            yield ("compute", self.tag_cost, "tag")      # one expression evaluation
+            candidates = table.get(keyfn())
+            if candidates:
+                for waiter in candidates:
+                    self.predicate_evals += 1
+                    yield ("compute", self.eval_cost, "eval")
+                    if waiter.pred():
+                        return waiter
+        for (keyfn, op), entries in th_groups.items():
+            yield ("compute", self.tag_cost, "tag")
+            value = keyfn()
+            ascending = op in (">", ">=")
+            entries.sort(key=lambda e: e[0], reverse=not ascending)
+            satisfies = _OPS[op]
+            for const, _, waiter in entries:
+                if not satisfies(value, const):
+                    break                          # monotone: rest also false
+                self.predicate_evals += 1
+                yield ("compute", self.eval_cost, "eval")
+                if waiter.pred():
+                    return waiter
+        for waiter in untagged:
+            self.predicate_evals += 1
+            yield ("compute", self.eval_cost, "eval")
+            if waiter.pred():
+                return waiter
+        return None

@@ -1,0 +1,146 @@
+"""Simulated multicast channels (Fig. 5.2's shape at paper-scale clients).
+
+One server drains N client queues:
+
+* ``gl`` — one lock + broadcast condition over every queue: each client put
+  and each server take serialize on the same lock, and every put broadcast-
+  wakes everyone;
+* ``so`` — per-queue locks with selectone-style service: the server
+  try-locks queues speculatively and, when all guards are false, parks with
+  per-queue registrations that a client's put signals (the synchronized
+  phase of Algorithm 7 with critical-clause-style wakeup).
+
+With several cores, per-queue locking lets clients enqueue concurrently
+while the server drains — the effect behind the paper's AS/AV/CC ≫ GL.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.kernel import Kernel, SimCondVar
+
+CS_WORK = 2.0
+LOCAL_WORK = 4.0
+
+
+def sim_multicast(
+    variant: str,
+    n_clients: int,
+    requests_per_client: int,
+    capacity: int = 16,
+    n_cores: int = 8,
+) -> dict[str, Any]:
+    """Fig. 5.2 in the simulator: ``gl`` vs ``so`` (selectone)."""
+    kernel = Kernel(n_cores=n_cores)
+    counts = [0] * n_clients
+    total = n_clients * requests_per_client
+    served = [0]
+
+    def jitter(tid: int, op: int) -> float:
+        return float((tid * 19 + op * 5) % 13)
+
+    if variant == "gl":
+        lock = kernel.lock("store")
+        cond = kernel.condvar(lock)
+
+        def client(i: int):
+            for op in range(requests_per_client):
+                yield ("compute", jitter(i, op))
+                yield ("acquire", lock)
+                while counts[i] >= capacity:
+                    yield ("wait", cond)
+                yield ("compute", CS_WORK)
+                counts[i] += 1
+                yield ("signal_all", cond)
+                yield ("release", lock)
+                yield ("compute", LOCAL_WORK)
+
+        def server():
+            while served[0] < total:
+                yield ("acquire", lock)
+                while not any(counts):
+                    yield ("wait", cond)
+                idx = next(i for i, c in enumerate(counts) if c)
+                yield ("compute", CS_WORK)
+                counts[idx] -= 1
+                served[0] += 1
+                yield ("signal_all", cond)
+                yield ("release", lock)
+
+    elif variant == "so":
+        locks = [kernel.lock(f"q{i}") for i in range(n_clients)]
+        #: queues whose put should wake the parked server
+        registrations: list[list] = [[] for _ in range(n_clients)]
+        park_lock = kernel.lock("server-park")
+        not_full = [kernel.condvar(locks[i]) for i in range(n_clients)]
+
+        def client(i: int):
+            for op in range(requests_per_client):
+                yield ("compute", jitter(i, op))
+                yield ("acquire", locks[i])
+                while counts[i] >= capacity:
+                    yield ("wait", not_full[i])
+                yield ("compute", CS_WORK)
+                counts[i] += 1
+                # exit-hook duty: signal a parked selectone server
+                for entry in list(registrations[i]):
+                    if not entry[1]:
+                        entry[1] = True
+                        yield ("acquire", park_lock)
+                        yield ("signal", entry[0])
+                        yield ("release", park_lock)
+                yield ("release", locks[i])
+                yield ("compute", LOCAL_WORK)
+
+        def server():
+            while served[0] < total:
+                # speculative phase: try each queue's guard
+                hit = False
+                for i in range(n_clients):
+                    yield ("acquire", locks[i])
+                    if counts[i] > 0:
+                        yield ("compute", CS_WORK)
+                        counts[i] -= 1
+                        served[0] += 1
+                        yield ("signal", not_full[i])
+                        yield ("release", locks[i])
+                        hit = True
+                        break
+                    yield ("release", locks[i])
+                if hit or served[0] >= total:
+                    continue
+                # synchronized phase: register on every queue, park
+                cv = SimCondVar(park_lock)
+                entry = [cv, False]
+                for i in range(n_clients):
+                    yield ("acquire", locks[i])
+                    registrations[i].append(entry)
+                    stale = counts[i] > 0
+                    yield ("release", locks[i])
+                    if stale:
+                        entry[1] = True
+                        break
+                if not entry[1]:
+                    yield ("acquire", park_lock)
+                    if not entry[1]:
+                        yield ("wait", cv)
+                    yield ("release", park_lock)
+                for i in range(n_clients):
+                    yield ("acquire", locks[i])
+                    registrations[i] = [e for e in registrations[i] if e is not entry]
+                    yield ("release", locks[i])
+
+    else:
+        raise ValueError(f"unknown sim multicast variant {variant!r}")
+
+    for i in range(n_clients):
+        kernel.spawn(client(i))
+    kernel.spawn(server())
+    kernel.run(max_time=5e7)
+    return {
+        "time": kernel.now,
+        "context_switches": kernel.context_switches,
+        "served": served[0],
+        "completed": served[0] >= total,
+    }

@@ -1,0 +1,255 @@
+"""Simulated multi-object synchronization: GL vs per-object monitors + CC.
+
+Regenerates the shape of Fig. 4.7 (pizza store) at paper-scale thread
+counts: a coarse global lock serializes every cook, while per-ingredient
+locks acquired in id order (multisynch) let cooks with disjoint recipes
+overlap across simulated cores, with critical-clause signaling waking a
+cook only when one of its ingredients was restocked.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.sim.kernel import Kernel, SimCondVar
+
+CS_WORK = 2.0
+EVAL_COST = 0.5
+
+
+def sim_pizza_store(
+    variant: str,
+    n_cooks: int,
+    pizzas_per_cook: int,
+    n_ingredients: int = 15,
+    restock: int = 6,
+    n_cores: int = 8,
+    seed: int = 11,
+) -> dict[str, Any]:
+    """Fig. 4.7 in the simulator: ``gl`` vs ``cc``.
+
+    Suppliers restock round-robin; cooks consume 3-ingredient recipes.
+    Returns virtual time, context switches, and signaling-evaluation counts.
+    """
+    rng = random.Random(seed)
+    recipes = []
+    for _ in range(15):
+        chosen = rng.sample(range(n_ingredients), 3)
+        recipes.append({i: rng.randint(1, 4) for i in chosen})
+    plans = [
+        [recipes[rng.randrange(len(recipes))] for _ in range(pizzas_per_cook)]
+        for _ in range(n_cooks)
+    ]
+    kernel = Kernel(n_cores=n_cores)
+    quantity = [0] * n_ingredients
+    remaining = [n_cooks * pizzas_per_cook]
+    stats = {"evals": 0, "false_signals": 0}
+
+    if variant == "gl":
+        lock = kernel.lock("store")
+        cond = kernel.condvar(lock)
+
+        def cook(plan):
+            for recipe in plan:
+                yield ("acquire", lock)
+                parked_before = False
+                while True:
+                    stats["evals"] += len(recipe)
+                    yield ("compute", EVAL_COST * len(recipe))
+                    if all(quantity[i] >= n for i, n in recipe.items()):
+                        break
+                    if parked_before:
+                        stats["false_signals"] += 1   # broadcast futile wakeup
+                    parked_before = True
+                    yield ("wait", cond)
+                yield ("compute", CS_WORK)
+                for i, n in recipe.items():
+                    quantity[i] -= n
+                remaining[0] -= 1
+                yield ("release", lock)
+
+        def supplier():
+            i = 0
+            while remaining[0] > 0:
+                yield ("acquire", lock)
+                quantity[i % n_ingredients] += restock
+                yield ("compute", CS_WORK)
+                yield ("signal_all", cond)
+                yield ("release", lock)
+                i += 1
+                yield ("compute", 3.0)   # travel between deliveries
+
+    elif variant in ("as", "av", "cc"):
+        locks = [kernel.lock(f"ing{i}") for i in range(n_ingredients)]
+        #: per-ingredient waiter tables; entry layout per strategy:
+        #:   AS: [cv, signaled]
+        #:   AV: [cv, signaled, cells, recipe]   (cells: ingredient -> bool)
+        #:   CC: [cv, signaled, threshold]
+        tables: list[list[list]] = [[] for _ in range(n_ingredients)]
+        park_lock = kernel.lock("park")
+
+        def cook(plan):
+            for recipe in plan:
+                order = sorted(recipe)
+                parked_before = False
+                while True:
+                    for i in order:
+                        yield ("acquire", locks[i])
+                    stats["evals"] += len(recipe)
+                    yield ("compute", EVAL_COST * len(recipe))
+                    if all(quantity[i] >= n for i, n in recipe.items()):
+                        break
+                    if parked_before:
+                        stats["false_signals"] += 1   # woke, re-checked false
+                    parked_before = True
+                    cv = SimCondVar(park_lock)
+                    if variant == "av":
+                        cells = {i: quantity[i] >= n for i, n in recipe.items()}
+                        entry = [cv, False, cells, dict(recipe)]
+                        for i in recipe:
+                            tables[i].append(entry)
+                    elif variant == "cc":
+                        # Algorithm 3: the critical clause of a false
+                        # conjunction is ONE false conjunct — register only
+                        # on the first insufficient ingredient
+                        short = next(
+                            i for i, n in recipe.items() if quantity[i] < n
+                        )
+                        tables[short].append([cv, False, recipe[short]])
+                    else:  # as
+                        entry = [cv, False]
+                        for i in recipe:
+                            tables[i].append(entry)
+                    yield ("acquire", park_lock)
+                    for i in reversed(order):
+                        yield ("release", locks[i])
+                    yield ("wait", cv)
+                    yield ("release", park_lock)
+                    for i in recipe:
+                        tables[i] = [e for e in tables[i] if e[0] is not cv]
+                yield ("compute", CS_WORK)
+                for i, n in recipe.items():
+                    quantity[i] -= n
+                remaining[0] -= 1
+                for i in reversed(order):
+                    yield ("release", locks[i])
+
+        def supplier():
+            i = 0
+            while remaining[0] > 0:
+                idx = i % n_ingredients
+                yield ("acquire", locks[idx])
+                quantity[idx] += restock
+                yield ("compute", CS_WORK)
+                for entry in list(tables[idx]):
+                    if entry[1]:
+                        continue
+                    if variant == "as":
+                        wake = True           # always-signal: no evaluation
+                    elif variant == "av":
+                        # refresh this ingredient's mirror cell, then check P̂
+                        stats["evals"] += 1
+                        yield ("compute", EVAL_COST)
+                        entry[2][idx] = quantity[idx] >= entry[3][idx]
+                        wake = all(entry[2].values())
+                    else:  # cc: evaluate only the local critical clause
+                        stats["evals"] += 1
+                        yield ("compute", EVAL_COST)
+                        wake = quantity[idx] >= entry[2]
+                    if wake:
+                        entry[1] = True
+                        yield ("acquire", park_lock)
+                        yield ("signal", entry[0])
+                        yield ("release", park_lock)
+                yield ("release", locks[idx])
+                i += 1
+                yield ("compute", 3.0)
+
+    else:
+        raise ValueError(f"unknown sim pizza variant {variant!r}")
+
+    for plan in plans:
+        kernel.spawn(cook(plan))
+    kernel.spawn(supplier())
+    kernel.run(max_time=5e7)
+    done = remaining[0] == 0
+    return {
+        "time": kernel.now,
+        "context_switches": kernel.context_switches,
+        "evals": stats["evals"],
+        "false_signals": stats["false_signals"],
+        "completed": done,
+    }
+
+
+def sim_take_and_put(
+    variant: str,
+    n_threads: int,
+    moves_per_thread: int,
+    n_queues: int = 16,
+    n_cores: int = 8,
+    seed: int = 3,
+) -> dict[str, Any]:
+    """Fig. 4.6's core contrast on the simulated multicore.
+
+    Buffers are generously prefilled (the paper's 2048-slot regime), so the
+    global condition is essentially always true and the figure reduces to
+    locking structure: ``gl`` serializes every move through one lock, while
+    ``fg`` (the multisynch discipline shared by AS/AV/CC when waits are
+    rare) takes the two queue locks in id order — disjoint moves overlap
+    across cores.
+    """
+    rng = random.Random(seed)
+    kernel = Kernel(n_cores=n_cores)
+    counts = [10_000] * n_queues       # ample: no move ever blocks
+    plans = [
+        [tuple(rng.sample(range(n_queues), 2)) for _ in range(moves_per_thread)]
+        for _ in range(n_threads)
+    ]
+
+    def jitter(t: int, op: int) -> float:
+        return float((t * 13 + op * 7) % 11)
+
+    if variant == "gl":
+        lock = kernel.lock("global")
+
+        def mover(tid: int, plan):
+            for op, (src, dst) in enumerate(plan):
+                yield ("compute", jitter(tid, op))
+                yield ("acquire", lock)
+                yield ("compute", EVAL_COST * 2 + CS_WORK)
+                counts[src] -= 1
+                counts[dst] += 1
+                yield ("release", lock)
+                yield ("compute", 3.0)     # local work between moves
+
+    elif variant == "fg":
+        locks = [kernel.lock(f"q{i}") for i in range(n_queues)]
+
+        def mover(tid: int, plan):
+            for op, (src, dst) in enumerate(plan):
+                yield ("compute", jitter(tid, op))
+                first, second = min(src, dst), max(src, dst)
+                yield ("acquire", locks[first])
+                yield ("acquire", locks[second])
+                yield ("compute", EVAL_COST * 2 + CS_WORK)
+                counts[src] -= 1
+                counts[dst] += 1
+                yield ("release", locks[second])
+                yield ("release", locks[first])
+                yield ("compute", 3.0)
+
+    else:
+        raise ValueError(f"unknown sim take&put variant {variant!r}")
+
+    for tid, plan in enumerate(plans):
+        kernel.spawn(mover(tid, plan))
+    kernel.run(max_time=5e7)
+    assert kernel.all_done(), "simulated take&put wedged"
+    assert sum(counts) == 10_000 * n_queues, "items not conserved"
+    return {
+        "time": kernel.now,
+        "context_switches": kernel.context_switches,
+        "moves": n_threads * moves_per_thread,
+    }

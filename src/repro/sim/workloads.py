@@ -1,0 +1,273 @@
+"""Simulated workloads regenerating the paper's scaling figures at full
+thread counts (2..256) on a simulated multicore.
+
+Each function builds a kernel, spawns simulated threads, runs to quiescence,
+and returns ``(virtual_time, context_switches, monitor_stats)``.  The
+explicit variants hand-code condition variables exactly as the paper's Java
+baselines do (single ``signal`` where the waiter is known, ``signal_all``
+where it is not).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.kernel import Kernel
+from repro.sim.monitors import SimMonitor
+
+#: simulated cost of the work a monitor operation does on shared state
+CS_WORK = 2.0
+#: simulated out-of-monitor work between operations
+LOCAL_WORK = 4.0
+
+
+def _result(kernel: Kernel, monitor: SimMonitor | None) -> dict[str, Any]:
+    stats = {
+        "time": kernel.now,
+        "context_switches": kernel.context_switches,
+        "time_by_category": dict(kernel.time_by_category),
+        "blocked_time": dict(kernel.blocked_time),
+    }
+    if monitor is not None:
+        stats.update(
+            predicate_evals=monitor.predicate_evals,
+            signals=monitor.signals,
+            broadcasts=monitor.broadcasts,
+        )
+    return stats
+
+
+# ------------------------------------------------------------- bounded buffer
+def sim_bounded_buffer(
+    mode: str,
+    n_producers: int,
+    n_consumers: int,
+    items_per_producer: int,
+    capacity: int = 8,
+    n_cores: int = 8,
+    local_work: float = LOCAL_WORK,
+) -> dict[str, Any]:
+    """Fig. 2.4 in the simulator: explicit / baseline / autosynch_t / autosynch.
+
+    Producers and consumers run with deterministic per-thread jitter so the
+    buffer actually oscillates between full and empty (forcing condition
+    waits) instead of settling into a lock-step rhythm.
+    """
+    kernel = Kernel(n_cores=n_cores)
+    state = {"count": 0}
+    total = n_producers * items_per_producer
+    per_consumer, leftover = divmod(total, n_consumers)
+
+    def jitter(tid: int, op: int) -> float:
+        return float((tid * 17 + op * 29) % 23)
+
+    if mode == "explicit":
+        lock = kernel.lock()
+        not_full = kernel.condvar(lock)
+        not_empty = kernel.condvar(lock)
+
+        def producer(tid: int):
+            for op in range(items_per_producer):
+                yield ("compute", jitter(tid, op))
+                yield ("acquire", lock)
+                while state["count"] == capacity:
+                    yield ("wait", not_full)
+                yield ("compute", CS_WORK)
+                state["count"] += 1
+                yield ("signal", not_empty)
+                yield ("release", lock)
+                yield ("compute", local_work)
+
+        def consumer(tid: int, quota: int):
+            for op in range(quota):
+                yield ("compute", jitter(tid, op))
+                yield ("acquire", lock)
+                while state["count"] == 0:
+                    yield ("wait", not_empty)
+                yield ("compute", CS_WORK)
+                state["count"] -= 1
+                yield ("signal", not_full)
+                yield ("release", lock)
+                yield ("compute", local_work)
+
+        monitor = None
+    else:
+        monitor = SimMonitor(kernel, mode=mode)
+
+        def producer(tid: int):
+            for op in range(items_per_producer):
+                yield ("compute", jitter(tid, op))
+                yield from monitor.enter()
+                yield from monitor.wait_until(
+                    lambda: state["count"] < capacity,
+                    hint=("th", lambda: state["count"], "<", capacity),
+                )
+                yield ("compute", CS_WORK)
+                state["count"] += 1
+                yield from monitor.exit()
+                yield ("compute", local_work)
+
+        def consumer(tid: int, quota: int):
+            for op in range(quota):
+                yield ("compute", jitter(tid, op))
+                yield from monitor.enter()
+                yield from monitor.wait_until(
+                    lambda: state["count"] > 0,
+                    hint=("th", lambda: state["count"], ">", 0),
+                )
+                yield ("compute", CS_WORK)
+                state["count"] -= 1
+                yield from monitor.exit()
+                yield ("compute", local_work)
+
+    for i in range(n_producers):
+        kernel.spawn(producer(i))
+    for i in range(n_consumers):
+        kernel.spawn(consumer(n_producers + i, per_consumer + (1 if i < leftover else 0)))
+    kernel.run()
+    assert kernel.all_done(), "simulated bounded buffer deadlocked"
+    return _result(kernel, monitor)
+
+
+# -------------------------------------------------- parameterized bounded buffer
+def sim_param_bounded_buffer(
+    mode: str,
+    n_consumers: int,
+    batches_per_consumer: int,
+    capacity: int = 512,
+    max_batch: int = 128,
+    n_cores: int = 8,
+    seed: int = 42,
+) -> dict[str, Any]:
+    """Figs. 2.9/2.10 in the simulator: explicit (signalAll) vs autosynch."""
+    import random
+
+    rng = random.Random(seed)
+    kernel = Kernel(n_cores=n_cores)
+    state = {"count": 0}
+    plans = [
+        [rng.randint(1, max_batch) for _ in range(batches_per_consumer)]
+        for _ in range(n_consumers)
+    ]
+    supply: list[int] = [n for plan in plans for n in plan]
+    rng.shuffle(supply)
+
+    if mode == "explicit":
+        lock = kernel.lock()
+        insufficient_space = kernel.condvar(lock)
+        insufficient_items = kernel.condvar(lock)
+
+        def producer():
+            for n in supply:
+                yield ("acquire", lock)
+                while state["count"] + n > capacity:
+                    yield ("wait", insufficient_space)
+                yield ("compute", CS_WORK)
+                state["count"] += n
+                yield ("signal_all", insufficient_items)
+                yield ("release", lock)
+
+        def consumer(plan):
+            for num in plan:
+                yield ("acquire", lock)
+                while state["count"] < num:
+                    yield ("wait", insufficient_items)
+                yield ("compute", CS_WORK)
+                state["count"] -= num
+                yield ("signal_all", insufficient_space)
+                yield ("release", lock)
+
+        monitor = None
+    else:
+        monitor = SimMonitor(kernel, mode=mode)
+
+        def producer():
+            for n in supply:
+                yield from monitor.enter()
+                yield from monitor.wait_until(
+                    lambda n=n: state["count"] + n <= capacity,
+                    hint=("th", lambda: state["count"], "<=", capacity - n),
+                )
+                yield ("compute", CS_WORK)
+                state["count"] += n
+                yield from monitor.exit()
+
+        def consumer(plan):
+            for num in plan:
+                yield from monitor.enter()
+                yield from monitor.wait_until(
+                    lambda num=num: state["count"] >= num,
+                    hint=("th", lambda: state["count"], ">=", num),
+                )
+                yield ("compute", CS_WORK)
+                state["count"] -= num
+                yield from monitor.exit()
+
+    kernel.spawn(producer())
+    for plan in plans:
+        kernel.spawn(consumer(plan))
+    kernel.run()
+    assert kernel.all_done(), "simulated parameterized buffer deadlocked"
+    return _result(kernel, monitor)
+
+
+# ------------------------------------------------------------------ round robin
+def sim_round_robin(
+    mode: str,
+    n_threads: int,
+    rounds: int,
+    n_cores: int = 8,
+    local_work: float = 0.0,
+) -> dict[str, Any]:
+    """Figs. 2.6/2.11 in the simulator: the equivalence-tag showcase.
+
+    Per-thread deterministic jitter between rounds prevents the degenerate
+    alignment where FIFO lock order happens to equal round-robin order and
+    nobody ever reaches a condition wait.
+    """
+    kernel = Kernel(n_cores=n_cores)
+    state = {"current": 0}
+
+    def jitter(my_id: int, round_no: int) -> float:
+        return float((my_id * 7 + round_no * 13) % 11)
+
+    if mode == "explicit":
+        lock = kernel.lock()
+        turn = [kernel.condvar(lock) for _ in range(n_threads)]
+
+        def worker(my_id: int):
+            for r in range(rounds):
+                yield ("compute", jitter(my_id, r))
+                yield ("acquire", lock)
+                while state["current"] != my_id:
+                    yield ("wait", turn[my_id])
+                yield ("compute", CS_WORK)
+                state["current"] = (state["current"] + 1) % n_threads
+                yield ("signal", turn[state["current"]])
+                yield ("release", lock)
+                if local_work:
+                    yield ("compute", local_work)
+
+        monitor = None
+    else:
+        monitor = SimMonitor(kernel, mode=mode)
+
+        def worker(my_id: int):
+            for r in range(rounds):
+                yield ("compute", jitter(my_id, r))
+                yield from monitor.enter()
+                yield from monitor.wait_until(
+                    lambda my_id=my_id: state["current"] == my_id,
+                    hint=("eq", lambda: state["current"], my_id),
+                )
+                yield ("compute", CS_WORK)
+                state["current"] = (state["current"] + 1) % n_threads
+                yield from monitor.exit()
+                if local_work:
+                    yield ("compute", local_work)
+
+    for i in range(n_threads):
+        kernel.spawn(worker(i))
+    kernel.run()
+    assert kernel.all_done(), "simulated round robin deadlocked"
+    return _result(kernel, monitor)

@@ -1,0 +1,290 @@
+"""Simulated H2O, dining-philosophers and ticket readers/writers workloads —
+completing simulator coverage of every chapter-2 figure (2.5, 2.7, 2.8).
+
+As with the other simulated workloads, the explicit variants are hand-tuned
+condition-variable programs and the automatic variants run through
+:class:`~repro.sim.monitors.SimMonitor` under the chosen discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.kernel import Kernel
+from repro.sim.monitors import SimMonitor
+
+CS_WORK = 2.0
+
+
+def _result(kernel: Kernel, monitor: SimMonitor | None) -> dict[str, Any]:
+    out = {
+        "time": kernel.now,
+        "context_switches": kernel.context_switches,
+    }
+    if monitor is not None:
+        out["predicate_evals"] = monitor.predicate_evals
+        out["signals"] = monitor.signals
+        out["broadcasts"] = monitor.broadcasts
+    return out
+
+
+# ------------------------------------------------------------------------ H2O
+def sim_h2o(mode: str, n_hydrogen: int, molecules: int, n_cores: int = 8
+            ) -> dict[str, Any]:
+    """Fig. 2.5 in the simulator (shared predicates only)."""
+    kernel = Kernel(n_cores=n_cores)
+    state = {"avail_o": 0, "avail_h": 0, "wait_o": 0, "wait_h": 0}
+    tickets = [2 * molecules]
+
+    def o_condition():
+        return state["avail_o"] > 0 or state["wait_h"] >= 2
+
+    def h_condition():
+        return state["avail_h"] > 0 or (state["wait_o"] >= 1 and state["wait_h"] >= 2)
+
+    def o_body():
+        if state["avail_o"] == 0:
+            state["wait_h"] -= 2
+            state["avail_h"] += 2
+            state["wait_o"] -= 1
+        else:
+            state["avail_o"] -= 1
+
+    def h_body():
+        if state["avail_h"] == 0:
+            state["wait_h"] -= 2
+            state["avail_h"] += 1
+            state["wait_o"] -= 1
+            state["avail_o"] += 1
+        else:
+            state["avail_h"] -= 1
+
+    if mode == "explicit":
+        lock = kernel.lock()
+        cond = kernel.condvar(lock)
+
+        def oxygen():
+            for _ in range(molecules):
+                yield ("acquire", lock)
+                state["wait_o"] += 1
+                while not o_condition():
+                    yield ("wait", cond)
+                yield ("compute", CS_WORK)
+                o_body()
+                yield ("signal_all", cond)
+                yield ("release", lock)
+
+        def hydrogen(tid: int):
+            while True:
+                yield ("acquire", lock)
+                if tickets[0] == 0:
+                    yield ("release", lock)
+                    return
+                tickets[0] -= 1
+                state["wait_h"] += 1
+                while not h_condition():
+                    yield ("wait", cond)
+                yield ("compute", CS_WORK)
+                h_body()
+                yield ("signal_all", cond)
+                yield ("release", lock)
+
+        monitor = None
+    else:
+        monitor = SimMonitor(kernel, mode=mode)
+
+        def oxygen():
+            for _ in range(molecules):
+                yield from monitor.enter()
+                state["wait_o"] += 1
+                yield from monitor.wait_until(
+                    o_condition, hint=("th", lambda: state["wait_h"], ">=", 2)
+                )
+                yield ("compute", CS_WORK)
+                o_body()
+                yield from monitor.exit()
+
+        def hydrogen(tid: int):
+            while True:
+                yield from monitor.enter()
+                if tickets[0] == 0:
+                    yield from monitor.exit()
+                    return
+                tickets[0] -= 1
+                state["wait_h"] += 1
+                yield from monitor.wait_until(h_condition)
+                yield ("compute", CS_WORK)
+                h_body()
+                yield from monitor.exit()
+
+    kernel.spawn(oxygen())
+    for i in range(n_hydrogen):
+        kernel.spawn(hydrogen(i))
+    kernel.run(max_time=5e7)
+    assert kernel.all_done(), "simulated H2O stranded"
+    return _result(kernel, monitor)
+
+
+# ------------------------------------------------------------------- dining
+def sim_dining(mode: str, n_philosophers: int, meals: int, n_cores: int = 8
+               ) -> dict[str, Any]:
+    """Fig. 2.8 in the simulator (single table monitor)."""
+    kernel = Kernel(n_cores=n_cores)
+    forks = [True] * n_philosophers
+
+    def jitter(i: int, r: int) -> float:
+        return float((i * 11 + r * 17) % 13)
+
+    eat_time = 6.0   # eating happens outside the monitor (forks held)
+
+    if mode == "explicit":
+        lock = kernel.lock()
+        conds = [kernel.condvar(lock) for _ in range(n_philosophers)]
+
+        def philosopher(i: int):
+            left, right = i, (i + 1) % n_philosophers
+            for r in range(meals):
+                yield ("compute", jitter(i, r))
+                yield ("acquire", lock)               # pick_up section
+                while not (forks[left] and forks[right]):
+                    yield ("wait", conds[i])
+                forks[left] = forks[right] = False
+                yield ("compute", CS_WORK)
+                yield ("release", lock)
+                yield ("compute", eat_time)           # eat concurrently
+                yield ("acquire", lock)               # put_down section
+                forks[left] = forks[right] = True
+                yield ("compute", CS_WORK)
+                yield ("signal", conds[(i - 1) % n_philosophers])
+                yield ("signal", conds[(i + 1) % n_philosophers])
+                yield ("release", lock)
+
+        monitor = None
+    else:
+        monitor = SimMonitor(kernel, mode=mode)
+
+        def philosopher(i: int):
+            left, right = i, (i + 1) % n_philosophers
+            for r in range(meals):
+                yield ("compute", jitter(i, r))
+                yield from monitor.enter()            # pick_up section
+                yield from monitor.wait_until(
+                    lambda left=left, right=right: forks[left] and forks[right]
+                )
+                forks[left] = forks[right] = False
+                yield ("compute", CS_WORK)
+                yield from monitor.exit()
+                yield ("compute", eat_time)           # eat concurrently
+                yield from monitor.enter()            # put_down section
+                forks[left] = forks[right] = True
+                yield ("compute", CS_WORK)
+                yield from monitor.exit()
+
+    for i in range(n_philosophers):
+        kernel.spawn(philosopher(i))
+    kernel.run(max_time=5e7)
+    assert kernel.all_done(), "simulated dining stranded"
+    return _result(kernel, monitor)
+
+
+# ---------------------------------------------------------- readers/writers
+def sim_readers_writers(mode: str, n_writers: int, n_readers: int, rounds: int,
+                        n_cores: int = 8) -> dict[str, Any]:
+    """Fig. 2.7 in the simulator (ticket discipline, equivalence hints)."""
+    kernel = Kernel(n_cores=n_cores)
+    state = {"tickets": 0, "serving": 0, "readers": 0}
+
+    def jitter(i: int, r: int) -> float:
+        return float((i * 23 + r * 7) % 17)
+
+    if mode == "explicit":
+        lock = kernel.lock()
+        turn: dict[int, object] = {}
+
+        def cond_for(ticket: int):
+            cv = turn.get(ticket)
+            if cv is None:
+                cv = kernel.condvar(lock)
+                turn[ticket] = cv
+            return cv
+
+        def signal_next():
+            cv = turn.get(state["serving"])
+            return ("signal", cv) if cv is not None else None
+
+        def reader(i: int):
+            for r in range(rounds):
+                yield ("compute", jitter(i, r))
+                yield ("acquire", lock)
+                ticket = state["tickets"]
+                state["tickets"] += 1
+                while state["serving"] != ticket:
+                    yield ("wait", cond_for(ticket))
+                turn.pop(ticket, None)
+                state["readers"] += 1
+                state["serving"] += 1
+                request = signal_next()
+                if request:
+                    yield request
+                yield ("compute", CS_WORK)
+                state["readers"] -= 1
+                yield ("release", lock)
+
+        def writer(i: int):
+            for r in range(rounds):
+                yield ("compute", jitter(1000 + i, r))
+                yield ("acquire", lock)
+                ticket = state["tickets"]
+                state["tickets"] += 1
+                while state["serving"] != ticket or state["readers"] != 0:
+                    yield ("wait", cond_for(ticket))
+                turn.pop(ticket, None)
+                yield ("compute", CS_WORK)
+                state["serving"] += 1
+                request = signal_next()
+                if request:
+                    yield request
+                yield ("release", lock)
+
+        monitor = None
+    else:
+        monitor = SimMonitor(kernel, mode=mode)
+
+        def reader(i: int):
+            for r in range(rounds):
+                yield ("compute", jitter(i, r))
+                yield from monitor.enter()
+                ticket = state["tickets"]
+                state["tickets"] += 1
+                yield from monitor.wait_until(
+                    lambda ticket=ticket: state["serving"] == ticket,
+                    hint=("eq", lambda: state["serving"], ticket),
+                )
+                state["readers"] += 1
+                state["serving"] += 1
+                yield ("compute", CS_WORK)
+                state["readers"] -= 1
+                yield from monitor.exit()
+
+        def writer(i: int):
+            for r in range(rounds):
+                yield ("compute", jitter(1000 + i, r))
+                yield from monitor.enter()
+                ticket = state["tickets"]
+                state["tickets"] += 1
+                yield from monitor.wait_until(
+                    lambda ticket=ticket: state["serving"] == ticket
+                    and state["readers"] == 0,
+                    hint=("eq", lambda: state["serving"], ticket),
+                )
+                yield ("compute", CS_WORK)
+                state["serving"] += 1
+                yield from monitor.exit()
+
+    for i in range(n_readers):
+        kernel.spawn(reader(i))
+    for i in range(n_writers):
+        kernel.spawn(writer(i))
+    kernel.run(max_time=5e7)
+    assert kernel.all_done(), "simulated readers/writers stranded"
+    return _result(kernel, monitor)

@@ -1,0 +1,23 @@
+"""TL2-style software transactional memory (the Deuce-STM stand-in)."""
+
+from repro.stm.tl2 import (
+    StmStats,
+    TArray,
+    TVar,
+    atomic,
+    current_transaction,
+    retry,
+    stats,
+    transactionally,
+)
+
+__all__ = [
+    "TVar",
+    "TArray",
+    "atomic",
+    "retry",
+    "transactionally",
+    "current_transaction",
+    "StmStats",
+    "stats",
+]

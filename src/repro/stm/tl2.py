@@ -1,0 +1,306 @@
+"""A TL2-style software transactional memory.
+
+This is the repo's stand-in for the Deuce STM the paper benchmarks against
+(Figs. 4.3, 4.4, 4.6, 4.7, 4.9, 5.2).  The algorithm is the classic TL2
+recipe Deuce implements:
+
+* a global version clock;
+* per-location versioned write-locks (:class:`TVar`);
+* transactions keep a read set (location → observed version) and a write
+  set (location → new value); reads validate against the read version
+  sampled at transaction begin;
+* commit locks the write set in a canonical order, revalidates the read
+  set, bumps the clock, publishes, unlocks.
+
+Conditional synchronization — the capability the paper stresses TM *lacks* —
+is provided only as :func:`retry`: abort and re-run once some member of the
+read set changes, detected by version polling with exponential backoff
+(exactly the "thread itself needs to recheck every time there is an update"
+behaviour §4.2 describes).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Callable, Iterable, Optional, TypeVar
+
+T = TypeVar("T")
+
+_clock = itertools.count(2, 2)       # even version numbers; odd = locked
+_clock_lock = threading.Lock()
+_current_version = 0
+
+_txn_local = threading.local()
+
+
+def _advance_clock() -> int:
+    global _current_version
+    with _clock_lock:
+        _current_version = next(_clock)
+        return _current_version
+
+
+def _read_clock() -> int:
+    return _current_version
+
+
+class AbortException(Exception):
+    """Internal: transaction must abort and re-run."""
+
+
+class RetryException(Exception):
+    """Internal: ``retry()`` was called — wait for a read-set update."""
+
+
+_var_ids = itertools.count(1)
+
+
+class TVar:
+    """A transactional variable: value + version + write-lock."""
+
+    __slots__ = ("_value", "_version", "_lock", "_id")
+
+    def __init__(self, value: Any = None):
+        self._value = value
+        self._version = 0
+        self._lock = threading.Lock()
+        self._id = next(_var_ids)
+
+    # -- transactional access --------------------------------------------------
+    def get(self) -> Any:
+        txn = current_transaction()
+        if txn is None:
+            return self._value          # non-transactional racy read
+        return txn.read(self)
+
+    def set(self, value: Any) -> None:
+        txn = current_transaction()
+        if txn is None:
+            raise RuntimeError("TVar.set outside a transaction")
+        txn.write(self, value)
+
+    def modify(self, fn: Callable[[Any], Any]) -> Any:
+        new = fn(self.get())
+        self.set(new)
+        return new
+
+    def _sample(self) -> tuple[Any, int, bool]:
+        """Read (value, version, locked) consistently enough for TL2."""
+        version = self._version
+        value = self._value
+        locked = self._lock.locked()
+        after = self._version
+        return value, version, locked or (version != after)
+
+    def __repr__(self):
+        return f"TVar#{self._id}({self._value!r}@v{self._version})"
+
+
+class Transaction:
+    """One attempt of an atomic block."""
+
+    __slots__ = ("read_version", "reads", "writes", "stats")
+
+    def __init__(self, stats: "StmStats"):
+        self.read_version = _read_clock()
+        self.reads: dict[TVar, int] = {}
+        self.writes: dict[TVar, Any] = {}
+        self.stats = stats
+
+    def read(self, var: TVar) -> Any:
+        if var in self.writes:
+            return self.writes[var]
+        value, version, unstable = var._sample()
+        if unstable or version > self.read_version:
+            raise AbortException
+        self.reads[var] = version
+        return value
+
+    def write(self, var: TVar, value: Any) -> None:
+        self.writes[var] = value
+
+    def commit(self) -> None:
+        if not self.writes:
+            return  # read-only transactions validated on the fly
+        locked: list[TVar] = []
+        try:
+            for var in sorted(self.writes, key=lambda v: v._id):
+                if not var._lock.acquire(timeout=0.5):
+                    raise AbortException
+                locked.append(var)
+            for var, version in self.reads.items():
+                if var._version != version:
+                    raise AbortException
+            commit_version = _advance_clock()
+            for var, value in self.writes.items():
+                var._value = value
+                var._version = commit_version
+        finally:
+            for var in locked:
+                var._lock.release()
+
+
+class StmStats:
+    """Commit/abort accounting (fed into the bench metrics)."""
+
+    __slots__ = ("commits", "aborts", "_lock")
+
+    def __init__(self):
+        self.commits = 0
+        self.aborts = 0
+        self._lock = threading.Lock()
+
+    def committed(self):
+        with self._lock:
+            self.commits += 1
+
+    def aborted(self):
+        with self._lock:
+            self.aborts += 1
+
+
+#: process-global statistics object; benchmarks may swap in their own.
+stats = StmStats()
+
+
+def current_transaction() -> Optional[Transaction]:
+    return getattr(_txn_local, "txn", None)
+
+
+def retry() -> None:
+    """Abort the enclosing transaction; re-run after a read-set update.
+
+    The TM analogue of ``waituntil`` — except, as the paper emphasizes,
+    every waiter re-checks the whole condition on every update.
+    """
+    if current_transaction() is None:
+        raise RuntimeError("retry() outside a transaction")
+    raise RetryException
+
+
+#: registry for the blocking-retry extension: TVar id → waiter events
+_retry_registry_lock = threading.Lock()
+_retry_waiters: dict[int, list[threading.Event]] = {}
+
+
+def atomic(fn: Callable[[], T], max_backoff: float = 0.01,
+           txn_stats: StmStats | None = None,
+           blocking_retry: bool = False) -> T:
+    """Run ``fn`` as a transaction, retrying on conflicts until it commits.
+
+    ``blocking_retry`` selects how ``retry()`` waits for a read-set update:
+    the default polls with exponential backoff (Deuce's regime — the paper's
+    point about TM lacking conditional synchronization); ``True`` switches
+    to the notification-based scheme of transaction-friendly condition
+    variables (the [WLS14]-style extension): waiters park on events that
+    commits of overlapping write sets fire.
+    """
+    if current_transaction() is not None:
+        return fn()  # flat nesting
+    record = txn_stats or stats
+    backoff = 0.00005
+    while True:
+        txn = Transaction(record)
+        _txn_local.txn = txn
+        try:
+            result = fn()
+            txn.commit()
+            record.committed()
+            if txn.writes:
+                _notify_retry_waiters(txn.writes)
+            return result
+        except AbortException:
+            record.aborted()
+            time.sleep(backoff)
+            backoff = min(backoff * 2, max_backoff)
+        except RetryException:
+            record.aborted()
+            _txn_local.txn = None
+            if blocking_retry:
+                _block_for_update(txn)
+            else:
+                _wait_for_update(txn, max_backoff)
+        finally:
+            _txn_local.txn = None
+
+
+def _wait_for_update(txn: Transaction, max_backoff: float) -> None:
+    """Poll the read set until some member's version moves."""
+    snapshot = {var: version for var, version in txn.reads.items()}
+    backoff = 0.00005
+    while all(var._version == version for var, version in snapshot.items()):
+        time.sleep(backoff)
+        backoff = min(backoff * 2, max_backoff)
+
+
+def _block_for_update(txn: Transaction) -> None:
+    """Park until a commit touches the read set (no polling).
+
+    Registration is checked against the versions sampled at abort time so an
+    update that lands between abort and registration is never missed.
+    """
+    snapshot = {var: version for var, version in txn.reads.items()}
+    if not snapshot:
+        return  # empty read set: nothing can wake us; re-run immediately
+    event = threading.Event()
+    with _retry_registry_lock:
+        for var in snapshot:
+            _retry_waiters.setdefault(var._id, []).append(event)
+        stale = any(var._version != version for var, version in snapshot.items())
+    try:
+        if not stale:
+            event.wait()
+    finally:
+        with _retry_registry_lock:
+            for var in snapshot:
+                waiters = _retry_waiters.get(var._id)
+                if waiters is not None:
+                    try:
+                        waiters.remove(event)
+                    except ValueError:
+                        pass
+                    if not waiters:
+                        del _retry_waiters[var._id]
+
+
+def _notify_retry_waiters(writes: dict[TVar, Any]) -> None:
+    """Wake every blocking-retry waiter registered on a written variable."""
+    with _retry_registry_lock:
+        events: set[threading.Event] = set()
+        for var in writes:
+            events.update(_retry_waiters.get(var._id, ()))
+    for event in events:
+        event.set()
+
+
+def transactionally(fn: Callable[..., T]) -> Callable[..., T]:
+    """Decorator form of :func:`atomic`."""
+
+    def wrapper(*args, **kwargs):
+        return atomic(lambda: fn(*args, **kwargs))
+
+    wrapper.__name__ = getattr(fn, "__name__", "transaction")
+    return wrapper
+
+
+class TArray:
+    """A fixed-size array of transactional slots."""
+
+    __slots__ = ("_slots",)
+
+    def __init__(self, size: int, fill: Any = None):
+        self._slots = [TVar(fill) for _ in range(size)]
+
+    def __len__(self):
+        return len(self._slots)
+
+    def __getitem__(self, index: int) -> Any:
+        return self._slots[index].get()
+
+    def __setitem__(self, index: int, value: Any) -> None:
+        self._slots[index].set(value)
+
+    def vars(self) -> Iterable[TVar]:
+        return iter(self._slots)

@@ -1,0 +1,110 @@
+"""Unit tests for the bench harness and the CLI."""
+
+import pytest
+
+from repro.bench.harness import Series, scale, sim_thread_counts, table, thread_counts, work_scale
+
+
+class TestScale:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert scale() == "quick"
+
+    def test_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert scale() == "full"
+        assert 256 in thread_counts()
+        assert work_scale(1, 99) == 99
+
+    def test_invalid_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "huge")
+        assert scale() == "quick"
+
+    def test_quick_counts_small(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        assert max(thread_counts()) <= 8
+        assert max(sim_thread_counts()) >= 32   # simulator scales regardless
+
+
+class TestSeries:
+    def test_render_contains_all_series(self, capsys):
+        fig = Series("T", "x", [1, 2])
+        fig.add("a", [0.5, 1.5])
+        fig.add("b", [3, 4])
+        text = fig.render()
+        assert "T" in text and "a" in text and "b" in text
+        assert "0.500" in text
+        fig.show()
+        assert "T" in capsys.readouterr().out
+
+    def test_notes_rendered(self):
+        fig = Series("T", "x", [1])
+        fig.add("a", [1])
+        fig.notes = "remember this"
+        assert "remember this" in fig.render()
+
+    def test_table_renders(self, capsys):
+        text = table("My Table", ["col1", "col2"], [["a", 1], ["b", 2]])
+        assert "My Table" in text and "col1" in text
+        assert capsys.readouterr().out
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2_4" in out and "sim_fig4_7" in out
+
+    def test_unknown_target(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["not_a_fig"]) == 2
+
+    def test_no_args_prints_help(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main([]) == 2
+
+    def test_runs_one_cheap_target(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["table3_1_2"]) == 0
+        assert "Table 3.1" in capsys.readouterr().out
+
+    def test_report_combines_results(self, tmp_path, monkeypatch, capsys):
+        from repro.bench.__main__ import main
+
+        # point the report at a fabricated results directory
+        import repro.bench.__main__ as cli
+        import pathlib
+
+        results = tmp_path / "benchmarks" / "results"
+        results.mkdir(parents=True)
+        (results / "fig_test.txt").write_text("== Fig test ==\nrow 1\n")
+
+        def fake_write_report():
+            sections = sorted(results.glob("*.txt"))
+            out = results / "REPORT.md"
+            out.write_text("\n".join(p.read_text() for p in sections))
+            print(f"wrote {out} ({len(sections)} sections)")
+            return 0
+
+        monkeypatch.setattr(cli, "write_report", fake_write_report)
+        assert main(["--report"]) == 0
+        assert (results / "REPORT.md").exists()
+
+    def test_report_real_invocation(self, capsys):
+        """--report against the actual results dir (created by bench runs)."""
+        import pathlib
+
+        from repro.bench.__main__ import write_report
+
+        results = pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+        if not any(results.glob("*.txt")):
+            import pytest as _pytest
+
+            _pytest.skip("no recorded results yet")
+        assert write_report() == 0
+        assert (results / "REPORT.md").exists()

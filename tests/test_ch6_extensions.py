@@ -1,0 +1,155 @@
+"""Tests for the Chapter-6 extensions: retries, exception hooks, fairness,
+priority annotations, and submitting-worker identity."""
+
+import threading
+import time
+
+import pytest
+
+from repro.active import ActiveMonitor, Policy, asynchronous, current_worker, synchronous
+from repro.runtime.errors import TaskError
+
+
+class Flaky(ActiveMonitor):
+    def __init__(self, fail_times: int, **kw):
+        super().__init__(**kw)
+        self.attempts = 0
+        self.fail_times = fail_times
+
+    @asynchronous(retries=5)
+    def eventually(self):
+        self.attempts += 1
+        if self.attempts <= self.fail_times:
+            raise ValueError(f"attempt {self.attempts}")
+        return "ok"
+
+    @asynchronous(retries=1)
+    def always_fails(self):
+        self.attempts += 1
+        raise RuntimeError("never works")
+
+
+class TestRetries:
+    def test_retry_until_success(self):
+        m = Flaky(fail_times=3)
+        try:
+            future = m.eventually()
+            assert future.get(timeout=10) == "ok"
+            assert m.attempts == 4
+        finally:
+            m.shutdown()
+
+    def test_exhausted_retries_deliver_failure(self):
+        m = Flaky(fail_times=99)
+        try:
+            future = m.always_fails()
+            with pytest.raises(TaskError):
+                future.get(timeout=10)
+            assert m.attempts == 2      # original + one retry
+        finally:
+            m.shutdown()
+
+    def test_exception_handler_hook_invoked(self):
+        m = Flaky(fail_times=99)
+        seen = []
+        try:
+            m.server.exception_handler = lambda task, exc: seen.append(
+                (task.name, type(exc).__name__)
+            )
+            future = m.always_fails()
+            with pytest.raises(TaskError):
+                future.get(timeout=10)
+            m.flush()
+            assert ("always_fails", "RuntimeError") in seen
+        finally:
+            m.shutdown()
+
+    def test_broken_handler_does_not_kill_server(self):
+        m = Flaky(fail_times=0)
+        try:
+            m.server.exception_handler = lambda task, exc: 1 / 0
+            bad = m.always_fails()
+            with pytest.raises(TaskError):
+                bad.get(timeout=10)
+            # server still serves new tasks afterwards
+            m.attempts = 0
+            ok = m.eventually()
+            assert ok.get(timeout=10) == "ok"
+        finally:
+            m.shutdown()
+
+
+class Identity(ActiveMonitor):
+    def __init__(self):
+        super().__init__()
+        self.seen: list[tuple[int, int]] = []
+        self.gate = False
+
+    @asynchronous(pre=lambda self: self.gate)
+    def record(self):
+        # (logical worker, physical executing thread)
+        self.seen.append((current_worker(), threading.get_ident()))
+
+    @synchronous()
+    def open_gate(self):
+        self.gate = True
+
+
+class TestWorkerIdentity:
+    def test_current_worker_is_submitter_not_server(self):
+        from repro.runtime import get_config
+
+        cfg = get_config()
+        saved = cfg.combining_batch
+        # disable combining so the pending task provably runs on the server
+        # (a combiner would legitimately execute it on the submitting thread)
+        cfg.combining_batch = 0
+        m = Identity()
+        try:
+            submitter = threading.get_ident()
+            future = m.record()         # pends: gate closed
+            opener = threading.Thread(target=m.open_gate, daemon=True)
+            opener.start()
+            opener.join(5)
+            future.get(timeout=10)
+            (worker, executor), = m.seen
+            assert worker == submitter  # logical identity preserved
+            assert executor != submitter  # body ran on another thread
+        finally:
+            cfg.combining_batch = saved
+            m.shutdown()
+
+    def test_current_worker_outside_task(self):
+        assert current_worker() == threading.get_ident()
+
+
+class FairBox(ActiveMonitor):
+    def __init__(self, policy):
+        super().__init__(policy=policy)
+        self.gate = False
+        self.order: list[str] = []
+
+    @asynchronous(pre=lambda self, tag: self.gate)
+    def step(self, tag):
+        self.order.append(tag)
+
+    @synchronous()
+    def open_gate(self):
+        self.gate = True
+
+
+class TestFairnessPolicy:
+    def test_fairness_executes_in_submission_order(self):
+        m = FairBox(Policy.FAIRNESS)
+        try:
+            tags = ["a", "b", "c", "d"]
+            for tag in tags:
+                t = threading.Thread(target=lambda tag=tag: m.step(tag), daemon=True)
+                t.start()
+                t.join(5)
+            time.sleep(0.05)
+            m.open_gate()
+            m.flush()
+            assert m.order == tags
+        finally:
+            m.shutdown()

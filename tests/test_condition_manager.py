@@ -1,0 +1,151 @@
+"""Focused tests for the condition manager's relay search and expr keys."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Monitor, S
+from repro.core.expressions import SharedExpr
+
+
+class Board(Monitor):
+    def __init__(self, **kw):
+        super().__init__(**kw)
+        self.x = 0
+        self.y = 0
+        self.items = []
+
+    def set_xy(self, x, y):
+        self.x = x
+        self.y = y
+
+    def push(self, v):
+        self.items.append(v)
+
+    def wait_eq(self, k):
+        self.wait_until(S.x == k)
+
+    def wait_linear(self, k):
+        # x + y >= k : a linear combination threshold
+        self.wait_until(S.x + S.y >= k)
+
+    def wait_len(self, k):
+        # computed shared expression via S(...)
+        self.wait_until(S(lambda m: len(m.items), "n_items") >= k)
+
+    def wait_until_callable(self):
+        self.wait_until(lambda m: m.x >= 50)
+
+
+def _spawn(fn, *args):
+    t = threading.Thread(target=fn, args=args, daemon=True)
+    t.start()
+    return t
+
+
+class TestRelaySelection:
+    def test_equivalence_selection_prefers_exact_key(self):
+        b = Board()
+        woken = []
+
+        def waiter(k):
+            b.wait_eq(k)
+            woken.append(k)
+
+        threads = [_spawn(waiter, k) for k in (3, 5, 9)]
+        time.sleep(0.05)
+        b.set_xy(5, 0)
+        time.sleep(0.2)
+        assert woken == [5]
+        b.set_xy(3, 0)
+        time.sleep(0.2)
+        b.set_xy(9, 0)
+        for t in threads:
+            t.join(5)
+        assert sorted(woken) == [3, 5, 9]
+
+    def test_linear_combination_threshold(self):
+        b = Board()
+        done = threading.Event()
+        _spawn(lambda: (b.wait_linear(10), done.set()))
+        time.sleep(0.05)
+        b.set_xy(4, 3)
+        assert not done.wait(0.15)
+        b.set_xy(6, 5)
+        assert done.wait(5)
+
+    def test_computed_shared_expression(self):
+        b = Board()
+        done = threading.Event()
+        _spawn(lambda: (b.wait_len(3), done.set()))
+        time.sleep(0.05)
+        b.push(1)
+        b.push(2)
+        assert not done.wait(0.15)
+        b.push(3)
+        assert done.wait(5)
+
+    def test_mixed_tag_kinds_coexist(self):
+        b = Board()
+        hits = []
+        _spawn(lambda: (b.wait_eq(2), hits.append("eq")))
+        _spawn(lambda: (b.wait_linear(100), hits.append("th")))
+        _spawn(lambda: (b.wait_until_callable(), hits.append("fn")))
+        time.sleep(0.05)
+        b.set_xy(2, 0)
+        time.sleep(0.3)
+        assert hits == ["eq"]
+        b.set_xy(60, 41)    # satisfies x+y>=100, and the callable below
+        time.sleep(0.5)
+        assert sorted(hits) == ["eq", "fn", "th"]
+
+
+class TestFutileWakeups:
+    def test_futile_wakeup_counted_on_steal(self):
+        """A thread that gets signaled but loses the race re-waits."""
+        b = Board()
+        woken = threading.Event()
+
+        def waiter():
+            b.wait_linear(1)
+            woken.set()
+
+        _spawn(waiter)
+        time.sleep(0.05)
+        b.set_xy(1, 0)
+        assert woken.wait(5)
+        snap = b.metrics.snapshot()
+        assert snap["signals"] >= 1
+
+
+class TestHousekeeping:
+    def test_cv_pool_recycles(self):
+        b = Board()
+        done = threading.Event()
+
+        def waiter():
+            b.wait_eq(1)
+            done.set()
+
+        for round_no in range(3):
+            done.clear()
+            t = _spawn(waiter)
+            time.sleep(0.05)
+            b.set_xy(1, 0)
+            assert done.wait(5)
+            t.join(5)
+            b.set_xy(0, 0)
+        # after three churn rounds, at most a handful of pooled CVs exist
+        assert 1 <= len(b._cond_mgr._cv_pool) <= 4
+
+    def test_dump_waiters_describes_predicates(self):
+        b = Board()
+        t = _spawn(lambda: b.wait_eq(42))
+        time.sleep(0.05)
+        dump = b.dump_waiters()
+        assert len(dump) == 1
+        assert "42" in dump[0]
+        b.set_xy(42, 0)
+        t.join(5)
+        assert b.dump_waiters() == []

@@ -1,0 +1,102 @@
+"""Cross-validation against independent oracles (networkx, numpy, traces)."""
+
+import threading
+
+import pytest
+
+from repro.active import ActiveMonitor, asynchronous, synchronous
+from repro.problems.graphs import rmat, road_network, sequential_dijkstra
+from repro.problems.psssp import parallel_sssp
+
+networkx = pytest.importorskip("networkx")
+
+
+class TestDijkstraVsNetworkx:
+    @pytest.mark.parametrize("builder,seed", [(road_network, 1), (road_network, 2)])
+    def test_grid_graphs(self, builder, seed):
+        graph = builder(7, seed=seed)
+        nxg = networkx.Graph()
+        for u, adj in enumerate(graph):
+            for v, w in adj:
+                # parallel edges: keep the minimum weight, as Dijkstra does
+                if nxg.has_edge(u, v):
+                    nxg[u][v]["weight"] = min(nxg[u][v]["weight"], w)
+                else:
+                    nxg.add_edge(u, v, weight=w)
+        want = networkx.single_source_dijkstra_path_length(nxg, 0)
+        ours = sequential_dijkstra(graph, 0)
+        for node, dist in want.items():
+            assert abs(ours[node] - dist) < 1e-9
+
+    def test_parallel_variants_match_networkx(self):
+        graph = rmat(40, 120, seed=6)
+        nxg = networkx.Graph()
+        for u, adj in enumerate(graph):
+            for v, w in adj:
+                if nxg.has_edge(u, v):
+                    nxg[u][v]["weight"] = min(nxg[u][v]["weight"], w)
+                else:
+                    nxg.add_edge(u, v, weight=w)
+        want = networkx.single_source_dijkstra_path_length(nxg, 0)
+        for variant in ("lk", "am"):
+            got, _ = parallel_sssp(graph, 0, variant, 3)
+            for node, dist in want.items():
+                assert abs(got[node] - dist) < 1e-9, (variant, node)
+
+
+class TraceCounter(ActiveMonitor):
+    """Counter recording a linearization witness per operation."""
+
+    def __init__(self, **kw):
+        super().__init__(**kw)
+        self.value = 0
+        self.trace: list[int] = []
+
+    @asynchronous()
+    def increment(self):
+        self.value += 1
+        self.trace.append(self.value)
+
+    @synchronous()
+    def read(self):
+        return self.value
+
+
+class TestLinearizability:
+    """Rule 1: delegated executions are equivalent to lock-based ones —
+    the observed trace must be a permutation-free sequence 1..N."""
+
+    def test_trace_is_sequential(self):
+        counter = TraceCounter()
+        try:
+            n_workers, per = 4, 100
+
+            def worker():
+                for _ in range(per):
+                    counter.increment()
+
+            threads = [threading.Thread(target=worker, daemon=True) for _ in range(n_workers)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30)
+            counter.flush()
+            assert counter.trace == list(range(1, n_workers * per + 1))
+            assert counter.read() == n_workers * per
+        finally:
+            counter.shutdown()
+
+    def test_sync_fallback_trace_is_sequential(self):
+        counter = TraceCounter(mode="sync")
+        n_workers, per = 4, 100
+
+        def worker():
+            for _ in range(per):
+                counter.increment()
+
+        threads = [threading.Thread(target=worker, daemon=True) for _ in range(n_workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert counter.trace == list(range(1, n_workers * per + 1))

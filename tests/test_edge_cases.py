@@ -1,0 +1,271 @@
+"""Edge-case coverage across subsystems."""
+
+import threading
+import time
+
+import pytest
+
+from repro.active import ActiveMonitor, asynchronous, synchronous
+from repro.core import Monitor, S
+from repro.core.predicates import MAX_DNF_CONJUNCTIONS, Or, Predicate
+from repro.multi import local, multisynch
+from repro.runtime.errors import PredicateError
+
+
+class TestPredicateLimits:
+    def test_dnf_explosion_guarded(self):
+        # (a|b) & (c|d) & ... doubling conjunctions beyond the cap
+        node = (S.a > 0) | (S.b > 0)
+        clauses = []
+        for i in range(12):
+            clauses.append((S.__getattr__(f"x{i}") > 0) | (S.__getattr__(f"y{i}") > 0))
+        big = clauses[0]
+        for c in clauses[1:]:
+            big = big & c
+        with pytest.raises(PredicateError):
+            Predicate(big)
+
+    def test_wide_or_within_cap(self):
+        atoms = [(S.__getattr__(f"v{i}") == i) for i in range(MAX_DNF_CONJUNCTIONS // 2)]
+        pred = Predicate(Or(atoms))
+        assert len(pred.conjunctions) == len(atoms)
+
+
+class TestMonitorInheritance:
+    def test_subclass_of_subclass_wraps_new_methods(self):
+        class Base(Monitor):
+            def __init__(self):
+                super().__init__()
+                self.x = 0
+
+            def bump(self):
+                self.x += 1
+
+        class Child(Base):
+            def double_bump(self):
+                self.bump()      # reentrant call through the wrapper
+                self.bump()
+
+        c = Child()
+        c.double_bump()
+        assert c.x == 2
+
+    def test_overridden_method_rewrapped(self):
+        class Base(Monitor):
+            def __init__(self):
+                super().__init__()
+                self.tag = "base"
+
+            def who(self):
+                return self.tag
+
+        class Child(Base):
+            def who(self):
+                return "child:" + self.tag
+
+        assert Child().who() == "child:base"
+
+    def test_static_and_class_methods_untouched(self):
+        class M(Monitor):
+            @staticmethod
+            def helper():
+                return 1
+
+            @classmethod
+            def maker(cls):
+                return cls()
+
+        assert M.helper() == 1
+        assert isinstance(M.maker(), M)
+
+
+class TestMultisynchWithActiveMonitors:
+    def test_global_condition_over_active_monitors(self):
+        class Cell(ActiveMonitor):
+            def __init__(self):
+                super().__init__(mode="sync")
+                self.v = 0
+
+            @synchronous()
+            def set(self, v):
+                self.v = v
+
+        a, b = Cell(), Cell()
+
+        def feeder():
+            time.sleep(0.05)
+            a.set(1)
+            b.set(2)
+
+        t = threading.Thread(target=feeder, daemon=True)
+        t.start()
+        with multisynch(a, b) as ms:
+            ms.wait_until(local(a, S.v > 0) & local(b, S.v > 0))
+            assert (a.v, b.v) == (1, 2)
+        t.join(5)
+
+    def test_sequential_multisynch_blocks_reusable(self):
+        class Cell(Monitor):
+            def __init__(self):
+                super().__init__()
+                self.v = 0
+
+        a, b = Cell(), Cell()
+        for _ in range(3):
+            with multisynch(a, b):
+                a.v += 1
+                b.v += 1
+        assert (a.v, b.v) == (3, 3)
+
+
+class TestActiveMonitorEdges:
+    def test_sync_method_with_exception_propagates(self):
+        class Boom(ActiveMonitor):
+            @synchronous()
+            def go(self):
+                raise KeyError("sync boom")
+
+        m = Boom(mode="sync")
+        with pytest.raises(KeyError):
+            m.go()
+
+    def test_async_result_value_roundtrip(self):
+        class Calc(ActiveMonitor):
+            @asynchronous()
+            def compute(self, a, b):
+                return a * b
+
+        m = Calc()
+        try:
+            assert m.compute(6, 7).get(timeout=10) == 42
+        finally:
+            m.shutdown()
+
+    def test_start_server_false(self):
+        class Quiet(ActiveMonitor):
+            @asynchronous()
+            def noop(self):
+                return 1
+
+        m = Quiet(start_server=False)
+        assert not m.is_active
+        assert m.noop().get(timeout=5) == 1
+
+
+class TestBaselineModeMetrics:
+    def test_futile_wakeups_tracked_in_baseline(self):
+        class Gate(Monitor):
+            def __init__(self):
+                super().__init__(signaling="baseline")
+                self.level = 0
+
+            def bump(self):
+                self.level += 1
+
+            def wait_for(self, k):
+                self.wait_until(S.level >= k)
+
+        g = Gate()
+        highs = [threading.Thread(target=g.wait_for, args=(3,), daemon=True)
+                 for _ in range(3)]
+        for t in highs:
+            t.start()
+        time.sleep(0.05)
+        g.bump()    # broadcast wakes all three; all futile
+        g.bump()
+        g.bump()
+        for t in highs:
+            t.join(10)
+        snap = g.metrics.snapshot()
+        assert snap["broadcasts"] >= 3
+        assert snap["futile_wakeups"] >= 1
+
+
+class TestFaultInjection:
+    def test_raising_predicate_poisons_its_owner_not_the_signaler(self):
+        """A predicate that raises during relay evaluation must crash the
+        thread that *owns* it, not whichever thread happened to exit the
+        monitor at that moment."""
+        class Trap(Monitor):
+            def __init__(self):
+                super().__init__()
+                self.level = 0
+                self.arm = False
+
+            def bump(self):
+                self.level += 1
+
+            def wait_trapped(self):
+                def bad(m):
+                    if m.arm:
+                        raise ZeroDivisionError("broken predicate")
+                    return m.level >= 99
+
+                self.wait_until(bad)
+
+            def arm_trap(self):
+                self.arm = True
+
+        trap = Trap()
+        failures = []
+
+        def waiter():
+            try:
+                trap.wait_trapped()
+            except ZeroDivisionError as exc:
+                failures.append(exc)
+
+        t = threading.Thread(target=waiter, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        trap.arm_trap()     # exit triggers relay → predicate raises
+        trap.bump()         # signaler must survive and keep working
+        t.join(10)
+        assert not t.is_alive()
+        assert len(failures) == 1
+        assert trap.level == 1          # the signaling thread was unharmed
+
+    def test_healthy_waiters_unaffected_by_poisoned_neighbour(self):
+        class Trap(Monitor):
+            def __init__(self):
+                super().__init__()
+                self.level = 0
+                self.arm = False
+
+            def bump(self):
+                self.level += 1
+
+            def wait_bad(self):
+                def bad(m):
+                    if m.arm:
+                        raise RuntimeError("boom")
+                    return False
+
+                self.wait_until(bad)
+
+            def wait_good(self, k):
+                self.wait_until(lambda m: m.level >= k)
+
+        trap = Trap()
+        outcomes = []
+
+        def bad_waiter():
+            try:
+                trap.wait_bad()
+            except RuntimeError:
+                outcomes.append("bad-raised")
+
+        def good_waiter():
+            trap.wait_good(1)
+            outcomes.append("good-woke")
+
+        tb = threading.Thread(target=bad_waiter, daemon=True)
+        tg = threading.Thread(target=good_waiter, daemon=True)
+        tb.start()
+        tg.start()
+        time.sleep(0.05)
+        trap.arm = True      # not a monitor method; next exit arms relay
+        trap.bump()
+        tb.join(10)
+        tg.join(10)
+        assert sorted(outcomes) == ["bad-raised", "good-woke"]

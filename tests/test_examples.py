@@ -1,0 +1,23 @@
+"""Smoke tests: every shipped example runs clean end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "pizza_store", "multicast_server", "parallel_sssp",
+     "priority_readers_writers", "compiled_monitor", "h2o_molecules",
+     "event_simulation"],
+)
+def test_example_runs(name, capsys):
+    path = EXAMPLES / f"{name}.py"
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), "examples must print their outcome"

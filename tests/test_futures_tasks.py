@@ -1,0 +1,117 @@
+"""Unit tests for light futures, monitor tasks, and execution policies."""
+
+import threading
+
+import pytest
+
+from repro.active.futures import CompletedFuture, LightFuture
+from repro.active.policies import Policy, select_task
+from repro.active.tasks import MonitorTask
+from repro.core.predicates import Predicate
+from repro.runtime.errors import TaskError
+
+
+class TestLightFuture:
+    def test_result_roundtrip(self):
+        f = LightFuture()
+        f.set_result(42)
+        assert f.done()
+        assert f.get() == 42
+
+    def test_exception_wrapped_in_task_error(self):
+        f = LightFuture()
+        f.set_exception(ValueError("boom"))
+        with pytest.raises(TaskError) as excinfo:
+            f.get()
+        assert isinstance(excinfo.value.cause, ValueError)
+        assert isinstance(f.exception(), ValueError)
+
+    def test_get_timeout(self):
+        f = LightFuture()
+        with pytest.raises(TimeoutError):
+            f.get(timeout=0.05)
+
+    def test_blocking_get_wakes_on_result(self):
+        f = LightFuture()
+        results = []
+        t = threading.Thread(target=lambda: results.append(f.get()), daemon=True)
+        t.start()
+        f.set_result("done")
+        t.join(5)
+        assert results == ["done"]
+
+    def test_completed_future(self):
+        assert CompletedFuture(7).get() == 7
+        failed = CompletedFuture(error=RuntimeError("x"))
+        with pytest.raises(TaskError):
+            failed.get()
+
+
+class FakeMonitor:
+    def __init__(self, ready=True):
+        self.ready = ready
+
+
+class TestMonitorTask:
+    def test_executable_without_precondition(self):
+        task = MonitorTask(lambda: 1, (), {})
+        assert task.executable(FakeMonitor())
+
+    def test_executable_follows_precondition(self):
+        task = MonitorTask(lambda: 1, (), {},
+                           precondition=Predicate(lambda m: m.ready))
+        assert task.executable(FakeMonitor(ready=True))
+        assert not task.executable(FakeMonitor(ready=False))
+
+    def test_run_sets_result(self):
+        task = MonitorTask(lambda x: x * 2, (21,), {})
+        task.run(None)
+        assert task.future.get() == 42
+
+    def test_run_captures_exception(self):
+        def boom():
+            raise KeyError("nope")
+
+        task = MonitorTask(boom, (), {})
+        task.run(None)
+        assert isinstance(task.future.exception(), KeyError)
+
+    def test_sequence_numbers_increase(self):
+        a = MonitorTask(lambda: 1, (), {})
+        b = MonitorTask(lambda: 1, (), {})
+        assert b.seq > a.seq
+
+
+def _task(ready: bool, priority: int = 0):
+    return MonitorTask(
+        lambda: None, (), {},
+        precondition=Predicate(lambda m, ready=ready: ready),
+        priority=priority,
+    )
+
+
+class TestPolicies:
+    def test_safe_picks_first_executable(self):
+        tasks = [_task(False), _task(True), _task(True)]
+        assert select_task(Policy.SAFE, tasks, None) is tasks[1]
+
+    def test_fairness_picks_earliest_submitted(self):
+        late = _task(True)
+        early = _task(True)
+        # force the ordering: 'early' has a lower sequence number? build in
+        # submission order instead:
+        t1, t2, t3 = _task(True), _task(False), _task(True)
+        assert select_task(Policy.FAIRNESS, [t3, t1, t2], None) is t1
+
+    def test_priority_picks_highest(self):
+        lo, hi = _task(True, priority=1), _task(True, priority=9)
+        assert select_task(Policy.PRIORITY, [lo, hi], None) is hi
+
+    def test_priority_ties_break_by_submission(self):
+        a, b = _task(True, priority=5), _task(True, priority=5)
+        assert select_task(Policy.PRIORITY, [b, a], None) is a
+
+    def test_no_executable_returns_none(self):
+        tasks = [_task(False), _task(False)]
+        for policy in Policy:
+            assert select_task(policy, tasks, None) is None

@@ -1,0 +1,142 @@
+"""Whole-system integration: all four components cooperating under load.
+
+A small "bank": accounts are ActiveMonitors; tellers move money between
+accounts with multisynch + global conditions; an auditor composes reads
+with select_one; background interest posting is delegated asynchronously.
+The invariant — total balance is conserved — must survive arbitrary
+interleavings of all mechanisms at once.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.active import ActiveMonitor, asynchronous, synchronous
+from repro.compose import bind, select_one
+from repro.core import S
+from repro.multi import local, multisynch
+
+
+class Account(ActiveMonitor):
+    def __init__(self, balance: int, **kw):
+        super().__init__(**kw)
+        self.balance = balance
+        self.postings = 0
+
+    @asynchronous()
+    def post_interest(self):
+        # integer "interest": +1 then -1, net zero, but exercises delegation
+        self.balance += 1
+        self.balance -= 1
+        self.postings += 1
+
+    @synchronous()
+    def read(self):
+        return self.balance
+
+    def credit(self, n):
+        self.balance += n
+
+    def debit(self, n):
+        self.balance -= n
+
+
+N_ACCOUNTS = 5
+INITIAL = 100
+
+
+@pytest.fixture
+def bank():
+    accounts = [Account(INITIAL, mode="sync") for _ in range(N_ACCOUNTS)]
+    yield accounts
+    for account in accounts:
+        account.shutdown()
+
+
+def test_total_balance_conserved_under_full_load(bank):
+    accounts = bank
+    rng = random.Random(5)
+    stop = threading.Event()
+    errors = []
+
+    # Every teller works the same dedicated account pair (0, 1) and moves
+    # money in whichever direction currently has funds.  Nothing else
+    # changes those balances, so the pair's combined total (200) is
+    # invariant: "both accounts below 10" is impossible, and any teller can
+    # always proceed — even a lone straggler.  (A fixed random src/dst plan
+    # could strand every teller on drained sources.)
+    left, right = accounts[0], accounts[1]
+
+    def teller(k):
+        local_rng = random.Random(k)
+        try:
+            for _ in range(60):
+                amount = local_rng.randint(1, 10)
+                with multisynch(left, right, strategy="CC") as ms:
+                    ms.wait_until(
+                        local(left, S.balance >= amount)
+                        | local(right, S.balance >= amount)
+                    )
+                    src, dst = (left, right) if left.balance >= amount else (right, left)
+                    src.debit(amount)
+                    dst.credit(amount)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def auditor():
+        try:
+            for _ in range(40):
+                # read any account via composition (guards are tautologies)
+                idx, value = select_one([bind(a.read) for a in accounts])
+                assert isinstance(value, int)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def interest_poster():
+        try:
+            for _ in range(30):
+                for account in accounts:
+                    account.post_interest()
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = (
+        [threading.Thread(target=teller, args=(k,), daemon=True) for k in range(3)]
+        + [threading.Thread(target=auditor, daemon=True)]
+        + [threading.Thread(target=interest_poster, daemon=True)]
+    )
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    stop.set()
+    assert not any(t.is_alive() for t in threads), "system wedged under load"
+    assert not errors, errors
+    for account in accounts:
+        account.flush()
+    total = sum(a.read() for a in accounts)
+    assert total == N_ACCOUNTS * INITIAL
+    assert sum(a.postings for a in accounts) == 30 * N_ACCOUNTS
+
+
+def test_conservation_with_active_servers():
+    """Same invariant with live server threads on every account."""
+    accounts = [Account(INITIAL) for _ in range(3)]
+    try:
+        def poster(account):
+            for _ in range(50):
+                account.post_interest()
+
+        threads = [threading.Thread(target=poster, args=(a,), daemon=True) for a in accounts]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        for a in accounts:
+            a.flush()
+        assert sum(a.read() for a in accounts) == 3 * INITIAL
+        assert all(a.postings == 50 for a in accounts)
+    finally:
+        for a in accounts:
+            a.shutdown()

@@ -1,0 +1,240 @@
+"""Unit + stress tests for the automatic-signal Monitor base class."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Monitor, S, synchronized, unmonitored
+from repro.runtime.errors import MonitorError, NotOwnerError
+
+
+class Counter(Monitor):
+    def __init__(self, **kw):
+        super().__init__(**kw)
+        self.value = 0
+        self.trace = []
+
+    def increment(self):
+        v = self.value
+        self.trace.append(("r", v))
+        self.value = v + 1
+
+    def add_slowly(self, n):
+        v = self.value
+        time.sleep(0.0005)
+        self.value = v + n
+
+    def wait_for(self, target):
+        self.wait_until(S.value >= target)
+        return self.value
+
+    def reentrant_outer(self):
+        return self.reentrant_inner() + 1
+
+    def reentrant_inner(self):
+        return self.value
+
+    @unmonitored
+    def raw_peek(self):
+        return self.value
+
+
+class TestMutualExclusion:
+    def test_methods_are_atomic(self):
+        c = Counter()
+        threads = [
+            threading.Thread(target=lambda: [c.add_slowly(1) for _ in range(20)], daemon=True)
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert c.value == 80
+
+    def test_reentrancy(self):
+        c = Counter()
+        c.value = 5
+        assert c.reentrant_outer() == 6
+
+    def test_unmonitored_method_not_wrapped(self):
+        c = Counter()
+        assert not getattr(Counter.raw_peek, "_repro_wrapped", False)
+        assert c.raw_peek() == 0
+
+    def test_monitor_ids_unique_and_increasing(self):
+        a, b = Counter(), Counter()
+        assert b.monitor_id > a.monitor_id
+
+    def test_unknown_signaling_mode_rejected(self):
+        with pytest.raises(MonitorError):
+            Counter(signaling="nonsense")
+
+
+class TestWaitUntil:
+    @pytest.mark.parametrize("mode", ["autosynch", "autosynch_t", "baseline"])
+    def test_wakeup_on_condition(self, mode):
+        c = Counter(signaling=mode)
+        results = []
+
+        def waiter():
+            results.append(c.wait_for(3))
+
+        t = threading.Thread(target=waiter, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        for _ in range(3):
+            c.increment()
+        t.join(10)
+        assert not t.is_alive()
+        assert results == [3]
+
+    def test_wait_outside_monitor_rejected(self):
+        c = Counter()
+        with pytest.raises(NotOwnerError):
+            c.wait_until(S.value > 0)
+
+    def test_immediately_true_predicate_does_not_block(self):
+        c = Counter()
+        c.value = 10
+        assert c.wait_for(5) == 10
+        assert c.metrics.waits == 0
+
+    def test_callable_predicate(self):
+        c = Counter()
+        done = []
+
+        class Waiting(Counter):
+            def go(self):
+                self.wait_until(lambda: self.value >= 2)
+                done.append(self.value)
+
+        w = Waiting()
+        t = threading.Thread(target=w.go, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        w.increment()
+        w.increment()
+        t.join(10)
+        assert done and done[0] >= 2
+
+    def test_nested_wait_with_true_predicate_allowed(self):
+        class Nested(Counter):
+            def outer(self):
+                return self.inner()
+
+            def inner(self):
+                self.wait_until(S.value >= 0)   # trivially true
+                return self.value
+
+        n = Nested()
+        assert n.outer() == 0
+
+    def test_nested_blocking_wait_rejected(self):
+        class Nested(Counter):
+            def outer(self):
+                return self.inner()
+
+            def inner(self):
+                self.wait_until(S.value >= 99)   # would block at depth 2
+                return self.value
+
+        n = Nested()
+        with pytest.raises(MonitorError):
+            n.outer()
+
+    def test_signal_hint_requires_lock(self):
+        c = Counter()
+        with pytest.raises(NotOwnerError):
+            c.signal_hint()
+
+
+class TestSynchronizedContext:
+    def test_adhoc_section(self):
+        c = Counter()
+        with synchronized(c):
+            c.value = 7
+        assert c.value == 7
+
+    def test_wait_inside_section(self):
+        c = Counter()
+
+        def filler():
+            time.sleep(0.05)
+            c.increment()
+
+        t = threading.Thread(target=filler, daemon=True)
+        t.start()
+        with synchronized(c):
+            c.wait_until(S.value >= 1)
+        t.join(5)
+        assert c.value == 1
+
+
+class TestRelayInvariance:
+    @pytest.mark.parametrize("mode", ["autosynch", "autosynch_t", "baseline"])
+    def test_no_lost_signals_under_stress(self, mode):
+        """Many waiters on distinct equivalence keys, served in order."""
+        c = Counter(signaling=mode)
+        n = 12
+        done = []
+
+        def stepper(k):
+            c.wait_for(k)
+            done.append(k)
+            c.increment()
+
+        threads = [threading.Thread(target=stepper, args=(k,), daemon=True) for k in range(1, n + 1)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        c.increment()   # value=1 unleashes the chain
+        for t in threads:
+            t.join(30)
+        assert not any(t.is_alive() for t in threads)
+        assert sorted(done) == list(range(1, n + 1))
+
+    def test_single_signals_no_broadcast(self):
+        c = Counter(signaling="autosynch")
+        t = threading.Thread(target=lambda: c.wait_for(1), daemon=True)
+        t.start()
+        time.sleep(0.05)
+        c.increment()
+        t.join(10)
+        snap = c.metrics.snapshot()
+        assert snap["broadcasts"] == 0
+        assert snap["signals"] >= 1
+
+    def test_baseline_broadcasts(self):
+        c = Counter(signaling="baseline")
+        t = threading.Thread(target=lambda: c.wait_for(1), daemon=True)
+        t.start()
+        time.sleep(0.05)
+        c.increment()
+        t.join(10)
+        assert c.metrics.snapshot()["broadcasts"] >= 1
+
+
+class TestMetricsSurface:
+    def test_waits_and_wakeups_counted(self):
+        c = Counter()
+        t = threading.Thread(target=lambda: c.wait_for(2), daemon=True)
+        t.start()
+        time.sleep(0.05)
+        c.increment()
+        c.increment()
+        t.join(10)
+        snap = c.metrics.snapshot()
+        assert snap["waits"] == 1
+        assert snap["wakeups"] >= 1
+
+    def test_waiting_count_settles_to_zero(self):
+        c = Counter()
+        t = threading.Thread(target=lambda: c.wait_for(1), daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert c.waiting_count() == 1
+        c.increment()
+        t.join(10)
+        assert c.waiting_count() == 0

@@ -1,0 +1,225 @@
+"""Integration tests for multisynch and global-condition waiting."""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core import Monitor, S
+from repro.multi import (
+    complex_pred,
+    current_multisynch,
+    local,
+    multisynch,
+)
+from repro.runtime.errors import NestedMultisynchError, PredicateError
+
+
+class Account(Monitor):
+    def __init__(self, balance=0):
+        super().__init__()
+        self.balance = balance
+
+    def deposit(self, n):
+        self.balance += n
+
+    def withdraw(self, n):
+        self.balance -= n
+
+
+class TestOrderedLocking:
+    def test_basic_block(self):
+        a, b = Account(10), Account(0)
+        with multisynch(a, b):
+            a.withdraw(5)
+            b.deposit(5)
+        assert (a.balance, b.balance) == (5, 5)
+
+    def test_lock_order_independent_of_argument_order(self):
+        a, b = Account(), Account()
+        with multisynch(b, a) as ms:
+            ids = [m.monitor_id for m in ms.monitors]
+        assert ids == sorted(ids)
+
+    def test_accepts_nested_sequences(self):
+        accounts = [Account() for _ in range(3)]
+        with multisynch(accounts) as ms:
+            assert len(ms.monitors) == 3
+
+    def test_duplicates_deduped(self):
+        a = Account()
+        with multisynch(a, a, [a]) as ms:
+            assert len(ms.monitors) == 1
+
+    def test_nested_blocks_rejected(self):
+        a, b = Account(), Account()
+        with multisynch(a):
+            with pytest.raises(NestedMultisynchError):
+                with multisynch(b):
+                    pass
+
+    def test_current_multisynch_tracking(self):
+        a = Account()
+        assert current_multisynch() is None
+        with multisynch(a) as ms:
+            assert current_multisynch() is ms
+        assert current_multisynch() is None
+
+    def test_non_monitor_rejected(self):
+        with pytest.raises(TypeError):
+            multisynch(object())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            multisynch()
+
+    def test_bad_strategy_rejected(self):
+        a = Account()
+        with pytest.raises(ValueError):
+            multisynch(a, strategy="??")
+
+    def test_no_deadlock_under_random_acquisition_order(self):
+        """The paper's §4.1 claim: arbitrary argument orders never deadlock."""
+        accounts = [Account(100) for _ in range(6)]
+        rng = random.Random(1)
+        plans = [
+            [tuple(rng.sample(range(6), 3)) for _ in range(30)] for _ in range(4)
+        ]
+
+        def worker(plan):
+            for i, j, k in plan:
+                with multisynch(accounts[i], accounts[j], accounts[k]):
+                    accounts[i].withdraw(1)
+                    accounts[j].deposit(1)
+                    accounts[k].deposit(0)
+
+        threads = [threading.Thread(target=worker, args=(p,), daemon=True) for p in plans]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert not any(t.is_alive() for t in threads)
+        assert sum(a.balance for a in accounts) == 600
+
+
+class TestGlobalWaiting:
+    @pytest.mark.parametrize("strategy", ["AS", "AV", "CC"])
+    def test_or_condition(self, strategy):
+        a, b = Account(0), Account(0)
+
+        def feeder():
+            time.sleep(0.05)
+            b.deposit(3)
+
+        t = threading.Thread(target=feeder, daemon=True)
+        t.start()
+        with multisynch(a, b, strategy=strategy) as ms:
+            ms.wait_until(local(a, S.balance > 0) | local(b, S.balance > 0))
+            assert a.balance > 0 or b.balance > 0
+        t.join(5)
+
+    @pytest.mark.parametrize("strategy", ["AS", "AV", "CC"])
+    def test_and_condition(self, strategy):
+        a, b = Account(0), Account(0)
+
+        def feeder():
+            time.sleep(0.03)
+            a.deposit(1)
+            time.sleep(0.03)
+            b.deposit(1)
+
+        t = threading.Thread(target=feeder, daemon=True)
+        t.start()
+        with multisynch(a, b, strategy=strategy) as ms:
+            ms.wait_until(local(a, S.balance > 0) & local(b, S.balance > 0))
+            assert a.balance > 0 and b.balance > 0
+        t.join(5)
+
+    @pytest.mark.parametrize("strategy", ["AS", "AV", "CC"])
+    def test_complex_predicate(self, strategy):
+        a, b = Account(0), Account(5)
+
+        def feeder():
+            time.sleep(0.05)
+            a.deposit(10)
+
+        t = threading.Thread(target=feeder, daemon=True)
+        t.start()
+        with multisynch(a, b, strategy=strategy) as ms:
+            ms.wait_until(complex_pred([a, b], lambda: a.balance > b.balance))
+            assert a.balance > b.balance
+        t.join(5)
+
+    def test_already_true_returns_immediately(self):
+        a = Account(1)
+        with multisynch(a) as ms:
+            ms.wait_until(local(a, S.balance > 0))
+
+    def test_predicate_must_be_covered(self):
+        a, b = Account(), Account()
+        with multisynch(a) as ms:
+            with pytest.raises(PredicateError):
+                ms.wait_until(local(b, S.balance > 0))
+
+    def test_wait_outside_block_rejected(self):
+        a = Account()
+        ms = multisynch(a)
+        with pytest.raises(PredicateError):
+            ms.wait_until(local(a, S.balance > 0))
+
+    def test_non_global_condition_rejected(self):
+        a = Account()
+        with multisynch(a) as ms:
+            with pytest.raises(PredicateError):
+                ms.wait_until(lambda: True)
+
+    @pytest.mark.parametrize("strategy", ["AS", "AV", "CC"])
+    def test_no_missed_signal_stress(self, strategy):
+        """Many waiters on global conditions; every one must eventually wake
+        (Props. 3 & 5)."""
+        cells = [Account(0) for _ in range(4)]
+        n_waiters = 6
+        done = []
+
+        def waiter(k):
+            i, j = k % 4, (k + 1) % 4
+            with multisynch(cells[i], cells[j], strategy=strategy) as ms:
+                ms.wait_until(
+                    local(cells[i], S.balance >= 1) & local(cells[j], S.balance >= 1)
+                )
+                done.append(k)
+
+        threads = [threading.Thread(target=waiter, args=(k,), daemon=True) for k in range(n_waiters)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        for c in cells:
+            c.deposit(1)
+        for t in threads:
+            t.join(30)
+        assert not any(t.is_alive() for t in threads)
+        assert sorted(done) == list(range(n_waiters))
+
+    def test_waiting_thread_holds_no_locks(self):
+        """While blocked on a global condition, other threads can use the
+        involved monitors freely."""
+        a, b = Account(0), Account(0)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def waiter():
+            with multisynch(a, b) as ms:
+                entered.set()
+                ms.wait_until(local(a, S.balance >= 99))
+
+        t = threading.Thread(target=waiter, daemon=True)
+        t.start()
+        entered.wait(5)
+        time.sleep(0.05)
+        # both monitors must be immediately usable
+        a.deposit(1)
+        b.deposit(1)
+        a.deposit(98)
+        t.join(10)
+        assert not t.is_alive()

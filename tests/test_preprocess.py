@@ -1,0 +1,259 @@
+"""Tests for the preprocessor: natural waituntil syntax → DSL rewriting."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Monitor
+from repro.core.tags import TagKind, tag_predicate
+from repro.preprocess import monitor_compile, waituntil
+from repro.runtime.errors import PredicateError
+
+
+@monitor_compile
+class CompiledQueue(Monitor):
+    def __init__(self, capacity):
+        super().__init__()
+        self.items = []
+        self.capacity = capacity
+        self.count = 0
+
+    def put(self, item):
+        waituntil(self.count < self.capacity)
+        self.items.append(item)
+        self.count += 1
+
+    def take(self):
+        waituntil(self.count > 0)
+        self.count -= 1
+        return self.items.pop(0)
+
+    def take_many(self, num):
+        waituntil(self.count >= num)
+        out, self.items = self.items[:num], self.items[num:]
+        self.count -= num
+        return out
+
+
+@monitor_compile
+class CompiledBoard(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.x = 0
+        self.y = 0
+        self.items = []
+
+    def step(self, who):
+        waituntil(self.x == who)
+        self.x += 1
+
+    def wait_both(self, a, b):
+        waituntil(self.x >= a and self.y >= b)
+        return self.x, self.y
+
+    def wait_either(self, a, b):
+        waituntil(self.x >= a or self.y >= b)
+
+    def wait_not_empty(self):
+        waituntil(not (self.x == 0))
+
+    def wait_len(self, k):
+        waituntil(len(self.items) >= k)
+        return len(self.items)
+
+    def wait_chain(self, lo, hi):
+        waituntil(lo <= self.x < hi)
+        return self.x
+
+    def poke(self, x=None, y=None, item=None):
+        if x is not None:
+            self.x = x
+        if y is not None:
+            self.y = y
+        if item is not None:
+            self.items.append(item)
+
+
+def _spawn(fn, *args):
+    t = threading.Thread(target=fn, args=args, daemon=True)
+    t.start()
+    return t
+
+
+class TestBasicRewrite:
+    def test_queue_works_end_to_end(self):
+        q = CompiledQueue(4)
+        got = []
+        producer = _spawn(lambda: [q.put(i) for i in range(50)])
+        consumer = _spawn(lambda: [got.append(q.take()) for _ in range(50)])
+        producer.join(15)
+        consumer.join(15)
+        assert got == list(range(50))
+
+    def test_parameterized_threshold(self):
+        q = CompiledQueue(100)
+        out = []
+        waiter = _spawn(lambda: out.append(q.take_many(5)))
+        time.sleep(0.05)
+        for i in range(5):
+            q.put(i)
+        waiter.join(10)
+        assert out == [[0, 1, 2, 3, 4]]
+
+    def test_predicates_are_tagged(self):
+        """The whole point: rewritten predicates get Equivalence/Threshold
+        tags instead of opaque None tags."""
+        from repro.core.predicates import Predicate
+        from repro.core.expressions import S
+
+        # reproduce what the rewritten take() builds
+        q = CompiledQueue(4)
+        waiters_tags = []
+
+        def observer():
+            q.take()
+
+        t = _spawn(observer)
+        time.sleep(0.05)
+        with q._lock:
+            records = list(q._cond_mgr.index.heaps.values())
+            waiters_tags = [len(h) for h in records]
+        q.put("x")
+        t.join(10)
+        assert any(waiters_tags), "take()'s waituntil must land in a threshold heap"
+
+
+class TestBooleanRewrites:
+    def test_and(self):
+        b = CompiledBoard()
+        out = []
+        t = _spawn(lambda: out.append(b.wait_both(2, 3)))
+        time.sleep(0.05)
+        b.poke(x=2)
+        time.sleep(0.05)
+        assert not out
+        b.poke(y=3)
+        t.join(10)
+        assert out == [(2, 3)]
+
+    def test_or(self):
+        b = CompiledBoard()
+        t = _spawn(lambda: b.wait_either(5, 1))
+        time.sleep(0.05)
+        b.poke(y=1)
+        t.join(10)
+        assert not t.is_alive()
+
+    def test_not(self):
+        b = CompiledBoard()
+        t = _spawn(b.wait_not_empty)
+        time.sleep(0.05)
+        b.poke(x=7)
+        t.join(10)
+        assert not t.is_alive()
+
+    def test_comparison_chain(self):
+        b = CompiledBoard()
+        out = []
+        t = _spawn(lambda: out.append(b.wait_chain(3, 6)))
+        time.sleep(0.05)
+        b.poke(x=9)       # above the chain's upper bound
+        time.sleep(0.05)
+        assert not out
+        b.poke(x=4)
+        t.join(10)
+        assert out == [4]
+
+    def test_equivalence_tagging_survives(self):
+        b = CompiledBoard()
+        done = []
+        ts = [_spawn(lambda k=k: (b.step(k), done.append(k))) for k in range(1, 4)]
+        time.sleep(0.05)
+        b.poke(x=1)       # unleash the chain 1 → 2 → 3
+        for t in ts:
+            t.join(10)
+        assert sorted(done) == [1, 2, 3]
+
+
+class TestComputedExpressions:
+    def test_len_call_becomes_shared_expr(self):
+        b = CompiledBoard()
+        out = []
+        t = _spawn(lambda: out.append(b.wait_len(2)))
+        time.sleep(0.05)
+        b.poke(item="a")
+        time.sleep(0.05)
+        assert not out
+        b.poke(item="b")
+        t.join(10)
+        assert out == [2]
+
+
+class TestErrors:
+    def test_raw_waituntil_raises(self):
+        with pytest.raises(PredicateError):
+            waituntil(True)
+
+    def test_requires_monitor_subclass(self):
+        with pytest.raises(PredicateError):
+            @monitor_compile
+            class NotAMonitor:
+                pass
+
+    def test_untouched_methods_keep_identity(self):
+        # poke has no waituntil: it must not be recompiled
+        assert CompiledBoard.poke.__wrapped__.__qualname__.endswith("poke")
+
+
+class TestClosureRejection:
+    def test_method_closing_over_enclosing_scope_rejected(self):
+        threshold = 5
+
+        with pytest.raises(PredicateError):
+            @monitor_compile
+            class Closes(Monitor):
+                def wait_it(self):
+                    waituntil(self.x >= threshold)   # closes over `threshold`
+
+
+@monitor_compile
+class LoopedBoard(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.x = 0
+
+    def bump(self):
+        self.x += 1
+
+    def wait_twice(self):
+        for target in (1, 2):
+            waituntil(self.x >= target)
+        return self.x
+
+    def wait_in_branch(self, fast):
+        if fast:
+            return self.x
+        waituntil(self.x >= 1)
+        return self.x
+
+
+class TestControlFlowPlacement:
+    def test_waituntil_inside_loop(self):
+        b = LoopedBoard()
+        out = []
+        t = _spawn(lambda: out.append(b.wait_twice()))
+        time.sleep(0.05)
+        b.bump()
+        b.bump()
+        t.join(10)
+        assert out and out[0] >= 2
+
+    def test_waituntil_inside_conditional(self):
+        b = LoopedBoard()
+        assert b.wait_in_branch(True) == 0
+        t = _spawn(lambda: b.wait_in_branch(False))
+        time.sleep(0.05)
+        b.bump()
+        t.join(10)
+        assert not t.is_alive()

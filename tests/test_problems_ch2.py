@@ -1,0 +1,160 @@
+"""Integration tests: chapter-2 workloads complete and satisfy their oracles."""
+
+import pytest
+
+from repro.problems.bounded_buffer import (
+    AutoBoundedQueue,
+    ExplicitBoundedQueue,
+    make_queue,
+    run_bounded_buffer,
+)
+from repro.problems.dining import run_dining_monitor
+from repro.problems.h2o import H2OBarrier, run_h2o
+from repro.problems.param_bounded_buffer import run_param_bounded_buffer
+from repro.problems.readers_writers import TicketReadersWriters, run_readers_writers
+from repro.problems.round_robin import RoundRobinMonitor, run_round_robin
+from repro.problems.sleeping_barber import run_sleeping_barber
+
+MECHS = ["explicit", "baseline", "autosynch_t", "autosynch"]
+
+
+class TestBoundedBuffer:
+    @pytest.mark.parametrize("mech", MECHS)
+    def test_completes_and_counts(self, mech):
+        result = run_bounded_buffer(mech, 2, 2, 100, capacity=8)
+        assert result.operations == 400
+        assert result.elapsed > 0
+
+    def test_queue_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_queue("nope", 4)
+
+    def test_fifo_content_preserved(self):
+        q = AutoBoundedQueue(4)
+        for i in range(4):
+            q.put(i)
+        assert [q.take() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_explicit_queue_fifo(self):
+        q = ExplicitBoundedQueue(4)
+        for i in range(3):
+            q.put(i)
+        assert [q.take() for _ in range(3)] == [0, 1, 2]
+
+    def test_autosynch_avoids_broadcasts(self):
+        result = run_bounded_buffer("autosynch", 2, 2, 150, capacity=4)
+        assert result.metrics["broadcasts"] == 0
+
+    def test_baseline_uses_broadcasts(self):
+        result = run_bounded_buffer("baseline", 2, 2, 150, capacity=4)
+        assert result.metrics["broadcasts"] > 0
+
+
+class TestParamBoundedBuffer:
+    @pytest.mark.parametrize("mech", ["explicit", "autosynch"])
+    def test_completes(self, mech):
+        result = run_param_bounded_buffer(mech, 4, 20)
+        assert result.operations > 0
+
+    def test_wakeup_metric_present(self):
+        result = run_param_bounded_buffer("autosynch", 3, 15)
+        assert "wakeups" in result.metrics
+
+
+class TestH2O:
+    @pytest.mark.parametrize("mech", MECHS)
+    def test_molecules_form(self, mech):
+        result = run_h2o(mech, 4, 60)
+        assert result.operations == 180      # 3 arrivals per molecule
+
+    def test_barrier_state_conserved(self):
+        barrier = H2OBarrier()
+        import threading
+
+        threads = [threading.Thread(target=barrier.h_ready, daemon=True) for _ in range(2)]
+        for t in threads:
+            t.start()
+        barrier.o_ready()
+        for t in threads:
+            t.join(10)
+        assert barrier.waiting_h == 0
+        assert barrier.waiting_o == 0
+        assert barrier.available_h == 0
+        assert barrier.available_o == 0
+
+
+class TestRoundRobin:
+    @pytest.mark.parametrize("mech", MECHS)
+    def test_strict_rotation(self, mech):
+        result = run_round_robin(mech, 6, 30)
+        assert result.operations == 180
+
+    def test_monitor_order_invariant(self):
+        m = RoundRobinMonitor(3)
+        import threading
+
+        seen = []
+
+        def worker(i):
+            for _ in range(5):
+                m.access(i)
+                seen.append(i)
+
+        threads = [threading.Thread(target=worker, args=(i,), daemon=True) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(20)
+        # accesses happen in strict 0,1,2,0,1,2,... order
+        assert seen == [i % 3 for i in range(15)]
+
+
+class TestReadersWriters:
+    @pytest.mark.parametrize("mech", ["explicit", "autosynch", "autosynch_t"])
+    def test_completes(self, mech):
+        result = run_readers_writers(mech, 2, 6, 20)
+        assert result.operations == 160
+
+    def test_writer_exclusion_invariant(self):
+        """Readers never observe a writer mid-section."""
+        import threading
+
+        m = TicketReadersWriters()
+        in_write = []
+        violations = []
+
+        def writer():
+            for _ in range(30):
+                m.start_write()
+                in_write.append(1)
+                in_write.pop()
+                m.end_write()
+
+        def reader():
+            for _ in range(30):
+                m.start_read()
+                if in_write:
+                    violations.append(1)
+                m.end_read()
+
+        threads = [threading.Thread(target=writer, daemon=True)] + [
+            threading.Thread(target=reader, daemon=True) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not violations
+
+
+class TestDiningMonitor:
+    @pytest.mark.parametrize("mech", ["explicit", "autosynch", "autosynch_t"])
+    def test_all_eat(self, mech):
+        result = run_dining_monitor(mech, 5, 40)
+        assert result.operations == 200
+
+
+class TestSleepingBarber:
+    def test_customers_served(self):
+        result = run_sleeping_barber(4, 8, seats=3)
+        assert 0 < result.operations <= 32

@@ -1,0 +1,121 @@
+"""Integration tests: chapter-3 workloads (PSSSP, BQ, SLL) + graph substrate."""
+
+import pytest
+
+from repro.problems.bounded_buffer import run_active_queue
+from repro.problems.graphs import (
+    PAPER_GRAPHS,
+    edge_count,
+    rmat,
+    road_network,
+    sequential_dijkstra,
+)
+from repro.problems.psssp import parallel_sssp, run_psssp
+from repro.problems.sorted_list import (
+    ActiveSortedList,
+    LockSortedList,
+    run_sorted_list,
+)
+
+
+class TestGraphs:
+    def test_road_network_shape(self):
+        g = road_network(6, seed=0)
+        assert len(g) == 36
+        assert edge_count(g) >= 2 * 5 * 6   # grid edges at least
+
+    def test_road_network_symmetric(self):
+        g = road_network(5, seed=1)
+        for u, adj in enumerate(g):
+            for v, w in adj:
+                assert any(x == u for x, _ in g[v])
+
+    def test_rmat_connected_enough(self):
+        g = rmat(64, 256, seed=2)
+        dist = sequential_dijkstra(g, 0)
+        assert all(d < float("inf") for d in dist)
+
+    def test_paper_suite_builds(self):
+        for name, builder in PAPER_GRAPHS.items():
+            g = builder(0.3)
+            assert len(g) > 0, name
+
+    def test_sequential_dijkstra_simple(self):
+        # a tiny known graph: 0-1 (1.0), 1-2 (2.0), 0-2 (10.0)
+        g = [[(1, 1.0), (2, 10.0)], [(0, 1.0), (2, 2.0)], [(1, 2.0), (0, 10.0)]]
+        assert sequential_dijkstra(g, 0) == [0.0, 1.0, 3.0]
+
+
+class TestPSSSP:
+    @pytest.mark.parametrize("variant", ["lk", "am", "ams"])
+    def test_matches_sequential(self, variant):
+        g = road_network(7, seed=3)
+        want = sequential_dijkstra(g, 0)
+        got, _ = parallel_sssp(g, 0, variant, 3)
+        assert all(abs(a - b) < 1e-9 for a, b in zip(want, got))
+
+    @pytest.mark.parametrize("variant", ["lk", "am"])
+    def test_rmat_graph(self, variant):
+        g = rmat(48, 128, seed=4)
+        want = sequential_dijkstra(g, 5)
+        got, _ = parallel_sssp(g, 5, variant, 2)
+        assert all(abs(a - b) < 1e-9 for a, b in zip(want, got))
+
+    def test_run_reports_edge_throughput(self):
+        g = road_network(6, seed=5)
+        result = run_psssp(g, "lk", 2)
+        assert result.operations == edge_count(g)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_sssp([[]], 0, "??", 1)
+
+
+class TestActiveQueueWorkload:
+    @pytest.mark.parametrize("variant", ["lk", "am", "ams", "qd"])
+    def test_balanced_put_take(self, variant):
+        result = run_active_queue(variant, 4, 80, 8)
+        assert result.operations == 320
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            run_active_queue("zz", 2, 10, 4)
+
+
+class TestSortedList:
+    def test_lock_list_semantics(self):
+        lst = LockSortedList()
+        assert lst.insert(5)
+        assert not lst.insert(5)
+        assert lst.contains(5)
+        assert lst.delete(5)
+        assert not lst.delete(5)
+        assert lst.snapshot() == []
+
+    def test_list_stays_sorted_and_unique(self):
+        lst = LockSortedList()
+        for v in [5, 3, 9, 3, 1, 9]:
+            lst.insert(v)
+        assert lst.snapshot() == [1, 3, 5, 9]
+
+    def test_active_list_matches_lock_list(self):
+        import random
+
+        rng = random.Random(0)
+        ops = [(rng.choice(["insert", "delete"]), rng.randrange(50)) for _ in range(200)]
+        lock_list = LockSortedList()
+        active = ActiveSortedList()
+        try:
+            for op, v in ops:
+                getattr(lock_list, op)(v)
+                getattr(active, op)(v)
+            active.flush()
+            assert active.snapshot() == lock_list.snapshot()
+        finally:
+            active.shutdown()
+
+    @pytest.mark.parametrize("variant", ["lk", "am", "ams"])
+    @pytest.mark.parametrize("mix", ["read-heavy", "write-heavy", "mixed"])
+    def test_all_mixes_complete(self, variant, mix):
+        result = run_sorted_list(variant, mix, 2, 40)
+        assert result.operations == 80

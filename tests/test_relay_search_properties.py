@@ -1,0 +1,114 @@
+"""Property tests for the relay search: the tag-accelerated search finds a
+satisfied waiter exactly when one exists, for arbitrary predicate mixes.
+
+Runs the ConditionManager sequentially (no threads): we register fabricated
+waiters directly and invoke ``_find_satisfied_waiter`` against random monitor
+states, comparing with brute force.
+"""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Monitor, S
+from repro.core.condition_manager import ConditionManager
+from repro.core.predicates import Predicate
+from repro.core.tags import tag_predicate
+from repro.core.waiter import Waiter
+from repro.runtime.metrics import Metrics
+
+
+class Plain:
+    """Bare state object standing in for a monitor."""
+
+    def __init__(self, x=0, y=0):
+        self.x = x
+        self.y = y
+
+
+def _manager(mode: str) -> ConditionManager:
+    return ConditionManager(Plain(), threading.RLock(), Metrics(), mode)
+
+
+def _register(mgr: ConditionManager, condition) -> Waiter:
+    waiter = Waiter(Predicate(condition), mgr.lock)
+    mgr._register(waiter)
+    return waiter
+
+
+_atom_kinds = st.sampled_from(["eq_x", "eq_y", "ge_x", "le_x", "ge_y", "fn"])
+
+
+def _make_condition(kind: str, const: int):
+    if kind == "eq_x":
+        return S.x == const
+    if kind == "eq_y":
+        return S.y == const
+    if kind == "ge_x":
+        return S.x >= const
+    if kind == "le_x":
+        return S.x <= const
+    if kind == "ge_y":
+        return S.y >= const
+    return lambda m, const=const: (m.x + m.y) % 3 == const % 3
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    mode=st.sampled_from(["autosynch", "autosynch_t"]),
+    specs=st.lists(st.tuples(_atom_kinds, st.integers(-3, 3)), min_size=1, max_size=10),
+    x=st.integers(-4, 4),
+    y=st.integers(-4, 4),
+)
+def test_search_agrees_with_bruteforce(mode, specs, x, y):
+    mgr = _manager(mode)
+    waiters = [_register(mgr, _make_condition(k, c)) for k, c in specs]
+    mgr.monitor.x = x
+    mgr.monitor.y = y
+    found = mgr._find_satisfied_waiter()
+    satisfied = [w for w in waiters if w.predicate.evaluate(mgr.monitor)]
+    if satisfied:
+        assert found is not None
+        assert found in satisfied
+    else:
+        assert found is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    specs=st.lists(st.tuples(_atom_kinds, st.integers(-3, 3)), min_size=2, max_size=8),
+    x=st.integers(-4, 4),
+    y=st.integers(-4, 4),
+)
+def test_signaled_waiters_are_skipped(specs, x, y):
+    """A waiter already signaled must never be chosen again before waking."""
+    mgr = _manager("autosynch")
+    waiters = [_register(mgr, _make_condition(k, c)) for k, c in specs]
+    mgr.monitor.x = x
+    mgr.monitor.y = y
+    first = mgr._find_satisfied_waiter()
+    if first is None:
+        return
+    first.signaled = True
+    second = mgr._find_satisfied_waiter()
+    assert second is not first
+    if second is not None:
+        assert second.predicate.evaluate(mgr.monitor)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    specs=st.lists(st.tuples(_atom_kinds, st.integers(-3, 3)), min_size=1, max_size=8),
+    x=st.integers(-4, 4),
+    y=st.integers(-4, 4),
+)
+def test_deregistration_removes_from_search(specs, x, y):
+    mgr = _manager("autosynch")
+    waiters = [_register(mgr, _make_condition(k, c)) for k, c in specs]
+    for w in waiters:
+        mgr._deregister(w)
+    mgr.monitor.x = x
+    mgr.monitor.y = y
+    assert mgr._find_satisfied_waiter() is None
+    assert mgr.waiting_count() == 0

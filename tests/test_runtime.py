@@ -1,0 +1,120 @@
+"""Unit tests for the runtime substrate: ids, config, errors, common drivers."""
+
+import threading
+import time
+
+import pytest
+
+from repro.problems.common import RunResult, StopFlag, run_threads, spin_delay
+from repro.runtime import (
+    Config,
+    MonitorError,
+    NestedMultisynchError,
+    NotOwnerError,
+    PredicateError,
+    ReproError,
+    TaskError,
+    get_config,
+    next_monitor_id,
+)
+
+
+class TestIds:
+    def test_monotonically_increasing(self):
+        a, b, c = next_monitor_id(), next_monitor_id(), next_monitor_id()
+        assert a < b < c
+
+    def test_concurrent_uniqueness(self):
+        ids = []
+        lock = threading.Lock()
+
+        def grab():
+            mine = [next_monitor_id() for _ in range(500)]
+            with lock:
+                ids.extend(mine)
+
+        threads = [threading.Thread(target=grab, daemon=True) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert len(ids) == len(set(ids)) == 2000
+
+
+class TestConfig:
+    def test_global_singleton(self):
+        assert get_config() is get_config()
+
+    def test_explicit_server_cap(self):
+        cfg = Config(max_server_threads=3)
+        assert cfg.effective_server_cap() == 3
+
+    def test_zero_cap_allowed(self):
+        assert Config(max_server_threads=0).effective_server_cap() == 0
+
+    def test_derived_cap_has_floor(self):
+        assert Config().effective_server_cap() >= 8
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (MonitorError, NotOwnerError, PredicateError,
+                    NestedMultisynchError, TaskError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(NotOwnerError, MonitorError)
+
+    def test_task_error_carries_cause(self):
+        cause = ValueError("x")
+        err = TaskError("failed", cause)
+        assert err.cause is cause
+
+
+class TestRunThreads:
+    def test_returns_elapsed(self):
+        elapsed = run_threads([lambda: time.sleep(0.02)] * 3)
+        assert elapsed >= 0.015
+
+    def test_propagates_worker_errors(self):
+        def boom():
+            raise RuntimeError("worker died")
+
+        with pytest.raises(RuntimeError):
+            run_threads([boom])
+
+    def test_timeout_raises(self):
+        forever = threading.Event()
+        with pytest.raises(TimeoutError):
+            run_threads([forever.wait], timeout=0.2)
+        forever.set()
+
+    def test_spin_delay_spins(self):
+        start = time.perf_counter()
+        spin_delay(0.01)
+        assert time.perf_counter() - start >= 0.009
+
+    def test_spin_delay_zero_noop(self):
+        spin_delay(0)
+        spin_delay(-1)
+
+
+class TestStopFlag:
+    def test_truthiness(self):
+        flag = StopFlag()
+        assert flag
+        flag.stop()
+        assert not flag
+
+    def test_run_for(self):
+        flag = StopFlag()
+        flag.run_for(0.05)
+        assert flag
+        time.sleep(0.12)
+        assert not flag
+
+
+class TestRunResult:
+    def test_throughput(self):
+        assert RunResult(2.0, 100).throughput == 50.0
+
+    def test_zero_elapsed_guard(self):
+        assert RunResult(0.0, 100).throughput == 0.0

@@ -1,0 +1,62 @@
+"""Tests for the Fig. 6.1 policy-driven readers/writers monitor."""
+
+import threading
+import time
+
+import pytest
+
+from repro.active import Policy
+from repro.problems.rw_policies import PolicyReadersWriters, run_rw_policy
+
+
+def _submit(fn):
+    """Submit a request from its own worker thread (distinct Rule-2 scope)."""
+    t = threading.Thread(target=fn, daemon=True)
+    t.start()
+    t.join(5)
+
+
+def _staged_monitor(policy: Policy) -> PolicyReadersWriters:
+    """A writer holds the monitor while one reader and one writer queue up
+    (reader submitted first)."""
+    m = PolicyReadersWriters(policy=policy)
+    m.start_write().get(timeout=10)          # occupy
+    _submit(m.start_read)                    # arrives first
+    time.sleep(0.02)
+    _submit(m.start_write)                   # arrives second
+    time.sleep(0.05)
+    return m
+
+
+class TestPreference:
+    def test_priority_prefers_writer(self):
+        m = _staged_monitor(Policy.PRIORITY)
+        try:
+            m.end_write().get(timeout=10)
+            time.sleep(0.1)
+            assert m.history[:2] == ["W", "W"], m.history
+        finally:
+            m.shutdown()
+
+    def test_fairness_serves_arrival_order(self):
+        m = _staged_monitor(Policy.FAIRNESS)
+        try:
+            m.end_write().get(timeout=10)
+            time.sleep(0.1)
+            assert m.history[:2] == ["W", "R"], m.history
+        finally:
+            m.shutdown()
+
+
+class TestSafety:
+    @pytest.mark.parametrize("policy", [Policy.SAFE, Policy.FAIRNESS, Policy.PRIORITY])
+    def test_completes_and_counts(self, policy):
+        result = run_rw_policy(policy, n_readers=4, n_writers=2, rounds=8)
+        history = result.extra["history"]
+        assert history.count("W") == 16
+        assert history.count("R") == 32
+
+    def test_no_starvation_under_fairness(self):
+        result = run_rw_policy(Policy.FAIRNESS, n_readers=6, n_writers=1, rounds=6)
+        # the lone writer finished all its rounds despite the reader flood
+        assert result.extra["history"].count("W") == 6

@@ -1,0 +1,92 @@
+"""Unit tests for monitor-server lifecycle and the hardware-cap registry."""
+
+import time
+
+from repro.active import ActiveMonitor, asynchronous
+from repro.active.management import ServerRegistry
+from repro.active.server import MonitorServer
+from repro.runtime import get_config
+
+
+class Tick(ActiveMonitor):
+    def __init__(self, **kw):
+        super().__init__(**kw)
+        self.count = 0
+
+    @asynchronous()
+    def tick(self):
+        self.count += 1
+
+
+class TestRegistry:
+    def test_cap_enforced(self):
+        cfg = get_config()
+        saved = cfg.max_server_threads
+        cfg.max_server_threads = 2
+        try:
+            monitors = [Tick() for _ in range(5)]
+            active = [m for m in monitors if m.is_active]
+            assert len(active) == 2
+            # denied monitors still work synchronously
+            denied = next(m for m in monitors if not m.is_active)
+            denied.tick()
+            assert denied.count == 1
+            for m in monitors:
+                m.shutdown()
+        finally:
+            cfg.max_server_threads = saved
+
+    def test_slot_freed_on_shutdown(self):
+        cfg = get_config()
+        saved = cfg.max_server_threads
+        cfg.max_server_threads = 1
+        try:
+            a = Tick()
+            assert a.is_active
+            b = Tick()
+            assert not b.is_active
+            a.shutdown()
+            c = Tick()
+            assert c.is_active
+            c.shutdown()
+            b.shutdown()
+        finally:
+            cfg.max_server_threads = saved
+
+    def test_registry_live_count(self):
+        registry = ServerRegistry()
+        assert registry.live_count() == 0
+
+
+class TestServerLifecycle:
+    def test_stop_is_idempotent(self):
+        m = Tick()
+        m.shutdown()
+        m.shutdown()
+        assert not m.is_active
+
+    def test_kick_on_empty_is_noop(self):
+        m = Tick()
+        try:
+            m.server.kick()
+        finally:
+            m.shutdown()
+
+    def test_tasks_drain_before_shutdown(self):
+        m = Tick()
+        for _ in range(20):
+            m.tick()
+        m.flush()
+        m.shutdown()
+        assert m.count == 20
+
+    def test_combining_metric_plausible(self):
+        m = Tick()
+        try:
+            for _ in range(50):
+                m.tick()
+            m.flush()
+            snap = m.metrics.snapshot()
+            assert snap["tasks_submitted"] >= 50
+        finally:
+            m.shutdown()

@@ -1,0 +1,92 @@
+"""Stateful model-based testing (hypothesis RuleBasedStateMachine).
+
+Drives the AutoSynch bounded queue single-threadedly against a plain deque
+model — puts/takes only when their guards hold (so nothing blocks) — and
+checks FIFO content, counters, and metrics invariants after every step.
+"""
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.problems.bounded_buffer import AutoBoundedQueue
+
+CAPACITY = 5
+
+
+class BoundedQueueMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.queue = AutoBoundedQueue(CAPACITY)
+        self.model: deque = deque()
+
+    @precondition(lambda self: len(self.model) < CAPACITY)
+    @rule(item=st.integers())
+    def put(self, item):
+        self.queue.put(item)
+        self.model.append(item)
+
+    @precondition(lambda self: len(self.model) > 0)
+    @rule()
+    def take(self):
+        got = self.queue.take()
+        want = self.model.popleft()
+        assert got == want
+
+    @invariant()
+    def count_matches_model(self):
+        assert self.queue.count == len(self.model)
+
+    @invariant()
+    def no_waiters_single_threaded(self):
+        assert self.queue.waiting_count() == 0
+
+    @invariant()
+    def never_blocked(self):
+        # single-threaded guarded driving ⇒ no waits, no signals needed
+        snap = self.queue.metrics.snapshot()
+        assert snap["waits"] == 0
+        assert snap["futile_wakeups"] == 0
+
+
+TestBoundedQueueModel = BoundedQueueMachine.TestCase
+TestBoundedQueueModel.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+
+
+class ParamQueueMachine(RuleBasedStateMachine):
+    """Same idea for the parameterized queue (threshold-tag predicates)."""
+
+    def __init__(self):
+        super().__init__()
+        from repro.problems.param_bounded_buffer import AutoParamQueue
+
+        self.capacity = 20
+        self.queue = AutoParamQueue(self.capacity)
+        self.level = 0
+
+    @rule(n=st.integers(1, 6))
+    def put_batch(self, n):
+        if self.level + n <= self.capacity:
+            self.queue.put(n)
+            self.level += n
+
+    @rule(n=st.integers(1, 6))
+    def take_batch(self, n):
+        if self.level >= n:
+            self.queue.take(n)
+            self.level -= n
+
+    @invariant()
+    def count_in_bounds(self):
+        assert self.queue.count == self.level
+        assert 0 <= self.queue.count <= self.capacity
+
+
+TestParamQueueModel = ParamQueueMachine.TestCase
+TestParamQueueModel.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

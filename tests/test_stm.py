@@ -1,0 +1,263 @@
+"""Unit + property tests for the TL2-style STM substrate."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stm import StmStats, TArray, TVar, atomic, current_transaction, retry, transactionally
+
+
+class TestBasics:
+    def test_nontransactional_read(self):
+        assert TVar(7).get() == 7
+
+    def test_set_outside_transaction_rejected(self):
+        with pytest.raises(RuntimeError):
+            TVar(0).set(1)
+
+    def test_atomic_read_write(self):
+        x = TVar(1)
+        atomic(lambda: x.set(x.get() + 1))
+        assert x.get() == 2
+
+    def test_atomic_returns_value(self):
+        x = TVar(5)
+        assert atomic(lambda: x.get() * 2) == 10
+
+    def test_modify_helper(self):
+        x = TVar(3)
+        atomic(lambda: x.modify(lambda v: v + 4))
+        assert x.get() == 7
+
+    def test_decorator_form(self):
+        x = TVar(0)
+
+        @transactionally
+        def bump(n):
+            x.set(x.get() + n)
+
+        bump(5)
+        assert x.get() == 5
+
+    def test_flat_nesting(self):
+        x = TVar(0)
+
+        def outer():
+            assert current_transaction() is not None
+            atomic(lambda: x.set(1))    # runs flat inside the outer txn
+            return x.get()
+
+        assert atomic(outer) == 1
+
+    def test_retry_outside_transaction_rejected(self):
+        with pytest.raises(RuntimeError):
+            retry()
+
+    def test_tarray(self):
+        arr = TArray(4, fill=0)
+        assert len(arr) == 4
+        atomic(lambda: arr.__setitem__(2, 9))
+        assert arr[2] == 9
+        assert len(list(arr.vars())) == 4
+
+
+class TestConcurrency:
+    def test_counter_is_atomic(self):
+        x = TVar(0)
+
+        def inc():
+            for _ in range(300):
+                atomic(lambda: x.set(x.get() + 1))
+
+        threads = [threading.Thread(target=inc, daemon=True) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert x.get() == 1200
+
+    def test_conflicts_are_counted(self):
+        stats = StmStats()
+        x = TVar(0)
+        barrier = threading.Barrier(4)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(200):
+                atomic(lambda: x.set(x.get() + 1), txn_stats=stats)
+
+        threads = [threading.Thread(target=hammer, daemon=True) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert stats.commits == 800
+        assert x.get() == 800
+
+    def test_retry_wakes_on_update(self):
+        flag, seen = TVar(False), []
+
+        def waiter():
+            def body():
+                if not flag.get():
+                    retry()
+                return True
+
+            seen.append(atomic(body))
+
+        t = threading.Thread(target=waiter, daemon=True)
+        t.start()
+        import time
+
+        time.sleep(0.05)
+        atomic(lambda: flag.set(True))
+        t.join(10)
+        assert seen == [True]
+
+    def test_isolation_no_torn_reads(self):
+        """Invariant a+b == 100 must hold in every transaction snapshot."""
+        a, b = TVar(50), TVar(50)
+        violations = []
+        stop = threading.Event()
+
+        def transfer():
+            while not stop.is_set():
+                def txn():
+                    amount = 1
+                    a.set(a.get() - amount)
+                    b.set(b.get() + amount)
+                atomic(txn)
+
+        def check():
+            while not stop.is_set():
+                def txn():
+                    return a.get() + b.get()
+                if atomic(txn) != 100:
+                    violations.append(1)
+
+        workers = [threading.Thread(target=transfer, daemon=True) for _ in range(2)]
+        checker = threading.Thread(target=check, daemon=True)
+        for t in workers + [checker]:
+            t.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for t in workers + [checker]:
+            t.join(10)
+        assert not violations
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    transfers=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(1, 5)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_random_transfers_conserve_sum(transfers):
+    """Serializability property: concurrent random transfers preserve the
+    total balance."""
+    accounts = [TVar(100) for _ in range(4)]
+    chunk = (len(transfers) + 1) // 2
+    shards = [transfers[:chunk], transfers[chunk:]]
+
+    def worker(shard):
+        for src, dst, amount in shard:
+            def txn():
+                accounts[src].set(accounts[src].get() - amount)
+                accounts[dst].set(accounts[dst].get() + amount)
+            atomic(txn)
+
+    threads = [threading.Thread(target=worker, args=(s,), daemon=True) for s in shards]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+    assert sum(v.get() for v in accounts) == 400
+
+
+class TestBlockingRetry:
+    """The transaction-friendly-condvar extension ([WLS14]-style)."""
+
+    def test_blocking_retry_wakes_on_commit(self):
+        from repro.stm.tl2 import atomic as _atomic
+
+        flag, seen = TVar(False), []
+
+        def waiter():
+            def body():
+                if not flag.get():
+                    retry()
+                return "woke"
+
+            seen.append(_atomic(body, blocking_retry=True))
+
+        t = threading.Thread(target=waiter, daemon=True)
+        t.start()
+        import time
+
+        time.sleep(0.05)
+        assert not seen
+        atomic(lambda: flag.set(True))
+        t.join(10)
+        assert seen == ["woke"]
+
+    def test_unrelated_commit_does_not_wake(self):
+        from repro.stm.tl2 import _retry_waiters, atomic as _atomic
+
+        flag, other, seen = TVar(False), TVar(0), []
+
+        def waiter():
+            def body():
+                if not flag.get():
+                    retry()
+                return True
+
+            seen.append(_atomic(body, blocking_retry=True))
+
+        t = threading.Thread(target=waiter, daemon=True)
+        t.start()
+        import time
+
+        time.sleep(0.05)
+        atomic(lambda: other.set(1))       # unrelated variable
+        time.sleep(0.05)
+        assert not seen                    # still parked
+        atomic(lambda: flag.set(True))
+        t.join(10)
+        assert seen == [True]
+        assert not _retry_waiters          # registry fully cleaned up
+
+    def test_many_blocking_waiters(self):
+        from repro.stm.tl2 import atomic as _atomic
+
+        gate = TVar(0)
+        done = []
+        lock = threading.Lock()
+
+        def waiter(k):
+            def body():
+                if gate.get() < k:
+                    retry()
+                return k
+
+            result = _atomic(body, blocking_retry=True)
+            with lock:
+                done.append(result)
+
+        threads = [threading.Thread(target=waiter, args=(k,), daemon=True) for k in range(1, 6)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.05)
+        for v in range(1, 6):
+            atomic(lambda v=v: gate.set(v))
+            time.sleep(0.01)
+        for t in threads:
+            t.join(15)
+        assert sorted(done) == [1, 2, 3, 4, 5]

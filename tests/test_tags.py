@@ -1,0 +1,67 @@
+"""Unit tests for predicate tagging (Algorithm 1)."""
+
+from repro.core.expressions import S
+from repro.core.predicates import Predicate
+from repro.core.tags import TagKind, tag_conjunction, tag_predicate
+
+
+def _tags_of(condition):
+    return tag_predicate(Predicate(condition).conjunctions)
+
+
+class TestTagAssignment:
+    def test_equivalence_tag(self):
+        (tag,) = _tags_of(S.x == 5)
+        assert tag.kind is TagKind.EQUIVALENCE
+        assert tag.key == 5
+
+    def test_threshold_tag(self):
+        (tag,) = _tags_of(S.x >= 3)
+        assert tag.kind is TagKind.THRESHOLD
+        assert tag.op == ">="
+        assert tag.key == 3
+
+    def test_opaque_function_gets_none_tag(self):
+        (tag,) = _tags_of(lambda: True)
+        assert tag.kind is TagKind.NONE
+
+    def test_disequality_gets_none_tag(self):
+        (tag,) = _tags_of(S.x != 5)
+        assert tag.kind is TagKind.NONE
+
+    def test_equivalence_beats_threshold(self):
+        # paper §2.4.1: the equivalence tag has the highest priority
+        (tag,) = _tags_of((S.x > 3) & (S.y == 9))
+        assert tag.kind is TagKind.EQUIVALENCE
+        assert tag.key == 9
+
+    def test_one_tag_per_conjunction(self):
+        # (x = 8) & (y = 9): only one (arbitrary) equivalence tag is created
+        (tag,) = _tags_of((S.x == 8) & (S.y == 9))
+        assert tag.kind is TagKind.EQUIVALENCE
+
+    def test_disjunction_tags_every_clause(self):
+        tags = _tags_of(((S.x < 5) & (S.y == 3)) | (S.x > 5) | (lambda: False))
+        kinds = sorted(t.kind.value for t in tags)
+        assert kinds == ["equivalence", "none", "threshold"]
+
+    def test_shared_conjunct_same_identity(self):
+        # (x = 5) & (z <= 4) and (x = 5) & (y >= 4) share the x=5 tag
+        (t1,) = _tags_of((S.x == 5) & (S.z <= 4))
+        (t2,) = _tags_of((S.x == 5) & (S.y >= 4))
+        assert t1.identity() == t2.identity()
+
+    def test_parameterized_threshold_tags_differ_by_key(self):
+        (t1,) = _tags_of(S.count >= 10)
+        (t2,) = _tags_of(S.count >= 20)
+        assert t1.expr_key == t2.expr_key
+        assert t1.key != t2.key
+
+    def test_unhashable_constant_falls_back_to_none(self):
+        (tag,) = _tags_of(S.x >= [1, 2])   # silly but must not crash
+        assert tag.kind is TagKind.NONE
+
+    def test_conjunction_helper_matches(self):
+        pred = Predicate((S.x == 1) | (S.y > 2))
+        for conj, tag in zip(pred.conjunctions, tag_predicate(pred.conjunctions)):
+            assert tag_conjunction(conj).identity() == tag.identity()

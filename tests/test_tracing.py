@@ -1,0 +1,142 @@
+"""Tests for the synchronization event tracer."""
+
+import threading
+import time
+
+from repro.core import Monitor, S
+from repro.runtime.tracing import TraceEvent, Tracer
+
+
+class Gate(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.level = 0
+
+    def bump(self):
+        self.level += 1
+
+    def wait_for(self, k):
+        self.wait_until(S.level >= k)
+
+
+class TestTracer:
+    def test_records_wait_signal_wakeup(self):
+        g = Gate()
+        tracer = Tracer()
+        tracer.attach(g)
+        try:
+            t = threading.Thread(target=lambda: g.wait_for(1), daemon=True)
+            t.start()
+            time.sleep(0.05)
+            g.bump()
+            t.join(5)
+        finally:
+            tracer.detach_all()
+        kinds = tracer.counts()
+        assert kinds.get("wait") == 1
+        assert kinds.get("signal", 0) >= 1
+        assert kinds.get("wakeup", 0) >= 1
+
+    def test_events_ordered_and_attributed(self):
+        g = Gate()
+        with Tracer() as tracer:
+            tracer.attach(g)
+            t = threading.Thread(target=lambda: g.wait_for(1), daemon=True)
+            t.start()
+            time.sleep(0.05)
+            g.bump()
+            t.join(5)
+            tracer.detach_all()
+        events = tracer.events()
+        assert all(isinstance(e, TraceEvent) for e in events)
+        times = [e.t for e in events]
+        assert times == sorted(times)
+        assert all(e.monitor == g.monitor_id for e in events)
+
+    def test_detach_stops_recording(self):
+        g = Gate()
+        tracer = Tracer()
+        tracer.attach(g)
+        g.bump()
+        tracer.detach_all()
+        before = len(tracer)
+        g.bump()
+        assert len(tracer) == before
+
+    def test_ring_buffer_bounded(self):
+        g = Gate()
+        tracer = Tracer(capacity=5)
+        tracer.attach(g)
+        try:
+            for _ in range(10):
+                tracer.record(g.monitor_id, "signal")
+        finally:
+            tracer.detach_all()
+        assert len(tracer) == 5
+
+    def test_filter_by_kind(self):
+        tracer = Tracer()
+        tracer.record(1, "wait")
+        tracer.record(1, "signal")
+        tracer.record(1, "signal")
+        assert len(tracer.events("signal")) == 2
+        assert len(tracer.events("wait")) == 1
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(1, "wait")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_str_rendering(self):
+        event = TraceEvent(t=0.5, thread=1, monitor=2, kind="signal", detail="x")
+        text = str(event)
+        assert "signal" in text and "mon#2" in text
+
+    def test_metrics_still_counted_while_traced(self):
+        g = Gate()
+        tracer = Tracer()
+        tracer.attach(g)
+        try:
+            t = threading.Thread(target=lambda: g.wait_for(1), daemon=True)
+            t.start()
+            time.sleep(0.05)
+            g.bump()
+            t.join(5)
+        finally:
+            tracer.detach_all()
+        snap = g.metrics.snapshot()
+        assert snap["waits"] == 1
+        assert snap["signals"] >= 1
+
+
+class TestMultiMonitorTracing:
+    def test_two_monitors_one_tracer(self):
+        a, b = Gate(), Gate()
+        tracer = Tracer()
+        tracer.attach(a)
+        tracer.attach(b)
+        try:
+            ta = threading.Thread(target=lambda: a.wait_for(1), daemon=True)
+            tb = threading.Thread(target=lambda: b.wait_for(1), daemon=True)
+            ta.start()
+            tb.start()
+            time.sleep(0.05)
+            a.bump()
+            b.bump()
+            ta.join(5)
+            tb.join(5)
+        finally:
+            tracer.detach_all()
+        monitors = {e.monitor for e in tracer.events()}
+        assert monitors == {a.monitor_id, b.monitor_id}
+
+    def test_detach_all_restores_both(self):
+        a, b = Gate(), Gate()
+        tracer = Tracer()
+        bump_a, bump_b = a.metrics.bump, b.metrics.bump
+        tracer.attach(a)
+        tracer.attach(b)
+        tracer.detach_all()
+        assert a.metrics.bump == bump_a
+        assert b.metrics.bump == bump_b
