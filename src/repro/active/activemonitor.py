@@ -141,7 +141,8 @@ class ActiveMonitor(Monitor):
         self._monitor_enter()
         try:
             if pre is not None:
-                self.wait_until(lambda: pre(self, *args, **kwargs))
+                # monlint requires guards pure by contract (docs/analysis.md)
+                self.wait_until(lambda: pre(self, *args, **kwargs))  # monlint: disable=W001
             result = fn(self, *args, **kwargs)
         except BaseException as exc:
             if wrap_future:

@@ -88,7 +88,7 @@ class MonitorServer:
         """Worker-side combining (§3.3.2): if the monitor lock is free, this
         worker becomes the combiner and drains up to ``combining_batch``
         tasks before releasing — an uncontended acquisition in most cases."""
-        lock = self.monitor._lock
+        lock = self.monitor._lock  # monlint: disable=W004 — combiner protocol owns the lock
         if not lock.acquire(blocking=False):
             return False
         try:
@@ -114,7 +114,7 @@ class MonitorServer:
             self._wake.clear()
             if self._stop:
                 break
-            with monitor._lock:
+            with monitor._lock:  # monlint: disable=W004 — server thread is the monitor's executor
                 monitor._depth += 1
                 try:
                     self._drain_batch(None)

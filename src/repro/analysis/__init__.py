@@ -1,0 +1,49 @@
+"""``repro.analysis`` — monlint: static + dynamic monitor-usage checking.
+
+Static side (pure AST, no project code executed)::
+
+    from repro.analysis import lint_paths, lint_source
+    findings = lint_paths(["src", "examples"])
+
+or from a shell: ``python -m repro.analysis src examples`` / ``monlint``.
+
+Dynamic side (opt-in runtime assertions, see :mod:`repro.analysis.runtime`)::
+
+    from repro.analysis import runtime as monlint_runtime
+    monlint_runtime.enable_checks()
+
+This ``__init__`` stays import-light on purpose: ``repro.core.monitor``
+imports :mod:`repro.analysis.runtime` for its (disabled-by-default) hooks,
+so the linter machinery is loaded lazily via PEP 562.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import runtime  # noqa: F401  (hot-path hooks)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "lint_paths",
+    "lint_source",
+    "lint_sources",
+    "runtime",
+]
+
+_LAZY = {
+    "Finding": ("repro.analysis.findings", "Finding"),
+    "Severity": ("repro.analysis.findings", "Severity"),
+    "lint_paths": ("repro.analysis.linter", "lint_paths"),
+    "lint_source": ("repro.analysis.linter", "lint_source"),
+    "lint_sources": ("repro.analysis.linter", "lint_sources"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(name) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

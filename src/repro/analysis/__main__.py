@@ -1,0 +1,7 @@
+"""``python -m repro.analysis <paths>`` — run the monlint CLI."""
+
+import sys
+
+from repro.analysis.cli import main
+
+sys.exit(main())

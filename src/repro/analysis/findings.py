@@ -1,0 +1,119 @@
+"""Finding records and suppression handling for monlint.
+
+A :class:`Finding` is one rule violation anchored to a source location.
+Suppression mirrors the familiar linter idiom::
+
+    self.items.pop()          # monlint: disable=W001
+    # monlint: disable-file=W004   (anywhere in the file: whole-file)
+    risky_line()              # monlint: disable        (all codes)
+
+Line suppressions apply to findings anchored on the *same physical line* as
+the comment; ``disable-file`` applies to the whole module.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Ordered so thresholds can compare: HINT < WARNING < ERROR."""
+
+    HINT = 1
+    WARNING = 2
+    ERROR = 3
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str          #: "W001" … "W005" (or "E999" for unparsable input)
+    severity: Severity
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    rule_name: str = ""
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_name,
+        }
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*monlint:\s*(disable(?:-file)?)\s*(?:=\s*([A-Za-z0-9_,\s]+))?"
+)
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression table parsed from ``# monlint:`` comments."""
+
+    #: line number → codes suppressed there; ``None`` means "all codes"
+    by_line: dict[int, set[str] | None] = field(default_factory=dict)
+    #: file-wide suppressed codes (empty set in the *values* sense never
+    #: occurs here; ``all_file`` covers the bare ``disable-file`` form)
+    file_codes: set[str] = field(default_factory=set)
+    all_file: bool = False
+
+    @classmethod
+    def parse(cls, source: str) -> "Suppressions":
+        supp = cls()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "monlint" not in line:
+                continue
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            directive, codes_text = match.groups()
+            codes = {
+                c.strip().upper()
+                for c in (codes_text or "").split(",")
+                if c.strip()
+            }
+            if directive == "disable-file":
+                if codes:
+                    supp.file_codes |= codes
+                else:
+                    supp.all_file = True
+            else:
+                if codes:
+                    current = supp.by_line.get(lineno, set())
+                    if current is not None:  # a bare `disable` (all) wins
+                        supp.by_line[lineno] = current | codes
+                else:
+                    supp.by_line[lineno] = None
+        return supp
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if self.all_file or finding.code in self.file_codes:
+            return True
+        if finding.line not in self.by_line:
+            return False
+        codes = self.by_line[finding.line]
+        return codes is None or finding.code in codes
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: Suppressions
+) -> list[Finding]:
+    return [f for f in findings if not suppressions.is_suppressed(f)]

@@ -1,0 +1,123 @@
+"""monlint orchestration: files → models → rules → findings.
+
+Linting is a two-pass process so the cross-class lock-order graph (rule
+W004) can span modules: pass 1 parses every file and collects the names of
+all monitor subclasses in the project; pass 2 builds full models with that
+global knowledge, runs every rule per module, then the graph-level
+finalizers once.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding, Severity, apply_suppressions
+from repro.analysis.model import (
+    ModuleModel,
+    build_module_model,
+    discover_monitor_names,
+)
+from repro.analysis.rules import ProjectContext, make_rules
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            out.add(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(out)
+
+
+def _syntax_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        code="E999",
+        severity=Severity.ERROR,
+        message=f"cannot parse file: {exc.msg}",
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        rule_name="syntax-error",
+    )
+
+
+def lint_sources(
+    sources: Sequence[tuple[str, str]],
+    select: set[str] | None = None,
+    disable: set[str] | None = None,
+) -> list[Finding]:
+    """Lint ``(path, source)`` pairs as one project.
+
+    Returns findings sorted by (path, line, code), with per-file
+    ``# monlint: disable`` suppressions already applied.
+    """
+    rules = make_rules(select=select, disable=disable)
+    ctx = ProjectContext()
+    findings: list[Finding] = []
+
+    # pass 1: project-wide monitor class names (cheap parse reused below)
+    trees: dict[str, ast.Module] = {}
+    project_names: set[str] = set()
+    for path, source in sources:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            findings.append(_syntax_finding(path, exc))
+            continue
+        trees[path] = tree
+        project_names |= discover_monitor_names(tree, set())
+
+    # pass 2: full models + rules
+    models: list[ModuleModel] = []
+    for path, source in sources:
+        if path not in trees:
+            continue  # unparsable, already reported
+        model = build_module_model(source, path, project_names)
+        ctx.register(model)
+        models.append(model)
+
+    suppressions = {m.path: m.suppressions for m in models}
+    for model in models:
+        module_findings: list[Finding] = []
+        for rule in rules:
+            module_findings.extend(rule.check(model, ctx))
+        findings.extend(apply_suppressions(module_findings, model.suppressions))
+
+    for rule in rules:
+        for finding in rule.finalize(ctx):
+            supp = suppressions.get(finding.path)
+            if supp is not None and supp.is_suppressed(finding):
+                continue
+            findings.append(finding)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: set[str] | None = None,
+    disable: set[str] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory module."""
+    return lint_sources([(path, source)], select=select, disable=disable)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    select: set[str] | None = None,
+    disable: set[str] | None = None,
+) -> list[Finding]:
+    """Lint files and/or directory trees as one project."""
+    sources: list[tuple[str, str]] = []
+    for file in iter_python_files(paths):
+        sources.append((str(file), file.read_text(encoding="utf-8")))
+    return lint_sources(sources, select=select, disable=disable)

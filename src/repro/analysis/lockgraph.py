@@ -1,0 +1,106 @@
+"""Cross-class lock-order graph for rule W004.
+
+Every *nested* monitor acquisition the linter can see adds a directed edge
+``A → B``: "code holding A's lock may acquire B's lock".  The paper's
+deadlock-freedom argument (§4.1) rests on all multi-object acquisitions
+going through ``multisynch``'s global ascending-id order; hand-nested
+acquisitions reintroduce order chosen by the programmer, and a *cycle* in
+this graph is exactly the classic circular-wait condition.
+
+The graph is collected across all linted files (monitors of class A in one
+module may call monitors of class B defined in another), then condensed
+with Tarjan's strongly-connected-components algorithm; every non-trivial
+SCC — or a self-loop — is reported once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    src: str        #: monitor class holding its lock
+    dst: str        #: monitor class whose lock is then acquired
+    path: str
+    lineno: int
+
+
+@dataclass
+class LockOrderGraph:
+    edges: list[LockEdge] = field(default_factory=list)
+
+    def add_edge(self, src: str, dst: str, path: str, lineno: int) -> None:
+        self.edges.append(LockEdge(src, dst, path, lineno))
+
+    def adjacency(self) -> dict[str, set[str]]:
+        adj: dict[str, set[str]] = {}
+        for edge in self.edges:
+            adj.setdefault(edge.src, set()).add(edge.dst)
+            adj.setdefault(edge.dst, set())
+        return adj
+
+    def cycles(self) -> list[list[str]]:
+        """Non-trivial strongly connected components (plus self-loops),
+        each returned as a sorted list of participating class names."""
+        adj = self.adjacency()
+        index: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = [0]
+        sccs: list[list[str]] = []
+
+        def strongconnect(v: str) -> None:
+            # iterative Tarjan (avoid recursion limits on big graphs)
+            work = [(v, iter(sorted(adj[v])))]
+            index[v] = lowlink[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(adj[succ]))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: list[str] = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        component.append(w)
+                        if w == node:
+                            break
+                    if len(component) > 1:
+                        sccs.append(sorted(component))
+                    elif component[0] in adj[component[0]]:  # self-loop
+                        sccs.append(component)
+
+        for vertex in sorted(adj):
+            if vertex not in index:
+                strongconnect(vertex)
+        return sccs
+
+    def anchor_for(self, component: list[str]) -> LockEdge:
+        """A representative edge inside the component, for the finding's
+        source location (deterministic: smallest path/line)."""
+        members = set(component)
+        candidates = [
+            e for e in self.edges if e.src in members and e.dst in members
+        ]
+        return min(candidates, key=lambda e: (e.path, e.lineno))

@@ -1,0 +1,352 @@
+"""AST model of a module, specialised for monitor usage analysis.
+
+The linter reasons about the same constructs the runtime does — this module
+turns a parsed file into a small relational model of them:
+
+* which classes are (transitively) :class:`~repro.core.monitor.Monitor`
+  subclasses, and how each method participates in synchronization
+  (synchronized / ``@unmonitored`` / static / private / dunder);
+* every wait site — the preprocessor's ``waituntil(expr)`` statement form
+  (see :mod:`repro.preprocess.transformer`), direct ``self.wait_until(expr)``
+  calls, and ``ms.wait_until(expr)`` global waits;
+* every ``self.attr`` write, with location;
+* which attributes / locals hold monitor objects (for the cross-class
+  lock-order graph of rule W004).
+
+The model is purely syntactic; no project code is imported or executed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Suppressions
+
+#: Class names treated as monitor bases when they appear in a bases list.
+MONITOR_BASE_NAMES = {"Monitor", "ActiveMonitor", "SimMonitor"}
+
+#: Monitor attributes that never take the monitor lock — calls to these do
+#: not create lock-order edges.
+NONLOCKING_MONITOR_ATTRS = {
+    "wait_until",
+    "monitor_id",
+    "metrics",
+    "waiting_count",
+    "dump_waiters",
+    "signal_hint",
+}
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """``Monitor`` / ``core.Monitor`` → the trailing identifier."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _annotation_name(node: ast.expr | None) -> str | None:
+    """Resolve a parameter/attribute annotation to a bare class name
+    (handles string annotations like ``"Account"``)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split(".")[-1].strip()
+    return _base_name(node)
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = _base_name(target)
+        if name:
+            names.add(name)
+    return names
+
+
+@dataclass(frozen=True)
+class AttrWrite:
+    """``<obj>.<attr> = ...`` (or augmented / annotated assignment)."""
+
+    obj: str       #: "self", a local variable name, or a dotted base
+    attr: str
+    lineno: int
+    col: int
+
+
+@dataclass
+class WaitSite:
+    """One predicate-bearing wait call."""
+
+    form: str            #: "waituntil" | "wait_until" | "multi_wait"
+    expr: ast.expr       #: the predicate expression (first positional arg)
+    call: ast.Call
+    lineno: int
+    col: int
+
+
+@dataclass
+class MethodModel:
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    kind: str            #: synchronized | unmonitored | static | private | dunder
+    self_name: Optional[str]
+    waits: list[WaitSite] = field(default_factory=list)
+    self_writes: list[AttrWrite] = field(default_factory=list)
+    global_names: set[str] = field(default_factory=set)
+
+
+@dataclass
+class MonitorClassModel:
+    name: str
+    node: ast.ClassDef
+    methods: dict[str, MethodModel] = field(default_factory=dict)
+    #: non-underscore attributes assigned in __init__ (the shared state)
+    shared_attrs: set[str] = field(default_factory=set)
+    #: attr name → monitor class name, for attributes holding monitors
+    monitor_attrs: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def sync_method_names(self) -> set[str]:
+        return {m.name for m in self.methods.values() if m.kind == "synchronized"}
+
+
+@dataclass
+class ModuleModel:
+    path: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+    monitor_classes: list[MonitorClassModel] = field(default_factory=list)
+    #: monitor class names defined in *this* module
+    local_monitor_names: set[str] = field(default_factory=set)
+    #: local + project-wide monitor class names (set by the linter)
+    known_monitor_names: set[str] = field(default_factory=set)
+    #: module-level bound names (imports, defs, classes, assignments) —
+    #: anything here referenced from a predicate is not a frozen local
+    module_names: set[str] = field(default_factory=set)
+
+    def iter_methods(self) -> Iterator[tuple[MonitorClassModel, MethodModel]]:
+        for cls in self.monitor_classes:
+            for method in cls.methods.values():
+                yield cls, method
+
+
+# --------------------------------------------------------------------------
+# extraction helpers (shared by model building and by individual rules)
+# --------------------------------------------------------------------------
+
+def collect_wait_sites(func: ast.AST, self_name: str | None) -> list[WaitSite]:
+    """All wait calls lexically inside ``func`` (nested lambdas included)."""
+    sites: list[WaitSite] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        fn = node.func
+        if isinstance(fn, ast.Name) and fn.id == "waituntil":
+            form = "waituntil"
+        elif isinstance(fn, ast.Attribute) and fn.attr == "wait_until":
+            base = fn.value
+            if (
+                self_name is not None
+                and isinstance(base, ast.Name)
+                and base.id == self_name
+            ):
+                form = "wait_until"
+            else:
+                form = "multi_wait"
+        else:
+            continue
+        sites.append(
+            WaitSite(
+                form=form,
+                expr=node.args[0],
+                call=node,
+                lineno=node.lineno,
+                col=node.col_offset,
+            )
+        )
+    return sites
+
+
+def collect_attr_writes(func: ast.AST) -> list[AttrWrite]:
+    """Attribute assignments (``x.attr = v``, ``x.attr += v``) in ``func``."""
+    writes: list[AttrWrite] = []
+
+    def record(target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                record(elt)
+            return
+        if isinstance(target, ast.Attribute):
+            base = target.value
+            if isinstance(base, ast.Name):
+                obj = base.id
+            elif isinstance(base, ast.Attribute):
+                obj = ast.unparse(base)
+            else:
+                return
+            writes.append(
+                AttrWrite(obj, target.attr, target.lineno, target.col_offset)
+            )
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                record(target)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            record(node.target)
+    return writes
+
+
+def monitor_locals(func: ast.AST, known_monitor_names: set[str]) -> dict[str, str]:
+    """Local names bound to freshly constructed monitor objects:
+    ``q = BoundedQueue(...)`` → ``{"q": "BoundedQueue"}``."""
+    out: dict[str, str] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        if isinstance(value, ast.Call):
+            name = _base_name(value.func)
+            if name in known_monitor_names:
+                out[target.id] = name
+    return out
+
+
+def _method_kind(node: ast.FunctionDef | ast.AsyncFunctionDef) -> str:
+    decorators = _decorator_names(node)
+    if {"staticmethod", "classmethod", "property"} & decorators:
+        return "static"
+    if "unmonitored" in decorators:
+        return "unmonitored"
+    if node.name.startswith("__") and node.name.endswith("__"):
+        return "dunder"
+    if node.name.startswith("_"):
+        return "private"
+    return "synchronized"
+
+
+def _build_method(node: ast.FunctionDef | ast.AsyncFunctionDef) -> MethodModel:
+    self_name: str | None = None
+    if node.args.args and _method_kind(node) != "static":
+        self_name = node.args.args[0].arg
+    method = MethodModel(
+        name=node.name,
+        node=node,
+        kind=_method_kind(node),
+        self_name=self_name,
+    )
+    method.waits = collect_wait_sites(node, self_name)
+    if self_name is not None:
+        method.self_writes = [
+            w for w in collect_attr_writes(node) if w.obj == self_name
+        ]
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Global, ast.Nonlocal)):
+            method.global_names |= set(sub.names)
+    return method
+
+
+def _build_monitor_class(
+    node: ast.ClassDef, known_monitor_names: set[str]
+) -> MonitorClassModel:
+    cls = MonitorClassModel(name=node.name, node=node)
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            cls.methods[item.name] = _build_method(item)
+
+    init = cls.methods.get("__init__")
+    if init is not None and init.self_name is not None:
+        param_types = {
+            arg.arg: _annotation_name(arg.annotation)
+            for arg in init.node.args.args[1:]
+        }
+        for stmt in ast.walk(init.node):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = list(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                elts = target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+                for elt in elts:
+                    if not (
+                        isinstance(elt, ast.Attribute)
+                        and isinstance(elt.value, ast.Name)
+                        and elt.value.id == init.self_name
+                    ):
+                        continue
+                    if not elt.attr.startswith("_"):
+                        cls.shared_attrs.add(elt.attr)
+                    mon_cls = None
+                    if isinstance(value, ast.Call):
+                        name = _base_name(value.func)
+                        if name in known_monitor_names:
+                            mon_cls = name
+                    elif isinstance(value, ast.Name):
+                        ann = param_types.get(value.id)
+                        if ann in known_monitor_names:
+                            mon_cls = ann
+                    if mon_cls is not None:
+                        cls.monitor_attrs[elt.attr] = mon_cls
+    return cls
+
+
+def discover_monitor_names(tree: ast.Module, seed: set[str]) -> set[str]:
+    """Transitive closure of classes extending a known monitor base."""
+    known = set(seed) | MONITOR_BASE_NAMES
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or node.name in known:
+                continue
+            for base in node.bases:
+                if _base_name(base) in known:
+                    known.add(node.name)
+                    changed = True
+                    break
+    return known
+
+
+def build_module_model(
+    source: str, path: str, project_monitor_names: set[str] | None = None
+) -> ModuleModel:
+    """Parse ``source`` and build the analysis model (raises SyntaxError)."""
+    tree = ast.parse(source, filename=path)
+    known = discover_monitor_names(tree, project_monitor_names or set())
+    model = ModuleModel(
+        path=path,
+        source=source,
+        tree=tree,
+        suppressions=Suppressions.parse(source),
+        known_monitor_names=known,
+    )
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name in known:
+            model.local_monitor_names.add(node.name)
+            model.monitor_classes.append(_build_monitor_class(node, known))
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            model.module_names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    model.module_names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            model.module_names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                model.module_names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                model.module_names.add(alias.asname or alias.name)
+    return model

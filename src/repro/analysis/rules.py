@@ -1,0 +1,790 @@
+"""monlint rules W001–W005.
+
+Each rule is a small class with a ``code``, ``severity`` and a
+``check(module, ctx)`` generator; W004 additionally contributes edges to the
+project-wide lock-order graph and reports cycles in ``finalize``.
+
+Paper grounding (see ``docs/analysis.md`` for the full discussion):
+
+* **W001** — predicate closure (Def. 2) requires ``waituntil`` conditions to
+  be pure functions of shared + frozen-local state; side effects during
+  evaluation break Prop. 1 (any thread may evaluate any closed predicate).
+* **W002** — the closure freezes locals *at the wait*; reassigning a
+  captured local afterwards and then mutating shared state suggests the
+  programmer expected the predicate to track the new value.
+* **W003** — relay invariance (Def. 5) only holds if every shared-state
+  write happens inside a monitor section, so the exiting thread can signal
+  a waiter whose predicate became true.
+* **W004** — deadlock freedom (§4.1) rests on *all* multi-object
+  acquisitions going through ``multisynch``'s ascending-id order; nested or
+  hand-rolled acquisition reintroduces programmer-chosen order, and a cycle
+  in the resulting lock graph is the classic circular wait.
+* **W005** — a predicate that is structurally ``shared op constant`` but
+  reaches the runtime as an opaque callable falls to the ``None`` tag
+  (Algorithm 1) and degrades relay signaling to a linear scan.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.lockgraph import LockOrderGraph
+from repro.analysis.model import (
+    NONLOCKING_MONITOR_ATTRS,
+    MethodModel,
+    ModuleModel,
+    MonitorClassModel,
+    WaitSite,
+    _base_name,
+    _annotation_name,
+    collect_attr_writes,
+    collect_wait_sites,
+    monitor_locals,
+)
+
+_TRY_TYPES = (ast.Try,) + (
+    (ast.TryStar,) if hasattr(ast, "TryStar") else ()
+)
+
+_BUILTIN_NAMES = set(dir(builtins))
+
+#: builtins whose call is (or may be) side-effecting
+_IMPURE_BUILTINS = {
+    "print", "input", "open", "exec", "eval", "compile", "setattr",
+    "delattr", "next", "__import__", "breakpoint", "vars", "globals",
+}
+
+#: extra callables known pure in predicate position (the DSL constructors)
+_PURE_EXTRA = {"local", "complex_pred", "S"}
+
+#: method names that mutate their receiver — calling one inside a predicate
+#: is a definite closure violation
+_MUTATING_METHODS = {
+    "append", "appendleft", "extend", "insert", "remove", "discard",
+    "clear", "pop", "popleft", "popitem", "update", "add", "put", "take",
+    "push", "write", "acquire", "release", "notify", "notify_all",
+    "signal", "set", "setdefault", "sort", "reverse", "send", "submit",
+    "consume", "produce", "increment", "decrement",
+}
+
+
+class ProjectContext:
+    """State shared across all modules of one lint run."""
+
+    def __init__(self) -> None:
+        self.lock_graph = LockOrderGraph()
+        self.monitor_names: set[str] = set()
+        #: class name → its model (last definition wins on name clashes)
+        self.classes: dict[str, MonitorClassModel] = {}
+        self._walkers: dict[str, "_SyncWalker"] = {}
+
+    def register(self, module: ModuleModel) -> None:
+        self.monitor_names |= module.local_monitor_names
+        for cls in module.monitor_classes:
+            self.classes[cls.name] = cls
+
+    def sync_walker(self, module: ModuleModel) -> "_SyncWalker":
+        """One shared walk per module (W003 and W004 both consume it;
+        caching also keeps lock-graph edges from being recorded twice)."""
+        walker = self._walkers.get(module.path)
+        if walker is None:
+            walker = _SyncWalker(module, self)
+            walker.run()
+            self._walkers[module.path] = walker
+        return walker
+
+    def target_is_synchronized(self, cls_name: str, method: str) -> bool:
+        """Does calling ``<cls_name>.<method>()`` take the monitor lock?
+        Unknown classes/methods are conservatively assumed synchronized."""
+        if method.startswith("_") or method in NONLOCKING_MONITOR_ATTRS:
+            return False
+        cls = self.classes.get(cls_name)
+        if cls is None or method not in cls.methods:
+            return True
+        return cls.methods[method].kind == "synchronized"
+
+
+class Rule:
+    code = ""
+    name = ""
+    severity = Severity.WARNING
+
+    def check(self, module: ModuleModel, ctx: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finalize(self, ctx: ProjectContext) -> Iterator[Finding]:
+        return iter(())
+
+    def _finding(self, module_path: str, node_or_line, message: str, col: int = 0) -> Finding:
+        if isinstance(node_or_line, int):
+            line = node_or_line
+        else:
+            line = getattr(node_or_line, "lineno", 1)
+            col = getattr(node_or_line, "col_offset", col)
+        return Finding(
+            code=self.code,
+            severity=self.severity,
+            message=message,
+            path=module_path,
+            line=line,
+            col=col,
+            rule_name=self.name,
+        )
+
+
+# ---------------------------------------------------------------------------
+# W001 — non-closed predicate
+# ---------------------------------------------------------------------------
+
+class NonClosedPredicate(Rule):
+    code = "W001"
+    name = "non-closed-predicate"
+    severity = Severity.ERROR
+
+    def check(self, module: ModuleModel, ctx: ProjectContext) -> Iterator[Finding]:
+        for cls, method in module.iter_methods():
+            for site in method.waits:
+                yield from self._check_site(module, site, cls, method)
+        # wait sites outside monitor classes (module functions, plain
+        # classes driving multisynch blocks, …)
+        monitor_nodes = {cls.node for cls in module.monitor_classes}
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for site in collect_wait_sites(node, None):
+                    yield from self._check_site(module, site, None, None)
+            elif isinstance(node, ast.ClassDef) and node not in monitor_nodes:
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        for site in collect_wait_sites(item, None):
+                            yield from self._check_site(module, site, None, None)
+
+    def _check_site(
+        self,
+        module: ModuleModel,
+        site: WaitSite,
+        cls: MonitorClassModel | None,
+        method: MethodModel | None,
+    ) -> Iterator[Finding]:
+        sync_names = cls.sync_method_names if cls is not None else set()
+        self_name = method.self_name if method is not None else None
+        global_names = method.global_names if method is not None else set()
+        for node in ast.walk(site.expr):
+            if isinstance(node, ast.NamedExpr):
+                yield self._finding(
+                    module.path, node,
+                    "assignment expression inside a waituntil predicate — "
+                    "predicates must be closed (side-effect free, Def. 2)",
+                )
+            elif isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom)):
+                yield self._finding(
+                    module.path, node,
+                    "await/yield inside a waituntil predicate — predicates "
+                    "must be closed (side-effect free, Def. 2)",
+                )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(
+                    module, node, self_name, sync_names
+                )
+            elif (
+                isinstance(node, ast.Name)
+                and node.id in global_names
+            ):
+                yield self._finding(
+                    module.path, node,
+                    f"predicate reads {node.id!r}, declared global/nonlocal "
+                    "in the enclosing method — the closure cannot freeze it, "
+                    "so evaluations by other threads see a moving value",
+                )
+
+    def _check_call(
+        self,
+        module: ModuleModel,
+        node: ast.Call,
+        self_name: str | None,
+        sync_names: set[str],
+    ) -> Iterator[Finding]:
+        fn = node.func
+        if isinstance(fn, ast.Attribute):
+            if fn.attr in _MUTATING_METHODS:
+                yield self._finding(
+                    module.path, node,
+                    f"predicate calls mutating method {fn.attr!r}() — the "
+                    "condition manager may evaluate it on any thread, any "
+                    "number of times (closure violation, Def. 2)",
+                )
+            elif (
+                self_name is not None
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id == self_name
+                and fn.attr in sync_names
+            ):
+                yield self._finding(
+                    module.path, node,
+                    f"predicate calls synchronized method {fn.attr!r}() — "
+                    "re-entering the monitor during predicate evaluation "
+                    "has side effects (relay, metrics) and can deadlock "
+                    "the signaler",
+                )
+        elif isinstance(fn, ast.Name):
+            if fn.id in _PURE_EXTRA:
+                return
+            if fn.id in _BUILTIN_NAMES and fn.id not in _IMPURE_BUILTINS:
+                return
+            yield self._finding(
+                module.path, node,
+                f"predicate calls {fn.id!r}() which is not known to be "
+                "pure — closed predicates may only read shared state and "
+                "frozen locals (Def. 2)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# W002 — stale closure
+# ---------------------------------------------------------------------------
+
+class StaleClosure(Rule):
+    code = "W002"
+    name = "stale-closure"
+    severity = Severity.WARNING
+
+    def check(self, module: ModuleModel, ctx: ProjectContext) -> Iterator[Finding]:
+        for cls, method in module.iter_methods():
+            if not method.waits or method.self_name is None:
+                continue
+            for site in method.waits:
+                captured = self._captured_locals(module, site, method)
+                if not captured:
+                    continue
+                yield from self._check_reassignments(
+                    module, site, method, captured
+                )
+
+    def _captured_locals(
+        self, module: ModuleModel, site: WaitSite, method: MethodModel
+    ) -> set[str]:
+        skip = (
+            {method.self_name, "S"}
+            | _PURE_EXTRA
+            | _BUILTIN_NAMES
+            | module.module_names
+            | module.known_monitor_names
+            | method.global_names
+        )
+        names: set[str] = set()
+        for node in ast.walk(site.expr):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id not in skip:
+                    names.add(node.id)
+            elif isinstance(node, ast.Lambda):
+                for arg in node.args.args:
+                    skip.add(arg.arg)
+        return names
+
+    def _check_reassignments(
+        self,
+        module: ModuleModel,
+        site: WaitSite,
+        method: MethodModel,
+        captured: set[str],
+    ) -> Iterator[Finding]:
+        shared_write_lines = sorted(
+            w.lineno for w in method.self_writes
+            if not w.attr.startswith("_")
+        )
+        for node in ast.walk(method.node):
+            target_names: list[str] = []
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    target_names.extend(_flat_names(target))
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                target_names.extend(_flat_names(node.target))
+            else:
+                continue
+            hits = [n for n in target_names if n in captured]
+            if not hits or node.lineno <= site.lineno:
+                continue
+            # only meaningful if shared state is mutated after the rebind —
+            # that is the write the stale predicate was guarding
+            if not any(line >= node.lineno for line in shared_write_lines):
+                continue
+            for name in hits:
+                yield self._finding(
+                    module.path, node,
+                    f"local {name!r} was frozen into the waituntil predicate "
+                    f"at line {site.lineno} (closure, Def. 2) but is "
+                    "reassigned here before the method's shared-state "
+                    "update — the predicate still holds the old value",
+                )
+
+
+def _flat_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for elt in target.elts:
+            out.extend(_flat_names(elt))
+        return out
+    return []
+
+
+# ---------------------------------------------------------------------------
+# W003 — shared-state write outside a synchronized monitor section
+# ---------------------------------------------------------------------------
+
+class UnsynchronizedWrite(Rule):
+    code = "W003"
+    name = "unsynchronized-write"
+    severity = Severity.ERROR
+
+    def check(self, module: ModuleModel, ctx: ProjectContext) -> Iterator[Finding]:
+        # (a) @unmonitored methods of a monitor class writing shared attrs
+        for cls, method in module.iter_methods():
+            if method.kind != "unmonitored":
+                continue
+            for write in method.self_writes:
+                if write.attr.startswith("_"):
+                    continue
+                yield self._finding(
+                    module.path, write.lineno,
+                    f"@unmonitored method {cls.name}.{method.name}() writes "
+                    f"shared attribute {write.attr!r} without the monitor "
+                    "lock — breaks relay invariance (Def. 5): no exiting "
+                    "thread will signal waiters this write unblocks",
+                    col=write.col,
+                )
+        # (b) writes to known monitor objects outside any synchronized block
+        walker = ctx.sync_walker(module)
+        for write, resolved_cls in walker.unsynced_writes:
+            yield self._finding(
+                module.path, write.lineno,
+                f"write to {write.obj}.{write.attr} (a {resolved_cls} "
+                "monitor) outside any monitor section — wrap it in the "
+                "monitor's methods, synchronized(...) or multisynch(...) "
+                "so relay signaling sees the change (Def. 5)",
+                col=write.col,
+            )
+
+
+# ---------------------------------------------------------------------------
+# W004 — nested / hand-ordered multi-monitor acquisition
+# ---------------------------------------------------------------------------
+
+class HandOrderedAcquisition(Rule):
+    code = "W004"
+    name = "hand-ordered-acquisition"
+    severity = Severity.ERROR
+
+    def check(self, module: ModuleModel, ctx: ProjectContext) -> Iterator[Finding]:
+        walker = ctx.sync_walker(module)
+        for node, message in walker.w004_events:
+            yield self._finding(module.path, node, message)
+
+    def finalize(self, ctx: ProjectContext) -> Iterator[Finding]:
+        for component in ctx.lock_graph.cycles():
+            anchor = ctx.lock_graph.anchor_for(component)
+            chain = " → ".join(component + [component[0]])
+            yield Finding(
+                code=self.code,
+                severity=self.severity,
+                message=(
+                    f"potential deadlock: nested acquisitions form the "
+                    f"lock-order cycle {chain}; route the multi-object "
+                    "section through multisynch(...) so the runtime picks "
+                    "the global ascending-id order (§4.1)"
+                ),
+                path=anchor.path,
+                line=anchor.lineno,
+                rule_name=self.name,
+            )
+
+
+# ---------------------------------------------------------------------------
+# W005 — tag advisor
+# ---------------------------------------------------------------------------
+
+_TAGGABLE_OPS = (ast.Eq, ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+class TagAdvisor(Rule):
+    code = "W005"
+    name = "tag-advisor"
+    severity = Severity.HINT
+
+    def check(self, module: ModuleModel, ctx: ProjectContext) -> Iterator[Finding]:
+        for cls, method in module.iter_methods():
+            for site in method.waits:
+                if site.form != "wait_until":
+                    continue
+                yield from self._check_site(module, site, method)
+
+    def _check_site(
+        self, module: ModuleModel, site: WaitSite, method: MethodModel
+    ) -> Iterator[Finding]:
+        expr = site.expr
+        if isinstance(expr, ast.Lambda):
+            base = (
+                expr.args.args[0].arg if expr.args.args else method.self_name
+            )
+            if base and _taggable_tree(expr.body, base):
+                yield self._finding(
+                    module.path, site.call,
+                    "opaque lambda predicate is structurally "
+                    "Equivalence/Threshold-taggable — rewrite with the S "
+                    "DSL (e.g. S.attr > const) so relay signaling can use "
+                    "tag indexes instead of a linear waiter scan "
+                    "(Algorithm 1)",
+                )
+        elif isinstance(expr, (ast.Compare, ast.BoolOp)) and method.self_name:
+            if _mentions_attr_of(expr, method.self_name):
+                yield self._finding(
+                    module.path, site.call,
+                    f"wait_until argument reads {method.self_name}.<attr> "
+                    "directly, so it evaluates eagerly to a plain bool and "
+                    "cannot be tagged (or re-evaluated) — use S.<attr> to "
+                    "build a structured, taggable predicate",
+                )
+
+
+def _mentions_attr_of(expr: ast.expr, base: str) -> bool:
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == base
+        ):
+            return True
+    return False
+
+
+def _taggable_tree(node: ast.expr, base: str) -> bool:
+    """True when the whole boolean tree is and/or over ``base.attr op
+    constant-or-local`` comparisons — i.e. expressible in the S DSL with an
+    Equivalence or Threshold tag."""
+    if isinstance(node, ast.BoolOp):
+        return all(_taggable_tree(v, base) for v in node.values)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+        return _taggable_tree(node.operand, base)
+    if isinstance(node, ast.Compare):
+        if len(node.ops) != 1 or not isinstance(node.ops[0], _TAGGABLE_OPS):
+            return False
+        left, right = node.left, node.comparators[0]
+        return (_shared_read(left, base) and _const_like(right, base)) or (
+            _const_like(left, base) and _shared_read(right, base)
+        )
+    return False
+
+
+def _shared_read(node: ast.expr, base: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == base
+    )
+
+
+def _const_like(node: ast.expr, base: str) -> bool:
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _const_like(node.operand, base)
+    return isinstance(node, ast.Name) and node.id != base
+
+
+# ---------------------------------------------------------------------------
+# shared walker: synchronization contexts, lock-graph edges, monitor writes
+# ---------------------------------------------------------------------------
+
+class _SyncWalker:
+    """Walk every function of a module tracking the stack of held
+    synchronization contexts, collecting:
+
+    * W004 events (nested multisynch, nested synchronized, raw ``._lock``);
+    * lock-order edges for the project graph;
+    * monitor-object attribute writes outside any section (for W003).
+    """
+
+    def __init__(self, module: ModuleModel, ctx: ProjectContext):
+        self.module = module
+        self.ctx = ctx
+        self.w004_events: list[tuple[ast.AST, str]] = []
+        self.unsynced_writes: list = []
+        self._seen_edges: set[tuple] = set()
+
+    # -- entry points --------------------------------------------------------
+    def run(self) -> None:
+        for node in self.module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._walk_function(node, owner=None)
+        for cls in self.module.monitor_classes:
+            for method in cls.methods.values():
+                self._walk_function(method.node, owner=(cls, method))
+        # plain (non-monitor) classes still contain functions worth walking
+        monitor_class_nodes = {cls.node for cls in self.module.monitor_classes}
+        for node in self.module.tree.body:
+            if (
+                isinstance(node, ast.ClassDef)
+                and node not in monitor_class_nodes
+            ):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._walk_function(item, owner=None, is_method=True)
+
+    # -- per-function --------------------------------------------------------
+    def _walk_function(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        owner: tuple[MonitorClassModel, MethodModel] | None,
+        is_method: bool = False,
+    ) -> None:
+        resolve: dict[str, str] = {}
+        self_name: str | None = None
+        if owner is not None:
+            cls, method = owner
+            self_name = method.self_name
+            if self_name:
+                resolve[self_name] = cls.name
+                for attr, mon_cls in cls.monitor_attrs.items():
+                    resolve[f"{self_name}.{attr}"] = mon_cls
+        elif is_method and func.args.args:
+            # plain-class method: its own self is not a monitor, but its
+            # `self._lock` (an explicit lock it owns) must not be flagged
+            self_name = func.args.args[0].arg
+        for arg in func.args.args:
+            ann = _annotation_name(arg.annotation)
+            if ann in self.module.known_monitor_names:
+                resolve[arg.arg] = ann
+        resolve.update(monitor_locals(func, self.module.known_monitor_names))
+
+        stack: list[tuple[str, str | None]] = []
+        if (
+            owner is not None
+            and owner[1].kind == "synchronized"
+        ):
+            stack.append(("monitor_method", owner[0].name))
+        self._walk_stmts(func.body, stack, resolve, self_name)
+
+    def _walk_stmts(
+        self,
+        stmts: list[ast.stmt],
+        stack: list[tuple[str, str | None]],
+        resolve: dict[str, str],
+        self_name: str | None,
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                pushed: list[tuple[str, str | None]] = []
+                for item in stmt.items:
+                    self._scan_expr(item.context_expr, stack, resolve, self_name)
+                    kind, arg = self._classify_withitem(item)
+                    if kind is None:
+                        continue
+                    self._on_with(stmt, kind, arg, stack, resolve)
+                    pushed.append((kind, arg))
+                stack.extend(pushed)
+                self._walk_stmts(stmt.body, stack, resolve, self_name)
+                del stack[len(stack) - len(pushed):]
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._scan_expr(stmt.iter, stack, resolve, self_name)
+                self._walk_stmts(stmt.body, stack, resolve, self_name)
+                self._walk_stmts(stmt.orelse, stack, resolve, self_name)
+            elif isinstance(stmt, ast.While):
+                self._scan_expr(stmt.test, stack, resolve, self_name)
+                self._walk_stmts(stmt.body, stack, resolve, self_name)
+                self._walk_stmts(stmt.orelse, stack, resolve, self_name)
+            elif isinstance(stmt, ast.If):
+                self._scan_expr(stmt.test, stack, resolve, self_name)
+                self._walk_stmts(stmt.body, stack, resolve, self_name)
+                self._walk_stmts(stmt.orelse, stack, resolve, self_name)
+            elif isinstance(stmt, _TRY_TYPES):
+                self._walk_stmts(stmt.body, stack, resolve, self_name)
+                for handler in stmt.handlers:
+                    self._walk_stmts(handler.body, stack, resolve, self_name)
+                self._walk_stmts(stmt.orelse, stack, resolve, self_name)
+                self._walk_stmts(stmt.finalbody, stack, resolve, self_name)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # nested function: runs later under an unknown context —
+                # keep the current stack (conservative for closures that
+                # execute inline, e.g. worker bodies defined in place)
+                self._walk_stmts(stmt.body, stack, resolve, self_name)
+            elif isinstance(stmt, ast.ClassDef):
+                continue
+            else:
+                self._scan_stmt(stmt, stack, resolve, self_name)
+
+    # -- classification ------------------------------------------------------
+    def _classify_withitem(
+        self, item: ast.withitem
+    ) -> tuple[str | None, str | None]:
+        ctx_expr = item.context_expr
+        if isinstance(ctx_expr, ast.Call):
+            name = _base_name(ctx_expr.func)
+            if name in ("multisynch", "Multisynch"):
+                return "multisynch", None
+            if name == "synchronized":
+                arg = (
+                    ast.unparse(ctx_expr.args[0]) if ctx_expr.args else None
+                )
+                return "synchronized", arg
+        if isinstance(ctx_expr, ast.Attribute) and ctx_expr.attr == "_lock":
+            return "raw_lock", ast.unparse(ctx_expr.value)
+        return None, None
+
+    def _holder_class(
+        self, stack: list[tuple[str, str | None]], resolve: dict[str, str]
+    ) -> str | None:
+        for kind, arg in reversed(stack):
+            if kind == "monitor_method":
+                return arg
+            if kind == "synchronized" and arg in resolve:
+                return resolve[arg]
+        return None
+
+    # -- events --------------------------------------------------------------
+    def _on_with(
+        self,
+        stmt: ast.With | ast.AsyncWith,
+        kind: str,
+        arg: str | None,
+        stack: list[tuple[str, str | None]],
+        resolve: dict[str, str],
+    ) -> None:
+        held = bool(stack)
+        if kind == "multisynch":
+            if any(k == "multisynch" for k, _ in stack):
+                self.w004_events.append((
+                    stmt,
+                    "nested multisynch blocks: the inner block's ordered "
+                    "acquisition happens under locks the outer block "
+                    "already holds, defeating the global ascending-id "
+                    "order (§4.1) — pass all monitors to one multisynch",
+                ))
+            elif held:
+                self.w004_events.append((
+                    stmt,
+                    "multisynch inside an already-held monitor section — "
+                    "the held lock is outside multisynch's ascending-id "
+                    "order and can form a deadlock cycle (§4.1)",
+                ))
+        elif kind == "synchronized":
+            if held:
+                self.w004_events.append((
+                    stmt,
+                    "hand-nested synchronized(...) under another monitor "
+                    "section chooses its own lock order — use "
+                    "multisynch(...) for multi-object sections (§4.1)",
+                ))
+            holder = self._holder_class(stack, resolve)
+            if holder is not None and arg in resolve:
+                self._add_edge(holder, resolve[arg], stmt.lineno)
+
+    def _add_edge(self, src: str, dst: str, lineno: int) -> None:
+        key = (src, dst, self.module.path, lineno)
+        if key in self._seen_edges:
+            return
+        self._seen_edges.add(key)
+        self.ctx.lock_graph.add_edge(src, dst, self.module.path, lineno)
+
+    # -- expression / statement scanning ------------------------------------
+    def _scan_stmt(
+        self,
+        stmt: ast.stmt,
+        stack: list[tuple[str, str | None]],
+        resolve: dict[str, str],
+        self_name: str | None,
+    ) -> None:
+        self._scan_expr(stmt, stack, resolve, self_name)
+        # W003(b): attribute writes to monitor objects outside sections
+        for write in collect_attr_writes(stmt):
+            if write.attr.startswith("_"):
+                continue
+            if write.obj == self_name:
+                continue  # covered by W003(a) / normal monitor methods
+            resolved = resolve.get(write.obj)
+            if resolved is None:
+                continue
+            if self._write_is_covered(write.obj, stack):
+                continue
+            self.unsynced_writes.append((write, resolved))
+
+    def _write_is_covered(
+        self, obj: str, stack: list[tuple[str, str | None]]
+    ) -> bool:
+        for kind, arg in stack:
+            if kind == "multisynch":
+                return True  # members unknown statically: trust the block
+            if kind == "synchronized" and arg == obj:
+                return True
+            if kind == "raw_lock" and arg == obj:
+                return True
+        return False
+
+    def _scan_expr(
+        self,
+        tree: ast.AST,
+        stack: list[tuple[str, str | None]],
+        resolve: dict[str, str],
+        self_name: str | None,
+    ) -> None:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "_lock"
+                and not (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == self_name
+                )
+            ):
+                self.w004_events.append((
+                    node,
+                    f"raw access to {ast.unparse(node.value)}._lock bypasses "
+                    "the monitor protocol (relay signaling, ordered "
+                    "multi-object acquisition) — use monitor methods, "
+                    "synchronized(...) or multisynch(...)",
+                ))
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                base = node.func.value
+                method_name = node.func.attr
+                obj: str | None = None
+                if isinstance(base, ast.Name):
+                    obj = base.id
+                elif isinstance(base, ast.Attribute):
+                    obj = ast.unparse(base)
+                if obj is None or obj == self_name:
+                    continue
+                target_cls = resolve.get(obj)
+                if target_cls is None:
+                    continue
+                holder = self._holder_class(stack, resolve)
+                if holder is None:
+                    continue
+                if any(k == "multisynch" for k, _ in stack):
+                    continue  # ordered acquisition already holds the locks
+                if self.ctx.target_is_synchronized(target_cls, method_name):
+                    self._add_edge(holder, target_cls, node.lineno)
+
+
+#: registry, in code order
+ALL_RULES: list[type[Rule]] = [
+    NonClosedPredicate,
+    StaleClosure,
+    UnsynchronizedWrite,
+    HandOrderedAcquisition,
+    TagAdvisor,
+]
+
+
+def make_rules(
+    select: set[str] | None = None, disable: set[str] | None = None
+) -> list[Rule]:
+    rules: list[Rule] = []
+    for rule_cls in ALL_RULES:
+        if select is not None and rule_cls.code not in select:
+            continue
+        if disable is not None and rule_cls.code in disable:
+            continue
+        rules.append(rule_cls())
+    return rules

@@ -59,7 +59,7 @@ class GuardedCall:
         Returns ``(True, result)`` on success, ``(False, None)`` when the
         lock was unavailable or the guard is false.
         """
-        lock = self.monitor._lock
+        lock = self.monitor._lock  # monlint: disable=W004 — try-lock probe, released immediately
         if not lock.acquire(blocking=False):
             return False, None
         self.monitor._depth += 1

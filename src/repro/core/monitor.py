@@ -39,6 +39,7 @@ import functools
 import threading
 from typing import Callable
 
+from repro.analysis import runtime as _monlint
 from repro.core.condition_manager import SIGNALING_MODES, ConditionManager
 from repro.core.predicates import BoolNode, Predicate
 from repro.runtime.config import get_config
@@ -136,6 +137,9 @@ class Monitor(metaclass=MonitorMeta):
     # ------------------------------------------------------- section control
     def _monitor_enter(self) -> None:
         cfg = get_config()
+        if _monlint.enabled:
+            # raises LockOrderError *before* acquiring on a violation
+            _monlint.on_acquire(self)
         if self._depth == 0 or not self._owned():
             with PhaseTimer(self._metrics, "lock_time", cfg.phase_timing):
                 self._lock.acquire()
@@ -144,6 +148,8 @@ class Monitor(metaclass=MonitorMeta):
         self._depth += 1
 
     def _monitor_exit(self) -> None:
+        if _monlint.enabled:
+            _monlint.on_release(self)
         self._depth -= 1
         if self._depth == 0:
             try:
@@ -173,6 +179,11 @@ class Monitor(metaclass=MonitorMeta):
         if self._depth <= 0:
             raise NotOwnerError("wait_until called outside a monitor method")
         predicate = condition if isinstance(condition, Predicate) else Predicate(condition)
+        if _monlint.enabled:
+            # probe once: a predicate that mutates monitor state on
+            # evaluation breaks closure (Def. 2) — fail loudly here rather
+            # than corrupting relay signaling later
+            _monlint.check_predicate(predicate, self)
         # A waiting thread must not hold the lock reentrantly: Condition.wait
         # releases the lock exactly once, so a nested hold would deadlock.
         # Inside a nested call (e.g. a monitor method invoked under

@@ -28,26 +28,41 @@ from repro.core.monitor import Monitor
 from repro.multi import manager
 from repro.multi.global_predicates import GlobalNode
 from repro.multi.strategies import GlobalWaiter
-from repro.runtime.errors import NestedMultisynchError, PredicateError
+from repro.runtime.errors import (
+    MonitorError,
+    NestedMultisynchError,
+    PredicateError,
+)
 
 _active = threading.local()
 
 
-def _flatten(objs: Iterable) -> list[Monitor]:
-    """Accept monitors and (nested) sequences of monitors, as the paper
-    allows arrays of monitor objects as multisynch parameters."""
-    out: list[Monitor] = []
+def _collect(objs: Iterable, out: list[Monitor]) -> None:
+    """Recursively gather monitors from (nested) sequences into ``out``."""
     for obj in objs:
         if isinstance(obj, Monitor):
             out.append(obj)
         elif isinstance(obj, (list, tuple)):
-            out.extend(_flatten(obj))
+            _collect(obj, out)
         else:
             raise TypeError(f"multisynch expects Monitor objects, got {obj!r}")
-    # dedupe, preserving nothing in particular: ordering is by id anyway
+
+
+def _flatten(objs: Iterable) -> list[Monitor]:
+    """Accept monitors and (nested) sequences of monitors, as the paper
+    allows arrays of monitor objects as multisynch parameters.  Duplicate
+    references to the same monitor collapse to one acquisition; the result
+    is sorted by monitor id (the acquisition order, §4.1)."""
+    collected: list[Monitor] = []
+    _collect(objs, collected)
     seen: dict[int, Monitor] = {}
-    for m in out:
-        seen.setdefault(m.monitor_id, m)
+    for m in collected:
+        prior = seen.setdefault(m.monitor_id, m)
+        if prior is not m:
+            raise MonitorError(
+                f"distinct monitors share id {m.monitor_id}: "
+                f"{prior!r} and {m!r}"
+            )
     return [seen[k] for k in sorted(seen)]
 
 

@@ -219,7 +219,18 @@ def _compile_method(fn: Callable, cls_globals: dict) -> Callable | None:
     """Rewrite one method; returns the new function or None if untouched."""
     try:
         source = textwrap.dedent(inspect.getsource(fn))
-    except (OSError, TypeError):
+    except (OSError, TypeError) as exc:
+        # No retrievable source: REPL input, exec()-built classes, frozen
+        # apps.  If the body never mentions waituntil that is harmless, but
+        # a method that *does* call it would otherwise sail through and hit
+        # the placeholder's error at call time — fail at decoration instead.
+        if WAITUNTIL in fn.__code__.co_names:
+            raise PredicateError(
+                f"{fn.__qualname__}: cannot retrieve source for the "
+                "waituntil rewrite (class defined in a REPL, exec(), or a "
+                "frozen module); define it in an importable file or call "
+                "self.wait_until(...) directly"
+            ) from exc
         return None
     if WAITUNTIL not in source:
         return None

@@ -46,6 +46,14 @@ class Config:
     #: default because timers cost more than the counters.
     phase_timing: bool = False
 
+    #: Dynamic monitor-usage checks (lock-order assertions + predicate
+    #: purity probes, see :mod:`repro.analysis.runtime`).  Reflects the
+    #: checker state; toggle it via ``repro.analysis.runtime.enable_checks``
+    #: / ``disable_checks`` so the monitor hot path's fast flag stays in
+    #: sync.  Off by default: when off the only cost is one boolean test
+    #: per monitor enter/exit.
+    analysis_checks: bool = False
+
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def effective_server_cap(self) -> int:

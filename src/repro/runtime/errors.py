@@ -27,6 +27,27 @@ class CompositionError(ReproError):
     """Invalid use of OR / AND / selectone / selectall operands."""
 
 
+class AnalysisError(ReproError):
+    """A dynamic monitor-usage check (repro.analysis.runtime) failed."""
+
+
+class LockOrderError(AnalysisError):
+    """A thread acquired monitor locks against ascending-id order (§4.1).
+
+    Raised only when the opt-in dynamic checker is enabled; the ordering it
+    asserts is the invariant ``multisynch``'s deadlock freedom rests on.
+    """
+
+
+class PredicateSideEffectError(AnalysisError):
+    """Evaluating a ``waituntil`` predicate mutated monitor state.
+
+    Predicates must be *closed* (Def. 2): side-effect-free functions of
+    shared state and frozen locals, evaluable by any thread any number of
+    times.  Raised only when the dynamic checker is enabled.
+    """
+
+
 class TaskError(ReproError):
     """An asynchronous monitor task failed; wraps the original exception.
 

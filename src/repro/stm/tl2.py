@@ -127,7 +127,7 @@ class Transaction:
         locked: list[TVar] = []
         try:
             for var in sorted(self.writes, key=lambda v: v._id):
-                if not var._lock.acquire(timeout=0.5):
+                if not var._lock.acquire(timeout=0.5):  # monlint: disable=W004 — TVar spinlock, not a monitor
                     raise AbortException
                 locked.append(var)
             for var, version in self.reads.items():
@@ -139,7 +139,7 @@ class Transaction:
                 var._version = commit_version
         finally:
             for var in locked:
-                var._lock.release()
+                var._lock.release()  # monlint: disable=W004 — TVar spinlock, not a monitor
 
 
 class StmStats:

@@ -1,0 +1,28 @@
+"""Lint fixture: a well-behaved monitor — zero findings expected."""
+
+from repro.core import Monitor, S
+from repro.multi import local, multisynch
+
+
+class GoodQueue(Monitor):
+    def __init__(self, capacity: int):
+        super().__init__()
+        self.items = []
+        self.capacity = capacity
+        self.count = 0
+
+    def put(self, item) -> None:
+        self.wait_until(S.count < S.capacity)
+        self.items.append(item)
+        self.count += 1
+
+    def take(self):
+        self.wait_until(S.count > 0)
+        self.count -= 1
+        return self.items.pop(0)
+
+
+def transfer(src: GoodQueue, dst: GoodQueue) -> None:
+    with multisynch(src, dst) as ms:
+        ms.wait_until(local(src, S.count > 0) & local(dst, S.count < S.capacity))
+        dst.put(src.take())

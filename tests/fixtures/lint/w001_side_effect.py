@@ -1,0 +1,23 @@
+"""Lint fixture: W001 — non-closed waituntil predicates (side effects)."""
+
+from repro.core import Monitor
+from repro.preprocess import monitor_compile, waituntil
+
+
+@monitor_compile
+class LossyQueue(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.items = []
+        self.count = 0
+
+    def take_destructively(self):
+        # mutating method call inside the predicate: every evaluation by
+        # the condition manager pops an element
+        waituntil(self.items.pop() is not None)
+        self.count -= 1
+
+    def refresh(self):
+        # assignment expression inside the predicate
+        waituntil((n := self.count) > 0)
+        return n

@@ -1,0 +1,19 @@
+"""Lint fixture: W002 — stale closure (captured local rebound after wait)."""
+
+from repro.core import Monitor, S
+
+
+class TicketGate(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.serving = 0
+        self.done = 0
+
+    def advance(self, ticket):
+        self.wait_until(S.serving == ticket)
+        # `ticket` was frozen into the predicate above; rebinding it here
+        # before the shared-state update suggests the author expected the
+        # predicate to track the new value
+        ticket = ticket + 1
+        self.serving = ticket
+        self.done += 1

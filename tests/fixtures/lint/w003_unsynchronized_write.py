@@ -1,0 +1,23 @@
+"""Lint fixture: W003 — shared-state writes outside a monitor section."""
+
+from repro.core import Monitor, unmonitored
+
+
+class Tally(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.count = 0
+
+    def bump(self):
+        self.count += 1
+
+    @unmonitored
+    def reset(self):
+        # write without the monitor lock: no exiting thread will relay a
+        # signal for waiters this unblocks
+        self.count = 0
+
+
+def drain(tally: Tally) -> None:
+    # direct write from plain code, outside any synchronized section
+    tally.count = -1

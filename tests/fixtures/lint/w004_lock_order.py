@@ -1,0 +1,39 @@
+"""Lint fixture: W004 — nested / hand-ordered multi-monitor acquisition."""
+
+from repro.core import Monitor, synchronized
+from repro.multi import multisynch
+
+
+class Left(Monitor):
+    def __init__(self, peer: "Right"):
+        super().__init__()
+        self.peer = peer
+
+    def poke(self):
+        self.peer.poke()  # acquires Right while holding Left
+
+
+class Right(Monitor):
+    def __init__(self, peer: Left):
+        super().__init__()
+        self.peer = peer
+
+    def poke(self):
+        self.peer.poke()  # acquires Left while holding Right → cycle
+
+
+def hand_over_hand(a: Left, b: Right) -> None:
+    with synchronized(a):
+        with synchronized(b):  # hand-ordered two-lock acquisition
+            pass
+
+
+def doubly_nested(a: Left, b: Right) -> None:
+    with multisynch(a):
+        with multisynch(b):  # nested multisynch defeats the global order
+            pass
+
+
+def raw_lock(a: Left) -> None:
+    with a._lock:  # bypasses the monitor protocol entirely
+        pass

@@ -1,0 +1,21 @@
+"""Lint fixture: W005 — structurally taggable predicates left opaque."""
+
+from repro.core import Monitor
+
+
+class Cell(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.value = 0
+        self.ready = False
+
+    def consume(self):
+        # opaque lambda, but the body is `shared > constant`: a Threshold
+        # tag away from O(1) relay signaling
+        self.wait_until(lambda: self.value > 0)
+        self.value -= 1
+
+    def await_flag(self):
+        # plain comparison evaluates eagerly to a bool; S.ready == True
+        # would build a taggable predicate instead
+        self.wait_until(self.ready == True)  # noqa: E712

@@ -1,0 +1,189 @@
+"""Tests for the monlint static analyzer (repro.analysis)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+from repro.analysis.findings import Severity, Suppressions
+from repro.analysis.lockgraph import LockOrderGraph
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+FIXTURE_CODES = {
+    "w001_side_effect.py": "W001",
+    "w002_stale_closure.py": "W002",
+    "w003_unsynchronized_write.py": "W003",
+    "w004_lock_order.py": "W004",
+    "w005_tag_advisor.py": "W005",
+}
+
+
+# ---------------------------------------------------------------- fixtures
+@pytest.mark.parametrize("filename,code", sorted(FIXTURE_CODES.items()))
+def test_fixture_triggers_exactly_its_rule(filename, code):
+    findings = lint_paths([FIXTURES / filename])
+    assert findings, f"{filename} produced no findings"
+    assert {f.code for f in findings} == {code}
+
+
+def test_clean_fixture_is_clean():
+    assert lint_paths([FIXTURES / "clean.py"]) == []
+
+
+def test_severities():
+    by_code = {}
+    for filename in FIXTURE_CODES:
+        for finding in lint_paths([FIXTURES / filename]):
+            by_code[finding.code] = finding.severity
+    assert by_code["W001"] == Severity.ERROR
+    assert by_code["W002"] == Severity.WARNING
+    assert by_code["W003"] == Severity.ERROR
+    assert by_code["W004"] == Severity.ERROR
+    assert by_code["W005"] == Severity.HINT
+
+
+# ------------------------------------------------- the repo itself is clean
+def test_problems_and_examples_lint_clean():
+    findings = lint_paths([
+        REPO / "src" / "repro" / "problems",
+        REPO / "examples",
+    ])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_full_src_tree_lints_clean():
+    findings = lint_paths([REPO / "src", REPO / "examples"])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+# ------------------------------------------------------------ suppressions
+BAD_PREDICATE = """
+from repro.core import Monitor
+from repro.preprocess import waituntil
+
+class Q(Monitor):
+    def take(self):
+        waituntil(self.items.pop() is not None){comment}
+"""
+
+
+def test_line_suppression():
+    dirty = lint_source(BAD_PREDICATE.format(comment=""))
+    assert {f.code for f in dirty} == {"W001"}
+    clean = lint_source(
+        BAD_PREDICATE.format(comment="  # monlint: disable=W001")
+    )
+    assert clean == []
+
+
+def test_line_suppression_wrong_code_keeps_finding():
+    findings = lint_source(
+        BAD_PREDICATE.format(comment="  # monlint: disable=W004")
+    )
+    assert {f.code for f in findings} == {"W001"}
+
+
+def test_bare_disable_suppresses_all_codes():
+    findings = lint_source(
+        BAD_PREDICATE.format(comment="  # monlint: disable")
+    )
+    assert findings == []
+
+
+def test_file_level_suppression():
+    source = "# monlint: disable-file=W001\n" + BAD_PREDICATE.format(comment="")
+    assert lint_source(source) == []
+
+
+def test_suppression_parser():
+    supp = Suppressions.parse(
+        "x = 1  # monlint: disable=W001,W002\n"
+        "# monlint: disable-file=W005\n"
+        "y = 2  # monlint: disable\n"
+    )
+    assert supp.by_line[1] == {"W001", "W002"}
+    assert supp.by_line[3] is None  # bare disable: all codes
+    assert supp.file_codes == {"W005"}
+    assert not supp.all_file
+
+
+# ------------------------------------------------------------ select/disable
+def test_select_and_disable():
+    fixture = FIXTURES / "w001_side_effect.py"
+    assert lint_paths([fixture], select={"W004"}) == []
+    assert lint_paths([fixture], disable={"W001"}) == []
+    assert {f.code for f in lint_paths([fixture], select={"W001"})} == {"W001"}
+
+
+# ------------------------------------------------------------- lock graph
+def test_lockgraph_cycle_detection():
+    graph = LockOrderGraph()
+    graph.add_edge("A", "B", "f.py", 1)
+    graph.add_edge("B", "C", "f.py", 2)
+    graph.add_edge("C", "A", "f.py", 3)
+    graph.add_edge("D", "A", "f.py", 4)  # feeds the cycle, not in it
+    cycles = graph.cycles()
+    assert cycles == [["A", "B", "C"]]
+    anchor = graph.anchor_for(cycles[0])
+    assert anchor.lineno == 1
+
+
+def test_lockgraph_self_loop_and_acyclic():
+    graph = LockOrderGraph()
+    graph.add_edge("A", "B", "f.py", 1)
+    assert graph.cycles() == []
+    graph.add_edge("B", "B", "f.py", 2)
+    assert graph.cycles() == [["B"]]
+
+
+def test_syntax_error_becomes_finding():
+    findings = lint_source("def broken(:\n")
+    assert len(findings) == 1
+    assert findings[0].code == "E999"
+    assert findings[0].severity == Severity.ERROR
+
+
+# ------------------------------------------------------------------- CLI
+def test_cli_exit_codes(capsys):
+    assert main([str(FIXTURES / "clean.py")]) == EXIT_CLEAN
+    assert main([str(FIXTURES / "w001_side_effect.py")]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "W001" in out and "finding(s)" in out
+
+
+def test_cli_json_format(capsys):
+    code = main(["--format", "json", str(FIXTURES / "w005_tag_advisor.py")])
+    assert code == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert {entry["code"] for entry in payload} == {"W005"}
+    assert all(entry["severity"] == "hint" for entry in payload)
+
+
+def test_cli_usage_errors(capsys):
+    assert main([]) == EXIT_USAGE
+    assert main(["--select", "W999", str(FIXTURES / "clean.py")]) == EXIT_USAGE
+    assert main([str(FIXTURES / "no_such_file.py")]) == EXIT_USAGE
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for code in ("W001", "W002", "W003", "W004", "W005"):
+        assert code in out
+
+
+def test_module_entrypoint():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(FIXTURES / "clean.py")],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == EXIT_CLEAN, proc.stderr

@@ -13,7 +13,11 @@ from repro.multi import (
     local,
     multisynch,
 )
-from repro.runtime.errors import NestedMultisynchError, PredicateError
+from repro.runtime.errors import (
+    MonitorError,
+    NestedMultisynchError,
+    PredicateError,
+)
 
 
 class Account(Monitor):
@@ -51,6 +55,20 @@ class TestOrderedLocking:
         a = Account()
         with multisynch(a, a, [a]) as ms:
             assert len(ms.monitors) == 1
+
+    def test_deeply_nested_sequences_with_duplicate_aliases(self):
+        a, b, c = Account(), Account(), Account()
+        alias = a
+        with multisynch([a, (b, [c, alias])], b) as ms:
+            ids = [m.monitor_id for m in ms.monitors]
+        assert len(ids) == 3
+        assert ids == sorted(ids)
+
+    def test_distinct_monitors_sharing_an_id_rejected(self):
+        a, b = Account(), Account()
+        b._monitor_id = a.monitor_id  # simulate an id collision
+        with pytest.raises(MonitorError, match="share id"):
+            multisynch(a, b)
 
     def test_nested_blocks_rejected(self):
         a, b = Account(), Account()

@@ -205,6 +205,34 @@ class TestErrors:
         # poke has no waituntil: it must not be recompiled
         assert CompiledBoard.poke.__wrapped__.__qualname__.endswith("poke")
 
+    def test_exec_defined_class_raises_clear_error(self):
+        # inspect.getsource fails for exec()/REPL-built classes; a method
+        # that calls waituntil must fail at decoration time, not at runtime
+        namespace = {
+            "Monitor": Monitor,
+            "monitor_compile": monitor_compile,
+            "waituntil": waituntil,
+        }
+        source = (
+            "class ReplBoard(Monitor):\n"
+            "    def wait_ready(self):\n"
+            "        waituntil(self.x > 0)\n"
+        )
+        exec(source, namespace)
+        with pytest.raises(PredicateError, match="cannot retrieve source"):
+            monitor_compile(namespace["ReplBoard"])
+
+    def test_exec_defined_class_without_waituntil_is_fine(self):
+        namespace = {"Monitor": Monitor}
+        exec(
+            "class PlainBoard(Monitor):\n"
+            "    def poke(self):\n"
+            "        return 1\n",
+            namespace,
+        )
+        cls = monitor_compile(namespace["PlainBoard"])
+        assert cls().poke() == 1
+
 
 class TestClosureRejection:
     def test_method_closing_over_enclosing_scope_rejected(self):
