@@ -1,0 +1,233 @@
+"""Microbenchmarks for the monitor hot path, with a ratio-based perf gate.
+
+Times the fast paths the predicate compiler (:mod:`repro.core.compiled`)
+targets, in both evaluation modes:
+
+* ``interpreted`` — ``Config.compile_predicates = False``: the tree-walking
+  interpreter (the pre-compiler behavior);
+* ``compiled`` — the default: code-generated flat closures.
+
+Results are written to ``BENCH_core_hotpath.json`` at the repo root (set
+``REPRO_WRITE_BENCH=1``; the committed copy records the numbers backing
+docs/performance.md, including the pre-PR ``seed`` column captured before
+the compiler landed).
+
+The CI perf-smoke job re-runs these benches and gates on *speedup ratios*
+(compiled vs interpreted on the same host, same process), not absolute
+times — absolute ns/op vary wildly across runners, but the ratio is a
+property of the code.  The gate fails when a measured ratio falls more than
+30% below the committed one.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.core.expressions import S
+from repro.core.monitor import Monitor
+from repro.core.predicates import Predicate
+from repro.core.waiter import Waiter
+from repro.runtime.config import get_config
+
+BENCH_FILE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_core_hotpath.json"
+
+#: pre-PR numbers (tree-walking interpreter, per-call config reads, pooled
+#: CVs only, O(n) heap live-count), measured on the same host that produced
+#: the committed interpreted/compiled columns — the "before" of the record
+SEED_NS_PER_OP = {
+    "enter_exit": 1182.2,
+    "wait_until_true_prebuilt": 484.9,
+    "wait_until_true_dsl": 8968.7,
+    "relay_search_1": 4846.3,
+    "relay_search_16": 38055.1,
+    "relay_search_256": 642174.6,
+    "tag_probe_256": 2233.2,
+}
+
+#: lanes the CI gate enforces (the ISSUE's ≥2× acceptance criteria), and the
+#: regression tolerance on their compiled-vs-interpreted speedup ratio
+GATED_LANES = ("wait_until_true_prebuilt", "relay_search_256")
+RATIO_TOLERANCE = 0.30
+
+
+def best_ns_per_op(fn, number: int, repeats: int = 5) -> float:
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter_ns()
+        fn(number)
+        dt = time.perf_counter_ns() - t0
+        if best is None or dt < best:
+            best = dt
+    return best / number
+
+
+class Probe(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.count = 0
+        self.gate = 0
+        self.state = -1
+        self.capacity = 1 << 30
+
+    def nop(self):
+        pass
+
+    def wait_ready(self, pred):
+        self.wait_until(pred)
+
+    def wait_ready_many(self, pred, n):
+        for _ in range(n):
+            self.wait_until(pred)
+
+
+def bench_enter_exit() -> float:
+    m = Probe()
+
+    def run(n):
+        nop = m.nop
+        for _ in range(n):
+            nop()
+
+    return best_ns_per_op(run, 20000)
+
+
+def bench_wait_until_true_prebuilt() -> float:
+    """The dominant case: a reused predicate that is already true."""
+    m = Probe()
+    pred = Predicate(S.count >= 0)
+
+    def run(n):
+        m.wait_ready_many(pred, n)
+
+    return best_ns_per_op(run, 20000)
+
+
+def bench_wait_until_true_dsl() -> float:
+    """Fresh DSL tree per call (tree build + DNF dominate; must not regress)."""
+    m = Probe()
+
+    def run(n):
+        for _ in range(n):
+            m.wait_ready(S.count >= 0)
+
+    return best_ns_per_op(run, 5000)
+
+
+def _manager_with_waiters(n_waiters: int, shape: str):
+    m = Probe()
+    mgr = m._cond_mgr
+    for i in range(n_waiters):
+        if shape == "threshold":
+            # distinct satisfied thresholds, full predicate false: the relay
+            # walks every candidate and evaluates every closure
+            pred = Predicate((S.count >= -(i + 1)) & (S.gate > 0))
+        else:
+            pred = Predicate(S.state == 1000 + i)
+        mgr._register(Waiter(pred, m._lock))
+    return m, mgr
+
+
+def bench_relay_search(n_waiters: int) -> float:
+    m, mgr = _manager_with_waiters(n_waiters, "threshold")
+    number = max(200, 20000 // n_waiters)
+
+    def run(n):
+        with m._lock:
+            relay = mgr.relay_signal
+            for _ in range(n):
+                relay()
+
+    return best_ns_per_op(run, number)
+
+
+def bench_tag_probe(n_waiters: int) -> float:
+    """Equivalence probe: O(1) regardless of waiter count."""
+    m, mgr = _manager_with_waiters(n_waiters, "equivalence")
+
+    def run(n):
+        with m._lock:
+            relay = mgr.relay_signal
+            for _ in range(n):
+                relay()
+
+    return best_ns_per_op(run, 20000)
+
+
+BENCHES = {
+    "enter_exit": bench_enter_exit,
+    "wait_until_true_prebuilt": bench_wait_until_true_prebuilt,
+    "wait_until_true_dsl": bench_wait_until_true_dsl,
+    "relay_search_1": lambda: bench_relay_search(1),
+    "relay_search_16": lambda: bench_relay_search(16),
+    "relay_search_256": lambda: bench_relay_search(256),
+    "tag_probe_256": lambda: bench_tag_probe(256),
+}
+
+
+def run_suite(compile_predicates: bool) -> dict[str, float]:
+    cfg = get_config()
+    prior = cfg.compile_predicates
+    cfg.compile_predicates = compile_predicates
+    try:
+        return {name: round(fn(), 1) for name, fn in BENCHES.items()}
+    finally:
+        cfg.compile_predicates = prior
+
+
+def _ratios(fast: dict[str, float], slow: dict[str, float]) -> dict[str, float]:
+    return {k: round(slow[k] / fast[k], 2) for k in fast if k in slow}
+
+
+@pytest.fixture(scope="module")
+def results():
+    committed = None
+    if BENCH_FILE.exists():
+        committed = json.loads(BENCH_FILE.read_text())
+    interpreted = run_suite(compile_predicates=False)
+    compiled = run_suite(compile_predicates=True)
+    report = {
+        "unit": "ns_per_op",
+        "seed": SEED_NS_PER_OP,
+        "interpreted": interpreted,
+        "compiled": compiled,
+        "speedup_compiled_vs_interpreted": _ratios(compiled, interpreted),
+        "speedup_compiled_vs_seed": _ratios(compiled, SEED_NS_PER_OP),
+    }
+    import os
+
+    if os.environ.get("REPRO_WRITE_BENCH") == "1":
+        BENCH_FILE.write_text(json.dumps(report, indent=2) + "\n")
+    return {"committed": committed, "fresh": report}
+
+
+def test_emit_report(results, capsys):
+    with capsys.disabled():
+        print("\n" + json.dumps(results["fresh"], indent=2))
+
+
+def test_compiled_beats_interpreted_on_gated_lanes(results):
+    """The compiler must actually win where the design says it wins."""
+    speedups = results["fresh"]["speedup_compiled_vs_interpreted"]
+    for lane in GATED_LANES:
+        assert speedups[lane] > 1.0, f"{lane}: compiled slower than interpreted"
+
+
+def test_ratio_gate_vs_committed_baseline(results):
+    """Fail when a gated lane's speedup ratio regressed >30% vs the
+    committed BENCH_core_hotpath.json (ratios, not absolute times, so the
+    gate is meaningful on any runner)."""
+    committed = results["committed"]
+    if committed is None:
+        pytest.skip("no committed BENCH_core_hotpath.json to gate against")
+    recorded = committed["speedup_compiled_vs_interpreted"]
+    measured = results["fresh"]["speedup_compiled_vs_interpreted"]
+    for lane in GATED_LANES:
+        floor = recorded[lane] * (1.0 - RATIO_TOLERANCE)
+        assert measured[lane] >= floor, (
+            f"{lane}: compiled/interpreted speedup {measured[lane]:.2f}x fell "
+            f">30% below the committed {recorded[lane]:.2f}x"
+        )

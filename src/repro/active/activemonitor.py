@@ -31,7 +31,7 @@ from repro.active.server import MonitorServer
 from repro.active.tasks import MonitorTask
 from repro.core.monitor import Monitor, unmonitored
 from repro.core.predicates import Predicate
-from repro.runtime.config import get_config
+from repro.runtime.config import config_snapshot
 from repro.runtime.errors import MonitorError
 
 MODES = ("async", "delegate", "sync")
@@ -106,7 +106,7 @@ class ActiveMonitor(Monitor):
             raise MonitorError(f"unknown ActiveMonitor mode {mode!r}")
         self._mode = mode
         self._server: Optional[MonitorServer] = None
-        if mode != "sync" and get_config().asynchronous_enabled and start_server:
+        if mode != "sync" and config_snapshot().asynchronous_enabled and start_server:
             server = MonitorServer(self, policy)
             if server.start():
                 self._server = server

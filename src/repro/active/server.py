@@ -28,7 +28,7 @@ from repro.active.management import registry
 from repro.active.policies import Policy, select_task
 from repro.active.scqueue import SingleConsumerBoundedQueue
 from repro.active.tasks import MonitorTask
-from repro.runtime.config import get_config
+from repro.runtime.config import config_snapshot, get_config
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.active.activemonitor import ActiveMonitor
@@ -94,7 +94,8 @@ class MonitorServer:
         try:
             self.monitor._depth += 1
             try:
-                executed = self._drain_batch(get_config().combining_batch)
+                # snapshot read: _try_combine runs on every task submission
+                executed = self._drain_batch(config_snapshot().combining_batch)
             finally:
                 self.monitor._depth -= 1
                 self.monitor._cond_mgr.relay_signal()

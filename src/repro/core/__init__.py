@@ -1,5 +1,6 @@
 """AutoSynch: automatic-signal monitors (Chapter 2 of the paper)."""
 
+from repro.core.compiled import compile_expr_key, compile_predicate, crosscheck
 from repro.core.condition_manager import SIGNALING_MODES, ConditionManager
 from repro.core.expressions import S, SharedExpr, SharedVar
 from repro.core.monitor import Monitor, MonitorMeta, synchronized, unmonitored
@@ -25,4 +26,7 @@ __all__ = [
     "tag_predicate",
     "ConditionManager",
     "SIGNALING_MODES",
+    "compile_predicate",
+    "compile_expr_key",
+    "crosscheck",
 ]

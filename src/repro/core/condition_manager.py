@@ -12,19 +12,28 @@ benchmarks can compare them exactly as Chapter 2's evaluation does:
   woken thread re-checks its own predicate (the paper's *Baseline*).
 
 All entry points require the monitor lock to be held by the caller.
+
+Hot-path invariants (see docs/performance.md): the already-true
+``wait_until`` fast path and a no-candidate relay allocate nothing — config
+reads go through :func:`config_snapshot`, predicates evaluate through
+compiled closures (:mod:`repro.core.compiled`), phase timers exist only
+when ``phase_timing`` is on, non-event counters bump by direct attribute
+increment, tag-search callbacks are pre-bound, and Waiter objects (with
+their condition variables) recycle through an inactive pool.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
+from repro.core import compiled
 from repro.core.expressions import Expr
-from repro.core.predicates import Predicate
+from repro.core.predicates import Comparison, Predicate
 from repro.core.tag_index import TagIndex
 from repro.core.tags import tag_predicate
 from repro.core.waiter import Waiter
-from repro.runtime.config import get_config
+from repro.runtime.config import config_snapshot
 from repro.runtime.metrics import Metrics, PhaseTimer
 
 SIGNALING_MODES = ("autosynch", "autosynch_t", "baseline")
@@ -44,16 +53,39 @@ class ConditionManager:
         self.waiters: list[Waiter] = []     # insertion order (autosynch_t scan)
         self.index = TagIndex()             # tag structures (autosynch)
         self._broadcast_cv = threading.Condition(lock)  # baseline mode
-        #: cache of compiled shared-expression evaluators, keyed by expr_key
+        #: registered sub-expression nodes by structural key, refcounted by
+        #: the waiters whose predicates mention them — evicted when the last
+        #: referencing waiter deregisters, so long-lived monitors that see
+        #: many distinct closures don't grow without bound
         self._expr_cache: dict[Any, Expr] = {}
-        #: §2.5.1: recycled per-waiter condition variables — when a waiter
-        #: leaves, its CV joins an inactive pool for reuse, bounded by
-        #: ``inactive_predicate_factor × live waiters`` (the paper's 2n cap)
-        self._cv_pool: list[threading.Condition] = []
+        self._expr_refs: dict[Any, int] = {}
+        #: compiled evaluators for canonical shared-expression keys (the
+        #: tag search's ``evaluate_expr``), refcounted the same way; a None
+        #: value means "compilation declined — use the interpreter"
+        self._expr_evalers: dict[Any, Optional[Callable[[Any], Any]]] = {}
+        self._evaler_refs: dict[Any, int] = {}
+        #: §2.5.1: recycled Waiter objects (each carrying its condition
+        #: variable) — when a waiter leaves it joins an inactive pool for
+        #: reuse, bounded by ``inactive_predicate_factor × live waiters``
+        #: (the paper's 2n cap)
+        self._waiter_pool: list[Waiter] = []
+        # pre-bound tag-search callbacks: binding methods per relay call
+        # would allocate two method objects on every monitor exit
+        self._search_expr_cb = self._search_expr
+        self._search_pred_cb = self._search_pred
 
     # ------------------------------------------------------------------ wait
     def wait(self, predicate: Predicate) -> None:
-        """Block until ``predicate`` holds; caller holds the monitor lock.
+        """Block until ``predicate`` holds; caller holds the monitor lock."""
+        result = predicate.fast_eval(self.monitor)
+        self.metrics.predicate_evals += 1
+        if result:
+            return
+        self.wait_blocking(predicate)
+
+    def wait_blocking(self, predicate: Predicate,
+                      ev: Callable[[Any], Any] | None = None) -> None:
+        """Park until ``predicate`` holds, given it was just seen false.
 
         Implements the waiting side of the relay protocol: before parking,
         the thread passes the baton (relay-signals some other satisfied
@@ -62,52 +94,55 @@ class ConditionManager:
         under it between signal and lock re-acquisition.
         """
         m = self.metrics
-        if predicate.evaluate(self.monitor):
-            m.bump("predicate_evals")
-            return
-        m.bump("predicate_evals")
+        if ev is None:
+            ev = predicate.evaluator()
         m.bump("waits")
 
         if self.mode == "baseline":
-            self._wait_baseline(predicate)
+            self._wait_baseline(ev)
             return
 
-        waiter = Waiter(predicate, self.lock,
-                        cv=self._cv_pool.pop() if self._cv_pool else None)
-        self._register(waiter)
+        waiter = self._obtain_waiter(predicate)
+        monitor = self.monitor
+        cv_wait = waiter.cv.wait
+        # one snapshot per blocking wait, not one config lookup per wakeup
+        phase_timing = config_snapshot().phase_timing
         try:
             while True:
                 # Pass the baton before sleeping (relay rule: a thread going
                 # into waiting state signals some satisfied waiter).
                 self.relay_signal()
-                cfg = get_config()
-                with PhaseTimer(m, "await_time", cfg.phase_timing):
-                    waiter.cv.wait()
+                if phase_timing:
+                    with PhaseTimer(m, "await_time"):
+                        cv_wait()
+                else:
+                    cv_wait()
                 waiter.signaled = False
                 m.bump("wakeups")
                 if waiter.poison is not None:
                     # our predicate blew up while a signaler evaluated it;
                     # the failure belongs to this thread — re-raise it here
                     raise waiter.poison
-                if predicate.evaluate(self.monitor):
-                    m.bump("predicate_evals")
+                result = ev(monitor)
+                m.predicate_evals += 1
+                if result:
                     return
-                m.bump("predicate_evals")
                 m.bump("futile_wakeups")
         finally:
             self._deregister(waiter)
 
-    def _wait_baseline(self, predicate: Predicate) -> None:
+    def _wait_baseline(self, ev: Callable[[Any], Any]) -> None:
         m = self.metrics
+        monitor = self.monitor
         self._broadcast_cv.notify_all()  # baton-pass equivalent
         m.bump("broadcasts")
         while True:
             self._broadcast_cv.wait()
             m.bump("wakeups")
-            if predicate.evaluate(self.monitor):
-                m.bump("predicate_evals")
+            result = ev(monitor)
+            m.predicate_evals += 1
+            if result:
                 return
-            m.bump("predicate_evals")
             m.bump("futile_wakeups")
 
     # ---------------------------------------------------------------- signal
@@ -120,21 +155,26 @@ class ConditionManager:
         thread exists afterwards.
         """
         m = self.metrics
-        cfg = get_config()
         if self.mode == "baseline":
             if self._waiting_baseline():
-                with PhaseTimer(m, "relay_time", cfg.phase_timing):
+                if config_snapshot().phase_timing:
+                    with PhaseTimer(m, "relay_time"):
+                        self._broadcast_cv.notify_all()
+                else:
                     self._broadcast_cv.notify_all()
                 m.bump("broadcasts")
             return None
         if not self.waiters:
             return None
-        with PhaseTimer(m, "relay_time", cfg.phase_timing):
+        if config_snapshot().phase_timing:
+            with PhaseTimer(m, "relay_time"):
+                waiter = self._find_satisfied_waiter()
+        else:
             waiter = self._find_satisfied_waiter()
-            if waiter is not None:
-                waiter.signal()
-                m.bump("signals")
-            return waiter
+        if waiter is not None:
+            waiter.signal()
+            m.bump("signals")
+        return waiter
 
     def _find_satisfied_waiter(self) -> Optional[Waiter]:
         m = self.metrics
@@ -142,25 +182,31 @@ class ConditionManager:
             for waiter in self.waiters:
                 if waiter.signaled:
                     continue
-                m.bump("predicate_evals")
+                m.predicate_evals += 1
                 if self._safe_evaluate(waiter):
                     return waiter
             return None
         # autosynch: tag-index search
-        cfg = get_config()
+        if config_snapshot().phase_timing:
+            with PhaseTimer(m, "tag_time"):
+                return self.index.search(self._search_expr_cb, self._search_pred_cb)
+        return self.index.search(self._search_expr_cb, self._search_pred_cb)
 
-        def evaluate_expr(expr_key):
-            m.bump("tag_checks")
-            return self._evaluate_expr_key(expr_key)
+    def _search_expr(self, expr_key: Any) -> Any:
+        self.metrics.tag_checks += 1
+        return self._evaluate_expr_key(expr_key)
 
-        def predicate_true(waiter: Waiter) -> bool:
-            if waiter.signaled:
-                return False
-            m.bump("predicate_evals")
-            return self._safe_evaluate(waiter)
-
-        with PhaseTimer(m, "tag_time", cfg.phase_timing):
-            return self.index.search(evaluate_expr, predicate_true)
+    def _search_pred(self, waiter: Waiter) -> bool:
+        # _safe_evaluate inlined: this runs once per candidate waiter on
+        # every relay search, and the extra frame is measurable at scale
+        if waiter.signaled:
+            return False
+        self.metrics.predicate_evals += 1
+        try:
+            return waiter.eval_fn(self.monitor)
+        except BaseException as exc:  # noqa: BLE001 — re-raised by the owner
+            waiter.poison = exc
+            return True
 
     def _safe_evaluate(self, waiter: Waiter) -> bool:
         """Evaluate a waiter's predicate on behalf of another thread.
@@ -171,34 +217,62 @@ class ConditionManager:
         returning True here routes the relay signal to it.
         """
         try:
-            return waiter.evaluate(self.monitor)
+            return waiter.eval_fn(self.monitor)
         except BaseException as exc:  # noqa: BLE001 — re-raised by the owner
             waiter.poison = exc
             return True
 
     # ------------------------------------------------------------- internals
+    def _obtain_waiter(self, predicate: Predicate) -> Waiter:
+        pool = self._waiter_pool
+        if pool:
+            waiter = pool.pop()
+            waiter.reset(predicate)
+        else:
+            waiter = Waiter(predicate, self.lock)
+        self._register(waiter)
+        return waiter
+
     def _register(self, waiter: Waiter) -> None:
         self.waiters.append(waiter)
         if self.mode == "autosynch":
-            self._cache_expressions(waiter.predicate)
+            self._cache_expressions(waiter)
+            evalers = self._expr_evalers
+            evaler_refs = self._evaler_refs
+            compile_ok = config_snapshot().compile_predicates
             for tag in tag_predicate(waiter.predicate.conjunctions):
                 waiter.records.append(self.index.add(tag, waiter))
+                expr_key = tag.expr_key
+                if expr_key is None:
+                    continue
+                evaler_refs[expr_key] = evaler_refs.get(expr_key, 0) + 1
+                waiter.evaler_keys.append(expr_key)
+                if expr_key not in evalers:
+                    evalers[expr_key] = (
+                        compiled.compile_expr_key(expr_key, self._expr_cache.get)
+                        if compile_ok else None
+                    )
 
-    def _cache_expressions(self, predicate: Predicate) -> None:
-        """Record evaluators for every sub-expression appearing in the
-        predicate, keyed by structural key, so the tag search can evaluate a
-        canonical shared expression from its key alone."""
-        from repro.core.predicates import Comparison
-
-        for conj in predicate.conjunctions:
+    def _cache_expressions(self, waiter: Waiter) -> None:
+        """Record (and refcount) evaluators for every sub-expression in the
+        waiter's predicate, keyed by structural key, so the tag search can
+        evaluate a canonical shared expression from its key alone."""
+        cache = self._expr_cache
+        refs = self._expr_refs
+        keys = waiter.expr_keys
+        for conj in waiter.predicate.conjunctions:
             for atom in conj:
                 if not isinstance(atom, Comparison):
                     continue
                 for node in atom.shared_subexpressions():
                     try:
-                        self._expr_cache.setdefault(node.key(), node)
+                        key = node.key()
+                        hash(key)
                     except TypeError:
-                        pass  # unhashable constant keys are never looked up
+                        continue  # unhashable constant keys are never looked up
+                    cache.setdefault(key, node)
+                    refs[key] = refs.get(key, 0) + 1
+                    keys.append(key)
 
     def _deregister(self, waiter: Waiter) -> None:
         try:
@@ -208,11 +282,36 @@ class ConditionManager:
         for record in waiter.records:
             self.index.remove(record, waiter)
         waiter.records.clear()
-        # recycle the condition variable (paper §2.5.1): cap the inactive
-        # pool at factor × live waiters, minimum a small constant
-        cap = max(4, get_config().inactive_predicate_factor * (len(self.waiters) + 1))
-        if len(self._cv_pool) < cap:
-            self._cv_pool.append(waiter.cv)
+        # drop the waiter's pins on the expression caches; the entry (and
+        # its compiled evaluator) dies with its last referencing waiter
+        if waiter.expr_keys:
+            cache, refs = self._expr_cache, self._expr_refs
+            for key in waiter.expr_keys:
+                n = refs.get(key, 0) - 1
+                if n <= 0:
+                    refs.pop(key, None)
+                    cache.pop(key, None)
+                else:
+                    refs[key] = n
+            waiter.expr_keys.clear()
+        if waiter.evaler_keys:
+            evalers, refs = self._expr_evalers, self._evaler_refs
+            for key in waiter.evaler_keys:
+                n = refs.get(key, 0) - 1
+                if n <= 0:
+                    refs.pop(key, None)
+                    evalers.pop(key, None)
+                else:
+                    refs[key] = n
+            waiter.evaler_keys.clear()
+        # recycle the whole waiter, condition variable included (paper
+        # §2.5.1): cap the inactive pool at factor × live waiters, minimum
+        # a small constant
+        cfg = config_snapshot()
+        cap = max(4, cfg.inactive_predicate_factor * (len(self.waiters) + 1))
+        if len(self._waiter_pool) < cap:
+            waiter.retire()
+            self._waiter_pool.append(waiter)
 
     def dump_waiters(self) -> list[str]:
         """Human-readable descriptions of every parked predicate — the
@@ -228,11 +327,16 @@ class ConditionManager:
     def _evaluate_expr_key(self, expr_key: Any) -> Any:
         """Evaluate the canonical shared expression identified by a key.
 
-        Keys produced by the linear normalizer are tuples of
-        ``(term_key, coeff)``; each term key is ``("var", name)`` or
-        ``("expr", name)``.  Non-linear fallback keys are 1-tuples of a
-        structural expression key whose first term is evaluated directly.
+        Routes through the compiled flat evaluator registered for the key
+        when one exists, otherwise interprets the key: keys produced by the
+        linear normalizer are tuples of ``(term_key, coeff)``; each term key
+        is ``("var", name)`` or ``("expr", name)``.  Non-linear fallback
+        keys are 1-tuples of a structural expression key whose first term
+        is evaluated directly.
         """
+        fn = self._expr_evalers.get(expr_key)
+        if fn is not None:
+            return fn(self.monitor)
         # Single unit-coefficient term: return the raw term value (this also
         # covers non-numeric equality keys such as object identity).
         if len(expr_key) == 1 and expr_key[0][1] == 1.0:

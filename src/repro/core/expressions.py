@@ -191,7 +191,7 @@ class SharedExpr(Expr):
 class BinOp(Expr):
     """A binary arithmetic node."""
 
-    __slots__ = ("op", "lhs", "rhs")
+    __slots__ = ("op", "lhs", "rhs", "_fn")
 
     _FNS = {
         "+": lambda a, b: a + b,
@@ -206,9 +206,10 @@ class BinOp(Expr):
         self.op = op
         self.lhs = lhs
         self.rhs = rhs
+        self._fn = self._FNS[op]  # one dict lookup at build, not per eval
 
     def evaluate(self, monitor: Any) -> Any:
-        return self._FNS[self.op](self.lhs.evaluate(monitor), self.rhs.evaluate(monitor))
+        return self._fn(self.lhs.evaluate(monitor), self.rhs.evaluate(monitor))
 
     def linear(self):
         left = self.lhs.linear()
@@ -222,10 +223,16 @@ class BinOp(Expr):
         if self.op == "-":
             return _merge(lterms, rterms, -1.0), lconst - rconst
         if self.op == "*":
-            # only scalar * linear stays linear
+            # only scalar * linear stays linear; a zero scalar annihilates
+            # the terms (keeping 0.0 coefficients would divide by zero when
+            # linear_key scales by the first coefficient)
             if not lterms:
+                if lconst == 0.0:
+                    return {}, 0.0
                 return {k: v * lconst for k, v in rterms.items()}, lconst * rconst
             if not rterms:
+                if rconst == 0.0:
+                    return {}, 0.0
                 return {k: v * rconst for k, v in lterms.items()}, lconst * rconst
             return None
         return None  # '%' is never linear

@@ -42,7 +42,7 @@ from typing import Callable
 from repro.analysis import runtime as _monlint
 from repro.core.condition_manager import SIGNALING_MODES, ConditionManager
 from repro.core.predicates import BoolNode, Predicate
-from repro.runtime.config import get_config
+from repro.runtime.config import config_snapshot
 from repro.runtime.errors import MonitorError, NotOwnerError
 from repro.runtime.ids import next_monitor_id
 from repro.runtime.metrics import Metrics, PhaseTimer
@@ -136,12 +136,13 @@ class Monitor(metaclass=MonitorMeta):
 
     # ------------------------------------------------------- section control
     def _monitor_enter(self) -> None:
-        cfg = get_config()
         if _monlint.enabled:
             # raises LockOrderError *before* acquiring on a violation
             _monlint.on_acquire(self)
-        if self._depth == 0 or not self._owned():
-            with PhaseTimer(self._metrics, "lock_time", cfg.phase_timing):
+        # fast path: no allocation, one snapshot read; a PhaseTimer exists
+        # only when phase timing is actually on
+        if self._depth == 0 and config_snapshot().phase_timing:
+            with PhaseTimer(self._metrics, "lock_time"):
                 self._lock.acquire()
         else:
             self._lock.acquire()
@@ -184,6 +185,16 @@ class Monitor(metaclass=MonitorMeta):
             # evaluation breaks closure (Def. 2) — fail loudly here rather
             # than corrupting relay signaling later
             _monlint.check_predicate(predicate, self)
+        # Fast path — predicate already true: one evaluator call and one
+        # counter increment, no Waiter, no depth juggling, nothing
+        # allocated.  This is the dominant case in well-tuned programs and
+        # the one the microbenchmarks gate (docs/performance.md).  The slot
+        # peek skips a method call once the predicate has a compiled closure.
+        ev = predicate._evaluator
+        result = ev(self) if ev is not None else predicate.fast_eval(self)
+        self._metrics.predicate_evals += 1
+        if result:
+            return
         # A waiting thread must not hold the lock reentrantly: Condition.wait
         # releases the lock exactly once, so a nested hold would deadlock.
         # Inside a nested call (e.g. a monitor method invoked under
@@ -193,9 +204,6 @@ class Monitor(metaclass=MonitorMeta):
         # conditions spanning the enclosing section must go through
         # ``Multisynch.wait_until`` instead.
         if self._depth > 1:
-            if predicate.evaluate(self):
-                self._metrics.bump("predicate_evals")
-                return
             raise MonitorError(
                 "a blocking wait_until inside a nested monitor call would "
                 "deadlock; use multisynch(...).wait_until for conditions "
@@ -204,7 +212,7 @@ class Monitor(metaclass=MonitorMeta):
         saved_depth = self._depth
         self._depth = 0  # we are not an active holder while parked
         try:
-            self._cond_mgr.wait(predicate)
+            self._cond_mgr.wait_blocking(predicate)
         finally:
             self._depth = saved_depth
 

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.core import compiled as _compiled
 from repro.core.expressions import Const, Expr, linear_key
+from repro.runtime.config import config_snapshot
 from repro.runtime.errors import PredicateError
 
 #: Cap on DNF size to guard against exponential blow-up of pathological
@@ -157,7 +159,7 @@ class Comparison(Atom):
     are still evaluable but only taggable when one side is constant.
     """
 
-    __slots__ = ("lhs", "op", "rhs", "_shape")
+    __slots__ = ("lhs", "op", "rhs", "_shape", "_cmp")
 
     def __init__(self, lhs: Expr, op: str, rhs: Expr):
         if op not in _EVAL:
@@ -165,6 +167,7 @@ class Comparison(Atom):
         self.lhs = lhs
         self.op = op
         self.rhs = rhs
+        self._cmp = _EVAL[op]
         self._shape = self._normalize()
 
     def _normalize(self):
@@ -215,7 +218,7 @@ class Comparison(Atom):
         return self._shape
 
     def evaluate(self, monitor):
-        return _EVAL[self.op](self.lhs.evaluate(monitor), self.rhs.evaluate(monitor))
+        return self._cmp(self.lhs.evaluate(monitor), self.rhs.evaluate(monitor))
 
     def negate(self):
         return Comparison(self.lhs, _NEGATE[self.op], self.rhs)
@@ -301,16 +304,64 @@ class Predicate:
     the tree was captured from the waiting thread's locals at build time, so
     evaluation by *other* threads is sound for the whole waituntil period
     (Prop. 1).
+
+    Hot paths evaluate through :meth:`fast_eval` / :meth:`evaluator`, which
+    use a code-generated flat closure (see :mod:`repro.core.compiled`) when
+    ``Config.compile_predicates`` is on, falling back to the tree-walking
+    :meth:`evaluate` for shapes the compiler cannot express.  Compilation
+    is *tiered*: a predicate evaluated once (the common build-check-proceed
+    DSL idiom) is interpreted; one that is re-evaluated — a reused
+    Predicate object, or a parked waiter the relay rule keeps re-checking —
+    is compiled on its second use, so single-shot predicates never pay the
+    synthesis cost.
     """
 
-    __slots__ = ("root", "conjunctions")
+    __slots__ = ("root", "conjunctions", "_evaluator", "_uses")
 
     def __init__(self, condition: BoolNode | Callable[..., bool] | bool):
         self.root = _as_bool(condition)
         self.conjunctions: list[tuple[Atom, ...]] = self.root.dnf()
+        self._evaluator: Callable[[Any], Any] | None = None
+        self._uses = 0
 
     def evaluate(self, monitor: Any) -> bool:
         return self.root.evaluate(monitor)
+
+    def fast_eval(self, monitor: Any) -> Any:
+        """Hot-path evaluation with tiered compilation (see class docs)."""
+        ev = self._evaluator
+        if ev is not None:
+            return ev(monitor)
+        if _compiled._crosscheck:
+            return self.evaluator()(monitor)
+        n = self._uses + 1
+        self._uses = n
+        if n >= 2:
+            return self.evaluator()(monitor)
+        return self.root.evaluate(monitor)
+
+    def evaluator(self) -> Callable[[Any], Any]:
+        """The fastest available evaluation callable for this predicate.
+
+        Returns the compiled closure (cached after the first call), the
+        tree-walking :meth:`evaluate` when compilation is disabled or
+        unsupported, or — while :func:`repro.core.compiled.crosscheck` is
+        active — an uncached wrapper running both paths and asserting they
+        agree.
+        """
+        if not config_snapshot().compile_predicates:
+            if _compiled._crosscheck:
+                return _compiled.crosscheck_wrap(self.evaluate, self.evaluate, repr(self))
+            return self.evaluate
+        ev = self._evaluator
+        if ev is None:
+            ev = _compiled.compile_predicate(self)
+            if ev is None:
+                ev = self.evaluate
+            self._evaluator = ev
+        if _compiled._crosscheck:
+            return _compiled.crosscheck_wrap(ev, self.evaluate, repr(self))
+        return ev
 
     def __repr__(self):
         return f"Predicate({self.root!r})"

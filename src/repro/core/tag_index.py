@@ -47,54 +47,63 @@ class TagRecord:
         return f"TagRecord({self.tag}, {len(self.waiters)} waiters)"
 
 
-class _HeapEntry:
-    """Heap node ordering threshold tags by key, inclusive-op first.
-
-    For the min-heap (``>``/``>=`` family) smaller keys are checked first,
-    and ``>=`` sorts before ``>`` on equal keys.  For the max-heap family
-    keys are negated via ``sign``.
-    """
-
-    __slots__ = ("sort_key", "record")
-
-    def __init__(self, record: TagRecord, sign: float):
-        strictness = 0 if record.tag.op in ("<=", ">=") else 1
-        self.sort_key = (sign * record.tag.key, strictness)
-        self.record = record
-
-    def __lt__(self, other: "_HeapEntry") -> bool:
-        return self.sort_key < other.sort_key
+# Heap entries are plain tuples ``(sign*key, strictness, seq, record)`` so
+# heapq's sift comparisons stay in C (a class with a Python ``__lt__`` costs
+# one interpreted call per comparison — thousands per walk of a big heap).
+# Inclusive operators get strictness 0 so ``>=`` sorts before ``>`` on equal
+# keys (§2.4.2); ``seq`` is a unique tiebreaker so comparison never reaches
+# the record.
+_ENTRY_RECORD = 3
 
 
 class ThresholdHeap:
     """One heap of threshold tag records for a single shared expression."""
 
-    __slots__ = ("sign", "_heap", "_records")
+    __slots__ = ("sign", "_heap", "_records", "_live", "_seq")
 
     def __init__(self, ascending: bool):
         #: ascending=True → `>`/`>=` family (check smallest key first).
         self.sign = 1.0 if ascending else -1.0
-        self._heap: list[_HeapEntry] = []
+        self._heap: list[tuple] = []
         self._records: dict[tuple, TagRecord] = {}
+        #: count of records that currently hold waiters, maintained
+        #: incrementally by TagIndex.add/remove — ``len(heap)`` used to scan
+        #: the whole heap on every relay search
+        self._live = 0
+        self._seq = 0
 
     def record_for(self, tag: Tag) -> TagRecord:
         rec = self._records.get(tag.identity())
         if rec is None:
             rec = TagRecord(tag)
             self._records[tag.identity()] = rec
-            heapq.heappush(self._heap, _HeapEntry(rec, self.sign))
+            strictness = 0 if tag.op in ("<=", ">=") else 1
+            self._seq += 1
+            heapq.heappush(
+                self._heap, (self.sign * tag.key, strictness, self._seq, rec)
+            )
         return rec
+
+    def note_occupied(self) -> None:
+        """A record of this heap went empty → non-empty."""
+        self._live += 1
+
+    def note_vacated(self) -> None:
+        """A record of this heap went non-empty → empty."""
+        self._live -= 1
 
     def prune_empty(self) -> None:
         """Drop records whose last waiter left (lazy: rebuild when stale)."""
-        if len(self._records) > 2 * max(1, self._live_count()):
-            live = [e for e in self._heap if e.record.waiters]
-            self._records = {e.record.tag.identity(): e.record for e in live}
+        if len(self._records) > 2 * max(1, self._live):
+            live = [e for e in self._heap if e[_ENTRY_RECORD].waiters]
+            self._records = {
+                e[_ENTRY_RECORD].tag.identity(): e[_ENTRY_RECORD] for e in live
+            }
             self._heap = live
             heapq.heapify(self._heap)
 
     def _live_count(self) -> int:
-        return sum(1 for e in self._heap if e.record.waiters)
+        return self._live
 
     def candidates(self, value: Any) -> Iterator[TagRecord]:
         """Yield records whose tag is true for ``value``, root-first.
@@ -105,19 +114,22 @@ class ThresholdHeap:
         a false root or an exhausted heap is reached, reinsert the backup.
         The generator form lets the caller stop as soon as it has signaled.
         """
-        backup: list[_HeapEntry] = []
+        backup: list[tuple] = []
+        heap = self._heap
+        heappop, heappush = heapq.heappop, heapq.heappush
         try:
-            while self._heap:
-                entry = self._heap[0]
-                tag = entry.record.tag
+            while heap:
+                entry = heap[0]
+                rec = entry[_ENTRY_RECORD]
+                tag = rec.tag
                 if not _SATISFIES[tag.op](value, tag.key):
                     break
-                if entry.record.waiters:
-                    yield entry.record
-                backup.append(heapq.heappop(self._heap))
+                if rec.waiters:
+                    yield rec
+                backup.append(heappop(heap))
         finally:
             for entry in backup:
-                heapq.heappush(self._heap, entry)
+                heappush(heap, entry)
 
     def __len__(self):
         return self._live_count()
@@ -154,6 +166,8 @@ class TagIndex:
                 heap = ThresholdHeap(ascending)
                 self.heaps[(tag.expr_key, ascending)] = heap
             rec = heap.record_for(tag)
+            if not rec.waiters:
+                heap.note_occupied()
             rec.waiters.append(waiter)
             return rec
         for rec in self.none_records:
@@ -168,8 +182,9 @@ class TagIndex:
     def remove(self, record: TagRecord, waiter: "Waiter") -> None:
         try:
             record.waiters.remove(waiter)
+            removed = True
         except ValueError:
-            pass
+            removed = False
         if not record.waiters:
             tag = record.tag
             if tag.kind is TagKind.EQUIVALENCE:
@@ -179,9 +194,12 @@ class TagIndex:
                     table.pop(tag.key, None)
                     if not table:
                         del self.eq_tables[tag.expr_key]
-            elif tag.kind is TagKind.THRESHOLD:
+            elif tag.kind is TagKind.THRESHOLD and removed:
+                # ``removed`` guards the live counter: only the removal that
+                # actually emptied the record vacates it
                 heap = self.heaps.get((tag.expr_key, tag.op in (">", ">=")))
                 if heap is not None:
+                    heap.note_vacated()
                     heap.prune_empty()
             # None records are recycled in place by ``add``.
 
@@ -234,5 +252,5 @@ class TagIndex:
     def _iter_records(self) -> Iterator[TagRecord]:
         yield from self._eq_records.values()
         for heap in self.heaps.values():
-            yield from (e.record for e in heap._heap)
+            yield from (e[_ENTRY_RECORD] for e in heap._heap)
         yield from self.none_records

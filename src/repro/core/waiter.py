@@ -1,15 +1,22 @@
 """Per-thread wait records.
 
-Each blocked ``wait_until`` call owns a Waiter: its closure predicate, the
-tag records it was indexed under, and a private condition variable bound to
-the monitor lock so that the relay rule can wake exactly this thread (the
-framework never broadcasts; relay invariance makes ``signalAll`` unnecessary).
+Each blocked ``wait_until`` call owns a Waiter: its closure predicate (and
+the predicate's compiled evaluator), the tag records it was indexed under,
+the expression-cache keys it pinned, and a private condition variable bound
+to the monitor lock so that the relay rule can wake exactly this thread
+(the framework never broadcasts; relay invariance makes ``signalAll``
+unnecessary).
+
+Waiters are *recycled*: when a waiter deregisters, the condition manager
+returns the whole object — condition variable included — to an inactive
+pool bounded by the paper's 2n rule (§2.5.1), so a steady-state wait/wake
+churn allocates no new Waiter or Condition objects at all.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.core.predicates import Predicate
 
@@ -20,23 +27,43 @@ if TYPE_CHECKING:  # pragma: no cover
 class Waiter:
     """One blocked thread's registration with a condition manager."""
 
-    __slots__ = ("predicate", "cv", "signaled", "records", "thread_id", "poison")
+    __slots__ = (
+        "predicate", "eval_fn", "cv", "signaled", "records",
+        "expr_keys", "evaler_keys", "thread_id", "poison",
+    )
 
     def __init__(self, predicate: Predicate, lock: threading.RLock,
                  cv: threading.Condition | None = None):
-        self.predicate = predicate
-        # condition variables are recycled through the manager's inactive
-        # pool (§2.5.1); a fresh one is built only when the pool is empty
+        # condition variables ride along with recycled waiters; a fresh one
+        # is built only for a brand-new Waiter (or an explicit ``cv``)
         self.cv = cv if cv is not None else threading.Condition(lock)
-        self.signaled = False
         self.records: list["TagRecord"] = []
+        #: structural keys this waiter pinned in the manager's node cache
+        self.expr_keys: list[Any] = []
+        #: canonical expression keys whose compiled evaluators it pinned
+        self.evaler_keys: list[Any] = []
+        self.reset(predicate)
+
+    def reset(self, predicate: Predicate) -> None:
+        """Re-arm a (possibly recycled) waiter for a new wait."""
+        self.predicate = predicate
+        #: the predicate's fastest evaluator — compiled closure when
+        #: available, tree-walking ``Predicate.evaluate`` otherwise
+        self.eval_fn: Callable[[Any], Any] = predicate.evaluator()
+        self.signaled = False
         self.thread_id = threading.get_ident()
         #: exception raised while another thread evaluated this predicate;
         #: re-raised in the owning thread when it wakes
-        self.poison: BaseException | None = None
+        self.poison: Optional[BaseException] = None
+
+    def retire(self) -> None:
+        """Drop references held for the finished wait (before pooling)."""
+        self.predicate = None  # type: ignore[assignment]
+        self.eval_fn = _never
+        self.poison = None
 
     def evaluate(self, monitor: Any) -> bool:
-        return self.predicate.evaluate(monitor)
+        return self.eval_fn(monitor)
 
     def signal(self) -> None:
         """Wake this waiter (caller holds the monitor lock)."""
@@ -45,3 +72,7 @@ class Waiter:
 
     def __repr__(self):
         return f"Waiter(tid={self.thread_id}, {self.predicate!r})"
+
+
+def _never(monitor: Any) -> bool:  # pragma: no cover — retired waiters are
+    return False                   # never evaluated; defensive placeholder

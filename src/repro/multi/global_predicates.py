@@ -72,14 +72,21 @@ class GlobalAtom(GlobalNode):
 class LocalPredicate(GlobalAtom):
     """An atom local to one monitor: evaluable under that monitor's lock."""
 
-    __slots__ = ("monitor", "predicate")
+    __slots__ = ("monitor", "predicate", "_eval")
 
     def __init__(self, monitor: Monitor, condition: BoolNode | Callable[..., bool] | bool):
         self.monitor = monitor
         self.predicate = condition if isinstance(condition, Predicate) else Predicate(condition)
+        self._eval: Callable[[Monitor], bool] | None = None
 
     def evaluate(self) -> bool:
-        return self.predicate.evaluate(self.monitor)
+        # global conditions are re-checked on every related monitor exit
+        # (Alg. 4), so route through the compiled closure like local waits do
+        ev = self._eval
+        if ev is None:
+            ev = self.predicate.evaluator()
+            self._eval = ev
+        return ev(self.monitor)
 
     def monitors(self) -> frozenset[Monitor]:
         return frozenset((self.monitor,))

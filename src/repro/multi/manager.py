@@ -50,7 +50,7 @@ def _on_monitor_exit(monitor: Monitor) -> None:
             # a thread releasing its own locks on the way into a wait must
             # not signal itself (would livelock the AS strategy)
             continue
-        m.bump("predicate_evals")
+        m.predicate_evals += 1  # direct increment: runs on every monitor exit
         if waiter.check_on_exit(monitor):
             waiter.signal()
             m.bump("signals")

@@ -136,7 +136,7 @@ class Multisynch:
             manager.deregister(waiter)
             if condition.evaluate():
                 return
-            manager.global_condition_metrics.bump("false_evals")
+            manager.global_condition_metrics.false_evals += 1
 
     def __repr__(self):
         ids = [m.monitor_id for m in self.monitors]

@@ -5,6 +5,14 @@ is enabled at all (§1.6 step 3: "the user can easily disable asynchronous
 executions at runtime by simply passing a flag"), the combining batch size
 (§3.3.2 fixes five tasks per combining turn), the per-server bounded-queue
 capacity, and the cap on monitor server threads (§3.3.4).
+
+Hot paths never call :func:`get_config` per operation.  Every public-field
+assignment on :class:`Config` bumps a process-global *generation* counter,
+and :func:`config_snapshot` returns an immutable, slotted
+:class:`ConfigSnapshot` that is rebuilt only when the generation moved.
+Monitor enter/exit, relay signaling, and the combining loop read the
+snapshot: one global load + one integer compare in the common case, zero
+allocations (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -16,6 +24,13 @@ from dataclasses import dataclass, field
 
 def _hardware_threads() -> int:
     return os.cpu_count() or 1
+
+
+#: Bumped on every public-field assignment of any :class:`Config`; snapshot
+#: caches validate against it.  A plain int mutated under the GIL — readers
+#: only ever compare for inequality, so a torn read is impossible and a
+#: stale read merely delays the refresh by one operation.
+_generation = 0
 
 
 @dataclass
@@ -54,7 +69,19 @@ class Config:
     #: per monitor enter/exit.
     analysis_checks: bool = False
 
+    #: Evaluate ``waituntil`` predicates through code-generated flat
+    #: closures (:mod:`repro.core.compiled`) instead of walking the
+    #: Expr/Predicate object tree.  On by default; turn off to A/B the
+    #: interpreter (the microbenchmarks do exactly that).
+    compile_predicates: bool = True
+
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        if not name.startswith("_"):
+            global _generation
+            _generation += 1
 
     def effective_server_cap(self) -> int:
         """Resolve the server-thread cap against available hardware.
@@ -68,9 +95,60 @@ class Config:
         return max(8, _hardware_threads() - 1)
 
 
+class ConfigSnapshot:
+    """Immutable point-in-time copy of every :class:`Config` field.
+
+    Safe to hold across a blocking wait: readers that must observe live
+    updates re-fetch via :func:`config_snapshot` (cheap), while loop bodies
+    deliberately hoist one snapshot per operation.
+    """
+
+    __slots__ = (
+        "generation",
+        "asynchronous_enabled",
+        "combining_batch",
+        "task_queue_capacity",
+        "max_server_threads",
+        "inactive_predicate_factor",
+        "phase_timing",
+        "analysis_checks",
+        "compile_predicates",
+    )
+
+    def __init__(self, cfg: Config, generation: int):
+        self.generation = generation
+        self.asynchronous_enabled = cfg.asynchronous_enabled
+        self.combining_batch = cfg.combining_batch
+        self.task_queue_capacity = cfg.task_queue_capacity
+        self.max_server_threads = cfg.max_server_threads
+        self.inactive_predicate_factor = cfg.inactive_predicate_factor
+        self.phase_timing = cfg.phase_timing
+        self.analysis_checks = cfg.analysis_checks
+        self.compile_predicates = cfg.compile_predicates
+
+
 _config = Config()
+_snapshot: ConfigSnapshot = ConfigSnapshot(_config, _generation)
 
 
 def get_config() -> Config:
-    """Return the process-global configuration object."""
+    """Return the process-global configuration object (for *mutation* and
+    cold reads; hot paths use :func:`config_snapshot`)."""
     return _config
+
+
+def config_snapshot() -> ConfigSnapshot:
+    """Return the current immutable config view, rebuilding it only when a
+    field changed since the last call (generation check)."""
+    global _snapshot
+    snap = _snapshot
+    if snap.generation != _generation:
+        snap = ConfigSnapshot(_config, _generation)
+        _snapshot = snap
+    return snap
+
+
+def config_generation() -> int:
+    """The current global config generation (exposed for caches that embed
+    their own validity stamp)."""
+    return _generation

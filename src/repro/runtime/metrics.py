@@ -13,6 +13,10 @@ The paper's evaluation reports (beyond wall-clock runtime):
 Counters are plain ints mutated while the caller already holds the monitor
 lock (or with a tiny dedicated lock for cross-monitor aggregation), so the
 instrumentation cost is a handful of integer adds per monitor operation.
+The monitor hot path bumps counters by direct attribute increment
+(``metrics.signals += 1``) rather than through :meth:`Metrics.bump` — the
+string-keyed ``getattr``/``setattr`` pair costs more than the increment
+itself; ``bump``/``add`` remain for cold call sites and tests.
 """
 
 from __future__ import annotations
@@ -90,11 +94,16 @@ class PhaseTimer:
 
     Used to regenerate Table 2.1's await / lock / relay-signal / tag-manager
     CPU breakdown.  A no-op (single branch) when timing is disabled.
+
+    Hot paths do not construct a disabled PhaseTimer per operation: they
+    branch on ``ConfigSnapshot.phase_timing`` and only instantiate a timer
+    when timing is on, or enter the shared :data:`NULL_PHASE_TIMER`, so the
+    timing-off fast path allocates nothing.
     """
 
     __slots__ = ("_metrics", "_phase", "_enabled", "_start")
 
-    def __init__(self, metrics: Metrics, phase: str, enabled: bool):
+    def __init__(self, metrics: Metrics, phase: str, enabled: bool = True):
         self._metrics = metrics
         self._phase = phase
         self._enabled = enabled
@@ -108,6 +117,28 @@ class PhaseTimer:
     def __exit__(self, *exc) -> None:
         if self._enabled:
             self._metrics.add_time(self._phase, time.perf_counter() - self._start)
+
+
+class _NullPhaseTimer:
+    """Allocation-free stand-in for a disabled :class:`PhaseTimer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhaseTimer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+#: Shared no-op timer; ``with NULL_PHASE_TIMER:`` costs two cheap calls and
+#: zero allocations.
+NULL_PHASE_TIMER = _NullPhaseTimer()
+
+
+def phase_timer(metrics: Metrics, phase: str, enabled: bool):
+    """Return a timer for ``with`` without allocating when disabled."""
+    return PhaseTimer(metrics, phase) if enabled else NULL_PHASE_TIMER
 
 
 #: Process-global aggregate; individual monitors keep their own ``Metrics``

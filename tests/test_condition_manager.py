@@ -120,7 +120,7 @@ class TestFutileWakeups:
 
 
 class TestHousekeeping:
-    def test_cv_pool_recycles(self):
+    def test_waiter_pool_recycles(self):
         b = Board()
         done = threading.Event()
 
@@ -136,8 +136,14 @@ class TestHousekeeping:
             assert done.wait(5)
             t.join(5)
             b.set_xy(0, 0)
-        # after three churn rounds, at most a handful of pooled CVs exist
-        assert 1 <= len(b._cond_mgr._cv_pool) <= 4
+        # after three churn rounds, at most a handful of pooled waiters
+        # (each carrying its recycled condition variable) exist
+        assert 1 <= len(b._cond_mgr._waiter_pool) <= 4
+        # the recycled waiters are fully retired: no predicate references
+        assert all(w.predicate is None for w in b._cond_mgr._waiter_pool)
+        # and the expression caches were drained with the last waiter
+        assert b._cond_mgr._expr_cache == {}
+        assert b._cond_mgr._expr_evalers == {}
 
     def test_dump_waiters_describes_predicates(self):
         b = Board()
