@@ -54,7 +54,7 @@ from repro.compose import (
     select_one,
 )
 from repro.core import Monitor, Predicate, S, synchronized, unmonitored
-from repro.multi import complex_pred, local, multisynch
+from repro.multi import complex_pred, local, monitor_set, multisynch
 from repro.preprocess import monitor_compile, waituntil
 from repro.runtime import get_config
 
@@ -73,6 +73,7 @@ __all__ = [
     "Policy",
     "SingleConsumerBoundedQueue",
     "multisynch",
+    "monitor_set",
     "monitor_compile",
     "waituntil",
     "local",

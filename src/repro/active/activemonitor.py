@@ -124,16 +124,19 @@ class ActiveMonitor(Monitor):
         if is_async:
             self._honor_rule2()
             predicate = self._guard_predicate(pre, args, kwargs)
-            task = MonitorTask(
+            task = MonitorTask.acquire(
                 functools.partial(fn, self), (*args,), dict(kwargs),
                 precondition=predicate, priority=priority,
                 name=getattr(fn, "__name__", "task"), retries=retries,
             )
+            # capture before submit: the pooled shell may be recycled (and
+            # re-armed for an unrelated call) the moment the server runs it
+            future = task.future
             server.submit(task)
             table = _outstanding()
-            table[self.monitor_id] = task.future
-            _worker_state.last = (self.monitor_id, task.future)
-            return task.future if self._mode == "async" else _evaluated(task.future)
+            table[self.monitor_id] = future
+            _worker_state.last = (self.monitor_id, future)
+            return future if self._mode == "async" else _evaluated(future)
         # synchronous guarded method: direct execution under the lock
         return self._run_sync(fn, args, kwargs, pre, wrap_future=False)
 
@@ -205,10 +208,10 @@ class ActiveMonitor(Monitor):
         server = self._server
         if server is None:
             return
-        done = threading.Event()
-        sentinel = MonitorTask(lambda: done.set(), (), {}, name="flush")
+        sentinel = MonitorTask.acquire(lambda: None, (), {}, name="flush")
+        future = sentinel.future   # capture before submit (pooled shell)
         server.submit(sentinel)
-        sentinel.future.get(timeout)
+        future.get(timeout)
 
 
 def _evaluated(future: LightFuture) -> LightFuture:

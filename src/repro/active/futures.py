@@ -3,13 +3,24 @@
 The paper replaces Java's heavyweight ``FutureTask`` with "a lightweight
 version of future objects that are shared between only one worker thread and
 the server" (§3.3.2), using volatile fields and ``park``/``unpark``.  The
-Python analogue is a single Event plus plain attributes: exactly one producer
-(the executing thread) and one consumer (the submitting worker).
+Python analogue: plain attributes for the value/state hand-off (GIL writes
+are sequentially consistent) and a condition variable allocated **lazily**,
+only when a consumer actually blocks in :meth:`get`.  The dominant pipeline
+case — submit, do other work, ``get`` after the server already completed the
+task — therefore allocates no synchronization object at all, and the
+producer's completion path is a couple of attribute stores plus one branch.
+
+Ordering argument (single producer): ``set_result`` stores the value, then
+the state, then reads ``_cv``.  A consumer that installs a CV *after* that
+read necessarily re-checks ``_state`` afterwards and sees the completion; a
+consumer that installed it *before* is notified under the CV.  Either way no
+wakeup is lost.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Optional
 
 from repro.runtime.errors import TaskError
@@ -18,28 +29,39 @@ _PENDING = 0
 _DONE = 1
 _FAILED = 2
 
+#: serializes lazy CV installation when several threads block on one future
+#: (outside the paper's SPSC contract, but cheap to make safe — the lock is
+#: only touched by consumers that actually block)
+_cv_install_lock = threading.Lock()
+
 
 class LightFuture:
-    """Single-producer / single-consumer future."""
+    """Single-producer / single-consumer future (multi-consumer safe)."""
 
-    __slots__ = ("_event", "_state", "_value", "_error")
+    __slots__ = ("_state", "_value", "_error", "_cv")
 
     def __init__(self):
-        self._event = threading.Event()
         self._state = _PENDING
         self._value: Any = None
         self._error: Optional[BaseException] = None
+        self._cv: Optional[threading.Condition] = None
 
     # -- producer side --------------------------------------------------------
     def set_result(self, value: Any) -> None:
         self._value = value
-        self._state = _DONE
-        self._event.set()
+        self._state = _DONE          # value before state: done ⇒ value visible
+        cv = self._cv
+        if cv is not None:
+            with cv:
+                cv.notify_all()
 
     def set_exception(self, error: BaseException) -> None:
         self._error = error
         self._state = _FAILED
-        self._event.set()
+        cv = self._cv
+        if cv is not None:
+            with cv:
+                cv.notify_all()
 
     # -- consumer side ---------------------------------------------------------
     def done(self) -> bool:
@@ -51,11 +73,31 @@ class LightFuture:
         Raises :class:`TaskError` wrapping the task's exception if it failed,
         and ``TimeoutError`` if ``timeout`` elapses first.
         """
-        if not self._event.wait(timeout):
-            raise TimeoutError("future not completed within timeout")
+        if self._state == _PENDING:
+            self._block(timeout)
         if self._state == _FAILED:
             raise TaskError("asynchronous monitor task failed", self._error) from self._error
         return self._value
+
+    def _block(self, timeout: float | None) -> None:
+        cv = self._cv
+        if cv is None:
+            with _cv_install_lock:
+                cv = self._cv
+                if cv is None:
+                    cv = threading.Condition()
+                    self._cv = cv
+        with cv:
+            if timeout is None:
+                while self._state == _PENDING:
+                    cv.wait()
+            else:
+                deadline = time.monotonic() + timeout
+                while self._state == _PENDING:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError("future not completed within timeout")
+                    cv.wait(remaining)
 
     def exception(self) -> Optional[BaseException]:
         return self._error if self._state == _FAILED else None

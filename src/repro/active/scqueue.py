@@ -1,34 +1,60 @@
 """Single-consumer optimal bounded FIFO queue (paper Fig. 3.2).
 
 The server thread is the only consumer; every worker is a producer.  The
-design minimizes consumer-side synchronization:
+original minimizes consumer-side synchronization by *count stealing*: the
+consumer claims the whole currently-visible batch and touches the shared
+counter once per batch.  This implementation keeps that structure but takes
+it further by exploiting CPython's GIL-atomic primitives, so the common
+case acquires **zero locks** on both sides:
 
-* ``put`` is guarded by ``putlock`` plus a ``notFull`` condition;
-* ``take`` runs without any lock — the consumer *steals* the whole current
-  count into a local ``take_count`` cache and then dequeues that many items
-  touching the shared atomic counter only once per batch, which (in the
-  original) slashes cache-coherence traffic on the hot counter.
+* a producer reserves a slot with one atomic ticket (``next`` on an
+  ``itertools.count``), checks admission against the consumer-published
+  ``taken`` counter, and publishes the item with one ``deque.append`` —
+  three C-level calls, no lock;
+* the consumer steals the visible batch (``len(deque)``), advances
+  ``taken`` once per batch (the paper's take-count strategy), and dequeues
+  the claimed items with plain ``popleft`` — no lock, one shared-counter
+  touch per batch;
+* blocking only happens through a parking lot (lock + condition) that a
+  producer enters *after* its admission check fails, and that the consumer
+  touches only when ``_parked`` says somebody is actually waiting.
 
-CPython has no lock-free atomic int, so :class:`AtomicInteger` carries a
-micro-lock; the algorithmic structure (and the count-update frequency the
-optimization targets) is preserved faithfully.
+Memory-model note: under the GIL, ``next(count)``, ``deque.append``,
+``deque.popleft`` and ``len(deque)`` are atomic, and writes are visible to
+subsequent reads in sequential-consistency order — the lost-wakeup
+argument below relies on nothing stronger.  The parking path re-checks its
+admission predicate under the parking lock, and the consumer's notify also
+takes that lock, so a producer can never sleep through the wakeup that
+frees its slot.
 
-Capacity semantics (inherent to the original design): the bound applies to
-*unclaimed* items.  Because a steal decrements the shared count by the whole
-batch up front, producers may admit up to ``capacity`` further items while
-the consumer drains its claimed batch — transient total occupancy is
-bounded by ``2 × capacity``.
+Capacity semantics (inherent to the original design, kept deliberately):
+the bound applies to *unclaimed* items.  A steal advances ``taken`` by the
+whole batch up front, so producers may admit up to ``capacity`` further
+items while the consumer drains its claimed batch — **transient total
+occupancy is bounded by ``2 × capacity``** (asserted by the stress suite in
+``tests/test_scqueue.py``).  A failed :meth:`try_put` cannot atomically
+return its ticket; it abandons the reservation on a *void* list that the
+consumer folds back into ``taken`` at the next steal, which keeps the
+accounting exact for every later ticket.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 from collections import deque
 from typing import Any, Optional
 
+__all__ = ["AtomicInteger", "SingleConsumerBoundedQueue"]
+
 
 class AtomicInteger:
-    """Atomic integer with get / getAndIncrement / getAndAdd."""
+    """Atomic integer with get / getAndIncrement / getAndAdd.
+
+    Retained as a general-purpose utility (and for the ablation that
+    measures what the queue used to cost); the queue itself no longer
+    uses it.
+    """
 
     __slots__ = ("_value", "_lock")
 
@@ -61,71 +87,124 @@ class AtomicInteger:
 
 
 class SingleConsumerBoundedQueue:
-    """Bounded MPSC FIFO queue with consumer-side count stealing."""
+    """Bounded MPSC FIFO queue: lock-free common case, batch stealing."""
+
+    __slots__ = (
+        "capacity", "_items", "_tickets", "_void", "_taken", "_claimed",
+        "_parklock", "_not_full", "_parked", "steal_batches", "steal_items",
+    )
 
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._count = AtomicInteger(0)
-        self._putlock = threading.Lock()
-        self._not_full = threading.Condition(self._putlock)
-        self._items: deque[Any] = deque()
-        self._take_count = 0  # consumer-local cache of claimable items
+        self._items: deque[Any] = deque()     # published items (FIFO)
+        self._tickets = itertools.count()     # producer slot reservations
+        self._void: deque[None] = deque()     # reservations abandoned by try_put
+        self._taken = 0       # consumer-published count of claimed tickets
+        self._claimed = 0     # consumer-local remainder of the stolen batch
+        self._parklock = threading.Lock()
+        self._not_full = threading.Condition(self._parklock)
+        self._parked = 0      # producers currently in the parking lot
+        #: consumer-side instrumentation (single writer, racy reads OK)
+        self.steal_batches = 0
+        self.steal_items = 0
 
     # -- producers -------------------------------------------------------------
     def put(self, item: Any) -> None:
-        """Enqueue, blocking while the queue is full."""
-        with self._putlock:
-            while self._count.get() == self.capacity:
-                self._not_full.wait()
-            self._items.append(item)
-            lcount = self._count.get_and_increment()
-            if lcount + 1 < self.capacity:
-                # room remains: chain-wake the next blocked producer
-                self._not_full.notify()
+        """Enqueue, blocking while the queue is full.  Lock-free unless the
+        admission check fails, in which case the producer parks."""
+        t = next(self._tickets)
+        if t - self._taken >= self.capacity:
+            self._park(t)
+        self._items.append(item)
+
+    def _park(self, ticket: int) -> None:
+        with self._parklock:
+            self._parked += 1
+            try:
+                # the re-check under the lock closes the lost-wakeup window:
+                # the consumer's notify also needs this lock, so it cannot
+                # fire between our check and our wait
+                while ticket - self._taken >= self.capacity:
+                    self._not_full.wait()
+            finally:
+                self._parked -= 1
 
     def try_put(self, item: Any) -> bool:
-        """Non-blocking enqueue; False when full."""
-        with self._putlock:
-            if self._count.get() == self.capacity:
-                return False
-            self._items.append(item)
-            lcount = self._count.get_and_increment()
-            if lcount + 1 < self.capacity:
-                self._not_full.notify()
-            return True
+        """Non-blocking enqueue; False when full.
 
-    def _signal_not_full(self) -> None:
-        with self._putlock:
-            self._not_full.notify()
+        A failed attempt abandons its ticket on the void list; the consumer
+        folds voids back into ``taken`` at the next steal."""
+        t = next(self._tickets)
+        if t - self._taken >= self.capacity:
+            self._void.append(None)
+            return False
+        self._items.append(item)
+        return True
 
-    # -- the single consumer -----------------------------------------------------
+    # -- the single consumer ---------------------------------------------------
     def take(self) -> Optional[Any]:
         """Dequeue one item, or None when the queue is (momentarily) empty.
 
         Must only ever be called by one thread.  Touches the shared counter
-        once per stolen batch: ``take_count`` items are claimed up front and
-        subsequent takes dequeue without synchronization.
+        once per stolen batch: the whole visible batch is claimed up front
+        and subsequent takes dequeue without synchronization.
         """
-        if self._take_count > 0:
-            self._take_count -= 1
-            return self._items.popleft()
-        self._take_count = self._count.get()
-        if self._take_count == 0:
-            self._signal_not_full()
+        if self._claimed == 0 and not self._steal():
             return None
-        x = self._items.popleft()
-        lcount = self._count.get_and_add(-self._take_count)
-        if lcount == self._take_count:
-            # we just emptied a full-at-steal-time queue: wake producers
-            self._signal_not_full()
-        self._take_count -= 1
-        return x
+        self._claimed -= 1
+        return self._items.popleft()
+
+    def drain_to(self, out, limit: Optional[int] = None) -> int:
+        """Move every currently-visible item into ``out`` (append order);
+        return the number moved.  Consumer-only; one counter touch per
+        stolen batch.  ``limit`` caps the number moved (None = all)."""
+        moved = 0
+        pop = self._items.popleft
+        append = out.append
+        while limit is None or moved < limit:
+            if self._claimed == 0 and not self._steal():
+                break
+            n = self._claimed
+            if limit is not None:
+                n = min(n, limit - moved)
+            for _ in range(n):
+                append(pop())
+            self._claimed -= n
+            moved += n
+        return moved
+
+    def _steal(self) -> int:
+        """Claim the visible batch; fold voids; wake parked producers.
+        Returns the batch size (0 when nothing is visible)."""
+        advanced = 0
+        void = self._void
+        if void:
+            # fold abandoned try_put reservations into the consumed count;
+            # pop first, then advance (the conservative order: admission
+            # briefly undercounts free slots, never overcounts)
+            v = len(void)
+            for _ in range(v):
+                void.popleft()
+            self._taken += v
+            advanced = v
+        n = len(self._items)
+        if n:
+            self._taken += n          # one shared-counter touch per batch
+            self._claimed = n
+            self.steal_batches += 1
+            self.steal_items += n
+            advanced += n
+        if advanced and self._parked:
+            with self._parklock:
+                self._not_full.notify_all()
+        return n
 
     def approx_len(self) -> int:
-        """Racy size estimate (exact when callers are quiescent)."""
-        return self._count.get()
+        """Racy estimate of the items physically enqueued (claimed-but-not-
+        yet-popped items count until the consumer dequeues them)."""
+        return len(self._items)
 
     def __len__(self) -> int:
         return self.approx_len()

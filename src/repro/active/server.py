@@ -17,6 +17,22 @@ after every state change the server re-scans pendings under the configured
 policy.  When there is nothing to do the server parks on an event instead of
 busy-waiting — the paper stresses that, unlike prior combining schemes, no
 thread ever spins.
+
+Throughput structure of the drain path (the delegation fast path):
+
+* the queue is emptied with :meth:`SingleConsumerBoundedQueue.drain_to` —
+  one shared-counter touch per stolen batch (take-count strategy);
+* futures are **completed in batch, outside the monitor lock**, after the
+  combining batch finishes: waiters wake into an uncontended monitor
+  instead of colliding with the executor, and per-task signaling cost is
+  amortized across the batch;
+* completed task shells are recycled to the :mod:`repro.active.tasks` pool
+  (executor-only, after their future has been collected).
+
+Shutdown is serialized with combining through the monitor lock: ``drain``
+runs under it and ``_try_combine`` re-checks ``_stop`` after acquiring, so a
+worker that becomes the combiner while ``stop()`` is draining can no longer
+execute a task after the server declared itself drained.
 """
 
 from __future__ import annotations
@@ -32,6 +48,15 @@ from repro.runtime.config import config_snapshot, get_config
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.active.activemonitor import ActiveMonitor
+
+
+def _complete(completions: list) -> None:
+    """Deliver a batch of future completions (caller dropped the lock)."""
+    for future, value, error in completions:
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(value)
 
 
 class MonitorServer:
@@ -77,9 +102,17 @@ class MonitorServer:
 
     # ------------------------------------------------------------ submission
     def submit(self, task: MonitorTask) -> None:
-        """Enqueue a task; try combining if the server looks idle."""
-        self.monitor.metrics.add("tasks_submitted")
+        """Enqueue a task; try combining if the server looks idle.
+
+        Note: submission accounting (``tasks_submitted``) happens on the
+        consumer side when the executor drains the queue — exact, and free
+        of producer-side lock traffic."""
         self.queue.put(task)
+        if self._stop:
+            # shutdown raced this submission: fail the task now rather than
+            # stranding its future (drain is idempotent and lock-serialized)
+            self.drain()
+            return
         if self._try_combine():
             return
         self._wake.set()
@@ -88,22 +121,32 @@ class MonitorServer:
         """Worker-side combining (§3.3.2): if the monitor lock is free, this
         worker becomes the combiner and drains up to ``combining_batch``
         tasks before releasing — an uncontended acquisition in most cases."""
-        lock = self.monitor._lock  # monlint: disable=W004 — combiner protocol owns the lock
+        monitor = self.monitor
+        lock = monitor._lock  # monlint: disable=W004 — combiner protocol owns the lock
         if not lock.acquire(blocking=False):
             return False
+        completions: list = []
         try:
-            self.monitor._depth += 1
+            if self._stop:
+                # shutdown owns the queue now; don't execute behind its back
+                return False
+            monitor._depth += 1
+            executed = 0
             try:
                 # snapshot read: _try_combine runs on every task submission
-                executed = self._drain_batch(config_snapshot().combining_batch)
+                executed, completions = self._drain_batch(
+                    config_snapshot().combining_batch)
             finally:
-                self.monitor._depth -= 1
-                self.monitor._cond_mgr.relay_signal()
+                monitor._depth -= 1
+                monitor._generation += 1   # task bodies mutate monitor state
+                monitor._cond_mgr.relay_signal()
             if executed:
-                self.monitor.metrics.add("tasks_combined", executed)
+                monitor._metrics.tasks_combined += executed  # lock held
             return True
         finally:
             lock.release()
+            if completions:
+                _complete(completions)
             if len(self.queue) or self.pending:
                 self._wake.set()
 
@@ -115,36 +158,45 @@ class MonitorServer:
             self._wake.clear()
             if self._stop:
                 break
+            completions: list = []
             with monitor._lock:  # monlint: disable=W004 — server thread is the monitor's executor
                 monitor._depth += 1
                 try:
-                    self._drain_batch(None)
+                    _, completions = self._drain_batch(None)
                 finally:
                     monitor._depth -= 1
+                    monitor._generation += 1
                     monitor._cond_mgr.relay_signal()
+            if completions:
+                _complete(completions)
         self.drain()
 
-    def _drain_batch(self, limit: Optional[int]) -> int:
+    def _drain_batch(self, limit: Optional[int]) -> tuple[int, list]:
         """Run tasks (queue + pendings) until quiescent or ``limit`` reached.
 
         Caller holds the monitor lock.  Pendings are re-scanned after every
-        execution because any run may enable a parked precondition.
+        execution because any run may enable a parked precondition.  Returns
+        ``(executed, completions)``; the caller delivers the completions
+        after releasing the lock.
         """
         monitor = self.monitor
+        metrics = monitor._metrics
+        pending = self.pending
         executed = 0
+        completions: list = []
         while limit is None or executed < limit:
             # pull everything currently queued into the pending list, which
             # then serves as the uniform candidate set for the policy
-            while True:
-                task = self.queue.take()
-                if task is None:
-                    break
-                self.pending.append(task)
-            task = select_task(self.policy, self.pending, monitor)
+            pulled = self.queue.drain_to(pending)
+            if pulled:
+                metrics.tasks_submitted += pulled
+                metrics.steal_batches += 1
+                metrics.steal_items += pulled
+            task = select_task(self.policy, pending, monitor)
             if task is None:
                 break
-            self.pending.remove(task)
-            error = task.run(monitor)
+            pending.remove(task)
+            result, error = task.execute(monitor)
             if error is not None:
                 self.exception_log.append(error)
                 if self.exception_handler is not None:
@@ -154,23 +206,34 @@ class MonitorServer:
                         pass
                 if task.retries_left > 0:
                     task.retries_left -= 1
-                    self.pending.append(task)   # §6.2.1 automatic re-try
+                    pending.append(task)   # §6.2.1 automatic re-try
+                else:
+                    completions.append((task.future, None, error))
+                    task.recycle()
+            else:
+                completions.append((task.future, result, None))
+                task.recycle()
             executed += 1
-        return executed
+        return executed, completions
 
     def drain(self) -> None:
-        """Fail any tasks stranded by shutdown so futures never hang."""
+        """Fail any tasks stranded by shutdown so futures never hang.
+
+        Runs under the monitor lock to serialize with an in-flight combiner
+        (which re-checks ``_stop`` after acquiring): once drain completes,
+        no stranded task can still be executed."""
         stranded: list[MonitorTask] = []
-        while True:
-            task = self.queue.take()
-            if task is None:
-                break
-            stranded.append(task)
-        stranded.extend(self.pending)
-        self.pending.clear()
+        with self.monitor._lock:  # monlint: disable=W004 — shutdown serialization
+            pulled = self.queue.drain_to(stranded)
+            if pulled:
+                self.monitor._metrics.tasks_submitted += pulled
+            stranded.extend(self.pending)
+            self.pending.clear()
         for task in stranded:
-            if not task.future.done():
-                task.future.set_exception(RuntimeError("monitor server stopped"))
+            future = task.future
+            if not future.done():
+                future.set_exception(RuntimeError("monitor server stopped"))
+            task.recycle()
 
     def kick(self) -> None:
         """Wake the server to re-scan pendings (used by exit hooks after

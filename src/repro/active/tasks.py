@@ -5,24 +5,35 @@ monitor state; unexecutable tasks wait in the server's pending set until a
 state change makes them executable.  Tasks carry the submitting worker's
 identity (Rule 2 program order is per-worker) and an optional priority for
 the Chapter-6 priority policy.
+
+Task shells are pooled (mirroring the core layer's ``Waiter`` pool): the
+executing server/combiner recycles a shell after collecting its future for
+completion, and :meth:`MonitorTask.acquire` re-arms a recycled shell instead
+of allocating.  Pool discipline — a shell is recycled only *after* it left
+every queue/pending structure, and only by the executor; consequently
+**callers must capture ``task.future`` before submitting** the task, because
+the shell (and its ``future`` attribute) may be re-armed for an unrelated
+call the moment the server completes it.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
+from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.active.futures import LightFuture
 from repro.core.predicates import Predicate
 
+#: global submission timestamps; ``next`` on a count is GIL-atomic, so the
+#: old dedicated lock around it bought nothing
 _seq = itertools.count(1)
-_seq_lock = threading.Lock()
 
-
-def _next_seq() -> int:
-    with _seq_lock:
-        return next(_seq)
+#: recycled task shells (deque ops are GIL-atomic: any thread may pop,
+#: executors append)
+_pool: deque["MonitorTask"] = deque()
+_POOL_CAP = 256
 
 
 #: while a task body runs, this holds the *submitting* worker's thread id —
@@ -59,16 +70,55 @@ class MonitorTask:
         name: str = "",
         retries: int = 0,
     ):
+        self.future = LightFuture()
+        self._arm(body, args, kwargs, precondition, priority, name, retries)
+
+    def _arm(self, body, args, kwargs, precondition, priority, name, retries) -> None:
         self.precondition = precondition
         self.body = body
         self.args = args
         self.kwargs = kwargs
-        self.future = LightFuture()
         self.worker_id = threading.get_ident()
-        self.seq = _next_seq()       # global submission timestamp (sub(t))
+        self.seq = next(_seq)        # global submission timestamp (sub(t))
         self.priority = priority
         self.name = name or getattr(body, "__name__", "task")
         self.retries_left = retries  # §6.2.1: automatic re-tries on failure
+
+    @classmethod
+    def acquire(
+        cls,
+        body: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        precondition: Optional[Predicate] = None,
+        priority: int = 0,
+        name: str = "",
+        retries: int = 0,
+    ) -> "MonitorTask":
+        """Pooled constructor: re-arm a recycled shell when one exists."""
+        try:
+            task = _pool.pop()
+        except IndexError:
+            return cls(body, args, kwargs, precondition=precondition,
+                       priority=priority, name=name, retries=retries)
+        task.future = LightFuture()
+        task._arm(body, args, kwargs, precondition, priority, name, retries)
+        return task
+
+    def recycle(self) -> None:
+        """Return this shell to the pool.
+
+        Executor-only, after the task left every queue/pending structure and
+        its future has been collected for completion.  Clears references so
+        pooled shells pin neither bodies nor results.
+        """
+        self.precondition = None
+        self.body = None
+        self.args = ()
+        self.kwargs = None
+        self.future = None
+        if len(_pool) < _POOL_CAP:
+            _pool.append(self)
 
     def executable(self, monitor: Any) -> bool:
         """Is the precondition true in the current state?"""
@@ -76,23 +126,29 @@ class MonitorTask:
             return True
         return self.precondition.evaluate(monitor)
 
-    def run(self, monitor: Any) -> Optional[BaseException]:
-        """Execute the body; complete the future unless a retry is pending.
-
-        Caller holds the monitor lock and has verified the precondition.
-        Returns the exception when the body failed (None on success); the
-        caller decides — based on ``retries_left`` and its exception handler
-        — whether to re-enqueue or deliver the failure.
-        """
+    def execute(self, monitor: Any) -> tuple[Any, Optional[BaseException]]:
+        """Run the body; return ``(result, error)`` without touching the
+        future — the server completes futures in batch after the combining
+        batch, outside the monitor lock (amortized wakeups)."""
         _executing_worker.ident = self.worker_id
         try:
-            result = self.body(*self.args, **self.kwargs)
+            return self.body(*self.args, **self.kwargs), None
         except BaseException as exc:  # noqa: BLE001 — delivered via future
-            if self.retries_left <= 0:
-                self.future.set_exception(exc)
-            return exc
+            return None, exc
         finally:
             _executing_worker.ident = None
+
+    def run(self, monitor: Any) -> Optional[BaseException]:
+        """Execute and complete immediately (non-batched call sites: tests,
+        the simulator).  Caller holds the monitor lock and has verified the
+        precondition.  Returns the exception when the body failed (None on
+        success); on failure the future is completed only when no retries
+        remain."""
+        result, error = self.execute(monitor)
+        if error is not None:
+            if self.retries_left <= 0:
+                self.future.set_exception(error)
+            return error
         self.future.set_result(result)
         return None
 

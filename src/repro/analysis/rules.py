@@ -18,7 +18,9 @@ Paper grounding (see ``docs/analysis.md`` for the full discussion):
 * **W004** — deadlock freedom (§4.1) rests on *all* multi-object
   acquisitions going through ``multisynch``'s ascending-id order; nested or
   hand-rolled acquisition reintroduces programmer-chosen order, and a cycle
-  in the resulting lock graph is the classic circular wait.
+  in the resulting lock graph is the classic circular wait.  Acquisitions
+  routed through ``monitor_set(...).synch()`` or a stored multisynch block
+  use the same cached ascending-id path and are recognized as ordered.
 * **W005** — a predicate that is structurally ``shared op constant`` but
   reaches the runtime as an opaque callable falls to the ``None`` tag
   (Algorithm 1) and degrades relay signaling to a linear scan.
@@ -513,6 +515,10 @@ class _SyncWalker:
         self.w004_events: list[tuple[ast.AST, str]] = []
         self.unsynced_writes: list = []
         self._seen_edges: set[tuple] = set()
+        # names bound (in the function being walked) to multisynch blocks or
+        # monitor sets — their `with` entry routes through the ascending-id
+        # acquisition path, so they count as multisynch for W004
+        self._ms_names: set[str] = set()
 
     # -- entry points --------------------------------------------------------
     def run(self) -> None:
@@ -558,6 +564,29 @@ class _SyncWalker:
             if ann in self.module.known_monitor_names:
                 resolve[arg.arg] = ann
         resolve.update(monitor_locals(func, self.module.known_monitor_names))
+
+        # Collect names bound to multisynch blocks / monitor sets anywhere in
+        # this function (including nested defs): `ms = monitor_set(a, b)`,
+        # `block = ms.synch()`, `block = multisynch(a, b)`.  A later
+        # `with block:` acquires through the same globally-ordered path as a
+        # literal `with multisynch(...)`, so W004 must not flag it.
+        ms_names: set[str] = set()
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)):
+                continue
+            call = node.value
+            routed = _base_name(call.func) in (
+                "monitor_set", "MonitorSet", "multisynch", "Multisynch"
+            ) or (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "synch"
+            )
+            if routed:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        ms_names.add(target.id)
+        self._ms_names = ms_names
 
         stack: list[tuple[str, str | None]] = []
         if (
@@ -624,6 +653,13 @@ class _SyncWalker:
             name = _base_name(ctx_expr.func)
             if name in ("multisynch", "Multisynch"):
                 return "multisynch", None
+            if (
+                isinstance(ctx_expr.func, ast.Attribute)
+                and ctx_expr.func.attr == "synch"
+            ):
+                # ms.synch(): the MonitorSet cached-tuple fast path — same
+                # ascending-id acquisition order as multisynch(...)
+                return "multisynch", None
             if name == "synchronized":
                 arg = (
                     ast.unparse(ctx_expr.args[0]) if ctx_expr.args else None
@@ -631,6 +667,9 @@ class _SyncWalker:
                 return "synchronized", arg
         if isinstance(ctx_expr, ast.Attribute) and ctx_expr.attr == "_lock":
             return "raw_lock", ast.unparse(ctx_expr.value)
+        if isinstance(ctx_expr, ast.Name) and ctx_expr.id in self._ms_names:
+            # a stored multisynch block / monitor-set handle entered later
+            return "multisynch", None
         return None, None
 
     def _holder_class(

@@ -68,10 +68,12 @@ def _validate(calls: Sequence[GuardedCall]) -> list[GuardedCall]:
     return calls
 
 
-def _submit(call: GuardedCall, precondition, body) -> MonitorTask:
-    task = MonitorTask(body, (), {}, precondition=precondition, name=call.name)
+def _submit(call: GuardedCall, precondition, body) -> LightFuture:
+    task = MonitorTask.acquire(body, (), {}, precondition=precondition,
+                               name=call.name)
+    future = task.future   # capture before submit: the shell is pooled
     call.monitor.server.submit(task)
-    return task
+    return future
 
 
 def async_and(*operands: GuardedCall) -> list[Any]:
@@ -81,7 +83,7 @@ def async_and(*operands: GuardedCall) -> list[Any]:
 
 def async_select_all(calls: Sequence[GuardedCall]) -> list[Any]:
     calls = _validate(calls)
-    tasks = [
+    futures = [
         _submit(
             call,
             Predicate(_guard_thunk(call)),
@@ -89,7 +91,7 @@ def async_select_all(calls: Sequence[GuardedCall]) -> list[Any]:
         )
         for call in calls
     ]
-    return [task.future.get() for task in tasks]
+    return [future.get() for future in futures]
 
 
 def async_or(*operands: GuardedCall) -> tuple[int, Any]:
@@ -125,11 +127,10 @@ def async_select_one(calls: Sequence[GuardedCall]) -> tuple[int, Any]:
 
         return body
 
-    tasks = [
+    for index, call in enumerate(calls):
         _submit(call, Predicate(make_guard(call)), make_body(index, call))
-        for index, call in enumerate(calls)
-    ]
-    del tasks  # futures resolve via winner_future; losers drain as SKIPPED
+    # per-task futures are dropped: results resolve via winner_future and
+    # losers drain as SKIPPED
     return winner_future.get()
 
 

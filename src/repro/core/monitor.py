@@ -115,6 +115,11 @@ class Monitor(metaclass=MonitorMeta):
         self._monitor_id = next_monitor_id()
         self._lock = threading.RLock()
         self._depth = 0          # reentrancy depth for the owning thread
+        #: monotonic state-change stamp: bumped on every monitor exit (and
+        #: by the ActiveMonitor server's batch paths, which bypass
+        #: ``_monitor_exit``).  Global-predicate waiters memoize atom values
+        #: against it to skip re-evaluation when nothing changed (§4.2).
+        self._generation = 0
         self._metrics = Metrics()
         self._cond_mgr = ConditionManager(self, self._lock, self._metrics, signaling)
         #: hook used by the multi-object layer: callables run (with the lock
@@ -152,6 +157,10 @@ class Monitor(metaclass=MonitorMeta):
         if _monlint.enabled:
             _monlint.on_release(self)
         self._depth -= 1
+        # conservative: every exit may have changed state; the bump happens
+        # before the lock release so a waiter sampling generations under the
+        # locks can never miss a mutation
+        self._generation += 1
         if self._depth == 0:
             try:
                 for hook in self._exit_hooks:

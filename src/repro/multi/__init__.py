@@ -3,6 +3,7 @@
 from repro.multi.global_predicates import (
     ComplexPredicate,
     GAnd,
+    GenerationEvaluator,
     GlobalAtom,
     GlobalNode,
     GOr,
@@ -13,13 +14,22 @@ from repro.multi.global_predicates import (
     local,
 )
 from repro.multi.manager import global_condition_metrics
-from repro.multi.multisync import Multisynch, current_multisynch, multisynch
+from repro.multi.multisync import (
+    MonitorSet,
+    Multisynch,
+    current_multisynch,
+    monitor_set,
+    multisynch,
+)
 from repro.multi.strategies import STRATEGIES, GlobalWaiter
 
 __all__ = [
     "multisynch",
     "Multisynch",
+    "monitor_set",
+    "MonitorSet",
     "current_multisynch",
+    "GenerationEvaluator",
     "local",
     "complex_pred",
     "LocalPredicate",

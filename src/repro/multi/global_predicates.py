@@ -191,6 +191,82 @@ class GOr(GlobalNode):
         return "(" + " || ".join(map(repr, self.children)) + ")"
 
 
+class GenerationEvaluator:
+    """Memoizing evaluator for one thread's global-predicate wait loop.
+
+    Every :class:`~repro.core.monitor.Monitor` carries a ``_generation``
+    counter bumped on each monitor exit (including the ActiveMonitor
+    server's batch paths).  While this thread was parked, an atom's last
+    value remains valid as long as every involved monitor's generation is
+    unchanged — any mutation by another thread happens inside a monitor
+    section whose exit bumps the counter *before* releasing the lock.  So a
+    wakeup re-evaluates only the atoms whose monitors actually moved, and
+    when nothing moved the whole evaluation is served from the memo.
+
+    The memo is confined to one ``wait_until`` call (one thread).  That
+    confinement is what makes direct in-block attribute writes safe: a
+    write by *this* thread can only happen before the evaluator was built
+    or after it dies — never between two of its evaluations, because the
+    thread is parked in between.  Sharing a memo across threads (e.g. on
+    the atoms themselves) would break exactly there.
+
+    ``credit_own_release`` folds the caller's *own* imminent release (one
+    exit per involved monitor) into the stamps, so a wakeup where no other
+    thread touched anything is recognized as "unchanged".
+    """
+
+    __slots__ = ("node", "_memo", "_metrics")
+
+    def __init__(self, node: GlobalNode, metrics=None):
+        self.node = node
+        #: id(atom) -> [generation stamp, value, #monitors the atom spans]
+        self._memo: dict[int, list] = {}
+        self._metrics = metrics   # e.g. manager.global_condition_metrics
+
+    def evaluate(self) -> bool:
+        """Evaluate the predicate; caller holds every involved lock."""
+        return self._eval(self.node)
+
+    def _eval(self, node: GlobalNode) -> bool:
+        children = getattr(node, "children", None)
+        if children is not None:
+            if isinstance(node, GAnd):
+                for c in children:
+                    if not self._eval(c):
+                        return False
+                return True
+            for c in children:      # GOr
+                if self._eval(c):
+                    return True
+            return False
+        # atom: stamp = sum of involved generations (each is monotonically
+        # non-decreasing, so the sum is unchanged iff every one is)
+        if isinstance(node, LocalPredicate):
+            stamp = node.monitor._generation
+            span = 1
+        else:
+            stamp = 0
+            span = 0
+            for m in node.monitors():
+                stamp += m._generation
+                span += 1
+        memo = self._memo.get(id(node))
+        if memo is not None and memo[0] == stamp:
+            if self._metrics is not None:
+                self._metrics.gen_skips += 1
+            return memo[1]
+        value = node.evaluate()
+        self._memo[id(node)] = [stamp, value, span]
+        return value
+
+    def credit_own_release(self) -> None:
+        """Fold the caller's imminent release — one ``_monitor_exit`` bump
+        per monitor the atom spans — into the memoized stamps.  Call right
+        before releasing all locks on the way into a park."""
+        for memo in self._memo.values():
+            memo[0] += memo[2]
+
+
 def local(monitor: Monitor, condition) -> LocalPredicate:
     """Build a local-predicate atom; sugar for :class:`LocalPredicate`."""
     return LocalPredicate(monitor, condition)

@@ -12,6 +12,22 @@ Inside the block, :meth:`Multisynch.wait_until` accepts a *global predicate*
 locks; re-acquisition follows the same ascending order.  Signaling follows
 the configured strategy (AS / AV / CC).
 
+Fast-path structure (the same monitor sets are re-acquired in loops):
+
+* ``_flatten`` caches the flattened, dedup-checked, id-sorted monitor tuple
+  keyed by the object identities of the collected arguments, so a repeated
+  ``multisynch(a, b)`` skips the dedupe/sort entirely.  Cached values hold
+  strong references, which pins the ``id()`` keys for the entry's lifetime
+  (no stale-identity hits); the cache is bounded and cleared on overflow.
+* :class:`MonitorSet` (``monitor_set(a, b)``) makes the caching explicit:
+  flatten once, then ``with ms.synch():`` re-acquires the precomputed tuple
+  with no argument walking at all.
+* ``wait_until`` evaluates through a
+  :class:`~repro.multi.global_predicates.GenerationEvaluator`: monitors
+  are generation-stamped on every exit, so a woken waiter re-evaluates
+  only the atoms whose monitors actually changed — and skips evaluation
+  entirely when none did.
+
 Example (the paper's Fig. 1.5)::
 
     with multisynch(src, dst) as ms:
@@ -22,12 +38,14 @@ Example (the paper's Fig. 1.5)::
 from __future__ import annotations
 
 import threading
-from typing import Iterable
+from typing import Iterable, Iterator
 
+from repro.analysis import runtime as _monlint
 from repro.core.monitor import Monitor
 from repro.multi import manager
-from repro.multi.global_predicates import GlobalNode
+from repro.multi.global_predicates import GenerationEvaluator, GlobalNode
 from repro.multi.strategies import GlobalWaiter
+from repro.runtime.config import config_snapshot
 from repro.runtime.errors import (
     MonitorError,
     NestedMultisynchError,
@@ -35,6 +53,19 @@ from repro.runtime.errors import (
 )
 
 _active = threading.local()
+
+#: local bind of the strategy names — the __init__ hot path checks
+#: membership on every block construction
+_STRATEGIES = manager.STRATEGIES
+
+#: identity-keyed flatten cache: tuple(id(arg monitors) in arg order) →
+#: ``(ascending, descending)`` id-sorted monitor tuples.  Values hold strong
+#: refs, so the id() keys stay pinned to these exact objects while the entry
+#: lives.
+_flatten_cache: dict[tuple, tuple] = {}
+_FLATTEN_CACHE_CAP = 1024
+#: benchmarks/tests flip this off to measure the uncached path
+_cache_enabled = True
 
 
 def _collect(objs: Iterable, out: list[Monitor]) -> None:
@@ -48,13 +79,40 @@ def _collect(objs: Iterable, out: list[Monitor]) -> None:
             raise TypeError(f"multisynch expects Monitor objects, got {obj!r}")
 
 
-def _flatten(objs: Iterable) -> list[Monitor]:
+def _flatten(objs: Iterable) -> tuple[tuple, tuple]:
     """Accept monitors and (nested) sequences of monitors, as the paper
     allows arrays of monitor objects as multisynch parameters.  Duplicate
     references to the same monitor collapse to one acquisition; the result
-    is sorted by monitor id (the acquisition order, §4.1)."""
-    collected: list[Monitor] = []
-    _collect(objs, collected)
+    is ``(ascending, descending)`` tuples sorted by monitor id (acquisition
+    / release order, §4.1), cached by the collected objects' identities.
+
+    The hot shape — every argument already a Monitor — keys the cache
+    straight off the argument identities, so a repeated ``multisynch(a, b)``
+    is one tuple build and one dict probe.  Keying by the id of a *sequence*
+    argument would be unsound (the container can die and its id be reused);
+    monitor ids are pinned by the strong refs in the cached value.
+    """
+    enabled = _cache_enabled
+    key = None
+    collected: list[Monitor] | None = None
+    if enabled:
+        for obj in objs:
+            if not isinstance(obj, Monitor):
+                break
+        else:
+            key = tuple(map(id, objs))
+            cached = _flatten_cache.get(key)
+            if cached is not None:
+                return cached
+            collected = list(objs)
+    if collected is None:
+        collected = []
+        _collect(objs, collected)
+        if enabled:
+            key = tuple(map(id, collected))
+            cached = _flatten_cache.get(key)
+            if cached is not None:
+                return cached
     seen: dict[int, Monitor] = {}
     for m in collected:
         prior = seen.setdefault(m.monitor_id, m)
@@ -63,29 +121,127 @@ def _flatten(objs: Iterable) -> list[Monitor]:
                 f"distinct monitors share id {m.monitor_id}: "
                 f"{prior!r} and {m!r}"
             )
-    return [seen[k] for k in sorted(seen)]
+    ascending = tuple(seen[k] for k in sorted(seen))
+    pair = (ascending, ascending[::-1])
+    if enabled and ascending:   # never cache the empty (error) shape
+        if len(_flatten_cache) >= _FLATTEN_CACHE_CAP:
+            _flatten_cache.clear()
+        _flatten_cache[key] = pair
+    return pair
+
+
+class MonitorSet:
+    """A pre-flattened, id-sorted monitor set for repeated acquisition.
+
+    ``monitor_set(a, b)`` pays the flatten/dedupe/sort once; each
+    ``ms.synch()`` (or ``multisynch(ms)``) then builds its block straight
+    from the cached tuple.  Acquisitions still follow the global
+    ascending-id order of §4.1 — a MonitorSet changes *cost*, never order.
+    """
+
+    __slots__ = ("monitors", "_rev")
+
+    def __init__(self, *objs):
+        self.monitors, self._rev = _flatten(objs)
+        if not self.monitors:
+            raise ValueError("monitor_set needs at least one monitor")
+
+    def synch(self, strategy: str = "CC") -> "Multisynch":
+        """Build a multisynch block over this set (use with ``with``)."""
+        return Multisynch(self, strategy=strategy)
+
+    def __len__(self) -> int:
+        return len(self.monitors)
+
+    def __iter__(self) -> Iterator[Monitor]:
+        return iter(self.monitors)
+
+    def __repr__(self):
+        return f"<monitor_set {[m.monitor_id for m in self.monitors]}>"
+
+
+def monitor_set(*objs) -> MonitorSet:
+    """Build a :class:`MonitorSet` (sugar, mirroring :func:`multisynch`)."""
+    return MonitorSet(*objs)
 
 
 class Multisynch:
     """Context manager holding several monitors at once."""
 
+    __slots__ = ("monitors", "_rev", "strategy", "_held")
+
     def __init__(self, *objs, strategy: str = "CC"):
-        self.monitors: list[Monitor] = _flatten(objs)
+        # hot shape: all-monitor args already in the flatten cache — probe
+        # inline so the repeated case pays one tuple build and one dict get
+        if _cache_enabled:
+            for obj in objs:
+                if not isinstance(obj, Monitor):
+                    break
+            else:
+                pair = _flatten_cache.get(tuple(map(id, objs)))
+                if pair is not None:
+                    self.monitors, self._rev = pair
+                    self.strategy = (
+                        strategy if strategy in _STRATEGIES
+                        else manager.validate_strategy(strategy)
+                    )
+                    self._held = False
+                    return
+        if len(objs) == 1 and isinstance(objs[0], MonitorSet):
+            ms = objs[0]                   # precomputed fast path
+            self.monitors = ms.monitors
+            self._rev = ms._rev
+        else:
+            self.monitors, self._rev = _flatten(objs)
         if not self.monitors:
             raise ValueError("multisynch needs at least one monitor")
-        self.strategy = manager.validate_strategy(strategy)
+        self.strategy = (strategy if strategy in _STRATEGIES
+                         else manager.validate_strategy(strategy))
         self._held = False
 
     # ------------------------------------------------------------- lock mgmt
+    #
+    # The loops below inline Monitor._monitor_enter/_monitor_exit for the
+    # common configuration (monlint runtime pass off, phase timing off):
+    # acquire = lock + depth bump; release = depth drop, generation bump,
+    # exit hooks, relay signal, unlock.  Any change to the canonical methods
+    # in repro.core.monitor must be mirrored here; the guarded slow path
+    # keeps behavior identical when either instrument is enabled.
     def _acquire_all(self) -> None:
-        for m in self.monitors:           # ascending id
-            m._monitor_enter()
+        if _monlint.enabled or config_snapshot().phase_timing:
+            for m in self.monitors:       # ascending id
+                m._monitor_enter()
+        else:
+            for m in self.monitors:
+                m._lock.acquire()  # monlint: disable=W004
+                m._depth += 1
         self._held = True
 
     def _release_all(self) -> None:
         self._held = False
-        for m in reversed(self.monitors):  # descending id
-            m._monitor_exit()
+        if _monlint.enabled:
+            for m in self._rev:           # descending id
+                m._monitor_exit()
+            return
+        for m in self._rev:
+            depth = m._depth - 1
+            m._depth = depth
+            # bump before the lock release so waiters sampling generations
+            # under the locks never miss a mutation
+            m._generation += 1
+            if depth == 0:
+                try:
+                    hooks = m._exit_hooks
+                    if hooks:
+                        for hook in hooks:
+                            hook(m)
+                    cm = m._cond_mgr
+                    if cm.waiters or cm.mode == "baseline":
+                        cm.relay_signal()
+                finally:
+                    m._lock.release()  # monlint: disable=W004
+            else:
+                m._lock.release()  # monlint: disable=W004
 
     def __enter__(self) -> "Multisynch":
         if getattr(_active, "block", None) is not None:
@@ -94,12 +250,42 @@ class Multisynch:
                 "monitors to one multisynch"
             )
         _active.block = self
-        self._acquire_all()
+        # inline _acquire_all (one frame fewer on the block-cycle hot path)
+        if _monlint.enabled or config_snapshot().phase_timing:
+            for m in self.monitors:       # ascending id
+                m._monitor_enter()
+        else:
+            for m in self.monitors:
+                m._lock.acquire()  # monlint: disable=W004
+                m._depth += 1
+        self._held = True
         return self
 
     def __exit__(self, *exc) -> None:
+        # inline _release_all (mirrors the loop above; one frame fewer)
         try:
-            self._release_all()
+            self._held = False
+            if _monlint.enabled:
+                for m in self._rev:       # descending id
+                    m._monitor_exit()
+                return
+            for m in self._rev:
+                depth = m._depth - 1
+                m._depth = depth
+                m._generation += 1
+                if depth == 0:
+                    try:
+                        hooks = m._exit_hooks
+                        if hooks:
+                            for hook in hooks:
+                                hook(m)
+                        cm = m._cond_mgr
+                        if cm.waiters or cm.mode == "baseline":
+                            cm.relay_signal()
+                    finally:
+                        m._lock.release()  # monlint: disable=W004
+                else:
+                    m._lock.release()  # monlint: disable=W004
         finally:
             _active.block = None
 
@@ -125,27 +311,33 @@ class Multisynch:
                 f"global predicate involves monitors {missing} not held by "
                 "this multisynch block"
             )
-        if condition.evaluate():
+        gm = manager.global_condition_metrics
+        evaluator = GenerationEvaluator(condition, gm)
+        if evaluator.evaluate():
             return
         waiter = GlobalWaiter(condition, self.strategy)
         while True:
             manager.register(waiter)
+            # our own release bumps each involved monitor exactly once;
+            # credit it so "nobody else touched anything" reads as unchanged
+            evaluator.credit_own_release()
             self._release_all()
             waiter.event.wait()
             self._acquire_all()
             manager.deregister(waiter)
-            if condition.evaluate():
+            if evaluator.evaluate():
                 return
-            manager.global_condition_metrics.false_evals += 1
+            gm.false_evals += 1
 
     def __repr__(self):
         ids = [m.monitor_id for m in self.monitors]
         return f"<multisynch {ids} strategy={self.strategy}>"
 
 
-def multisynch(*objs, strategy: str = "CC") -> Multisynch:
-    """Build a :class:`Multisynch` block (use with ``with``)."""
-    return Multisynch(*objs, strategy=strategy)
+#: Build a :class:`Multisynch` block (use with ``with``).  An alias of the
+#: class, not a wrapper function, so the block-cycle hot path pays no extra
+#: call frame.
+multisynch = Multisynch
 
 
 def current_multisynch() -> Multisynch | None:

@@ -40,6 +40,10 @@ class Metrics:
     false_evals: int = 0        #: global-condition evaluations that were false
     tasks_submitted: int = 0    #: ActiveMonitor task submissions
     tasks_combined: int = 0     #: tasks executed by a combiner (not the server)
+    steal_batches: int = 0      #: queue batch-steals by the executor (Fig. 3.2)
+    steal_items: int = 0        #: tasks moved by those steals (items/batch ratio)
+    gen_skips: int = 0          #: global-predicate atom evaluations served from
+                                #: the generation memo (skipped re-evaluations)
     stm_commits: int = 0        #: STM transactions committed
     stm_aborts: int = 0         #: STM transactions aborted/retried
 
@@ -72,7 +76,9 @@ class Metrics:
     _FIELDS = (
         "signals", "broadcasts", "wakeups", "futile_wakeups",
         "waits", "predicate_evals", "tag_checks", "false_evals",
-        "tasks_submitted", "tasks_combined", "stm_commits", "stm_aborts",
+        "tasks_submitted", "tasks_combined",
+        "steal_batches", "steal_items", "gen_skips",
+        "stm_commits", "stm_aborts",
         "await_time", "lock_time", "relay_time", "tag_time",
     )
 

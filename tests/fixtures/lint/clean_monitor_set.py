@@ -1,0 +1,39 @@
+"""Lint fixture: MonitorSet / cached-tuple multisynch routing — zero findings.
+
+W004 must recognize that ``monitor_set(...).synch()`` and stored multisynch
+block handles acquire through the same globally-ordered ascending-id path as
+a literal ``with multisynch(...)``.
+"""
+
+from repro.core import Monitor, S
+from repro.multi import local, monitor_set, multisynch
+
+
+class Cell(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.value = 0
+
+    def bump(self) -> None:
+        self.value += 1
+
+
+def pooled_transfer(a: Cell, b: Cell) -> None:
+    ms = monitor_set(a, b)
+    with ms.synch() as block:
+        block.wait_until(local(a, S.value > 0) & local(b, S.value < 10))
+        a.value -= 1
+        b.value += 1
+
+
+def inline_synch(a: Cell, b: Cell) -> None:
+    with monitor_set(a, b).synch():
+        a.value += 1
+        b.value += 1
+
+
+def stored_block(a: Cell, b: Cell) -> None:
+    block = multisynch(a, b)
+    with block:
+        a.value += 1
+        b.value += 1

@@ -36,6 +36,13 @@ def test_clean_fixture_is_clean():
     assert lint_paths([FIXTURES / "clean.py"]) == []
 
 
+def test_monitor_set_routed_acquisition_is_clean():
+    """monitor_set(...).synch() and stored multisynch handles route through
+    the globally-ordered acquisition path — W004 must not flag them."""
+    findings = lint_paths([FIXTURES / "clean_monitor_set.py"])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
 def test_severities():
     by_code = {}
     for filename in FIXTURE_CODES:

@@ -115,3 +115,98 @@ class TestPolicies:
         tasks = [_task(False), _task(False)]
         for policy in Policy:
             assert select_task(policy, tasks, None) is None
+
+
+class TestLazyConditionVariable:
+    """LightFuture allocates no CV until a thread actually blocks in get."""
+
+    def test_fast_path_never_allocates_cv(self):
+        f = LightFuture()
+        assert f._cv is None
+        f.set_result(1)
+        assert f.get() == 1
+        assert f._cv is None
+
+    def test_blocking_get_installs_cv_and_wakes(self):
+        import time
+
+        f = LightFuture()
+        got = []
+        t = threading.Thread(target=lambda: got.append(f.get(5)), daemon=True)
+        t.start()
+        deadline = time.monotonic() + 5
+        while f._cv is None and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert f._cv is not None     # the getter parked and installed a CV
+        f.set_result(42)
+        t.join(5)
+        assert got == [42]
+
+    def test_concurrent_getters_all_wake(self):
+        import time
+
+        f = LightFuture()
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(f.get(5)),
+                             daemon=True)
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.02)
+        f.set_result(7)
+        for t in threads:
+            t.join(5)
+        assert results == [7] * 8
+
+
+class TestTaskPooling:
+    """MonitorTask shells are pooled; acquire re-arms with a fresh future."""
+
+    def test_recycle_then_reacquire_reuses_shell(self):
+        from repro.active import tasks as tasks_mod
+
+        tasks_mod._pool.clear()
+        first = MonitorTask.acquire(lambda: 1, (), {})
+        old_future = first.future
+        first.recycle()
+        second = MonitorTask.acquire(lambda: 2, (), {}, priority=3,
+                                     name="renamed")
+        assert second is first                  # same shell, re-armed
+        assert second.future is not old_future  # fresh future
+        assert second.priority == 3 and second.name == "renamed"
+        assert second.execute(FakeMonitor()) == (2, None)
+        second.recycle()
+
+    def test_recycle_clears_references(self):
+        from repro.active import tasks as tasks_mod
+
+        tasks_mod._pool.clear()
+        task = MonitorTask.acquire(lambda: "payload", (), {})
+        task.recycle()
+        assert task.body is None and task.future is None
+        assert task.precondition is None
+
+    def test_pool_is_bounded(self):
+        from repro.active import tasks as tasks_mod
+
+        tasks_mod._pool.clear()
+        shells = [MonitorTask(lambda: None, (), {})
+                  for _ in range(tasks_mod._POOL_CAP + 50)]
+        for shell in shells:
+            shell.recycle()
+        assert len(tasks_mod._pool) <= tasks_mod._POOL_CAP
+
+    def test_execute_returns_result_and_error(self):
+        ok = MonitorTask.acquire(lambda: 5, (), {})
+        assert ok.execute(FakeMonitor()) == (5, None)
+
+        def boom():
+            raise ValueError("nope")
+
+        bad = MonitorTask.acquire(boom, (), {})
+        result, error = bad.execute(FakeMonitor())
+        assert result is None and isinstance(error, ValueError)
+        # execute must not touch the future — completion is batched
+        assert not bad.future.done()

@@ -11,6 +11,7 @@ from repro.multi import (
     complex_pred,
     current_multisynch,
     local,
+    monitor_set,
     multisynch,
 )
 from repro.runtime.errors import (
@@ -241,3 +242,131 @@ class TestGlobalWaiting:
         a.deposit(98)
         t.join(10)
         assert not t.is_alive()
+
+
+class TestMonitorSetFastPath:
+    """MonitorSet / flatten-cache / generation-skip fast paths (perf PR)."""
+
+    def test_monitor_set_flattens_and_orders(self):
+        a, b = Account(), Account()
+        ms = monitor_set(b, [a, b], a)        # nested + duplicates collapse
+        assert len(ms) == 2
+        assert [m.monitor_id for m in ms] == sorted(
+            m.monitor_id for m in (a, b)
+        )
+
+    def test_monitor_set_synch_acquires(self):
+        a, b = Account(1), Account(2)
+        ms = monitor_set(a, b)
+        with ms.synch() as block:
+            assert current_multisynch() is block
+            a.balance += 1
+        assert current_multisynch() is None
+        assert a.balance == 2
+
+    def test_multisynch_accepts_monitor_set(self):
+        a, b = Account(), Account()
+        ms = monitor_set(a, b)
+        with multisynch(ms) as block:
+            # the precomputed tuple is used directly — no re-flatten
+            assert block.monitors is ms.monitors
+
+    def test_monitor_set_needs_monitors(self):
+        with pytest.raises(ValueError):
+            monitor_set()
+
+    def test_flatten_cache_reuses_tuple(self):
+        a, b = Account(), Account()
+        first = multisynch(a, b)
+        second = multisynch(a, b)
+        assert first.monitors is second.monitors   # served from the cache
+
+    def test_flatten_cache_disabled_still_correct(self):
+        from repro.multi import multisync as msmod
+
+        a, b = Account(), Account()
+        msmod._cache_enabled = False
+        try:
+            first = multisynch(a, b)
+            second = multisynch(b, a)
+            assert first.monitors == second.monitors
+        finally:
+            msmod._cache_enabled = True
+
+
+class TestGenerationSkip:
+    """Generation-stamped predicate memoization in multisynch.wait_until."""
+
+    def test_generation_bumps_on_monitor_exit(self):
+        a = Account()
+        before = a._generation
+        a.deposit(1)                      # enter + exit one monitor section
+        assert a._generation > before
+
+    def test_evaluator_skips_unchanged_atoms(self):
+        from repro.multi import GenerationEvaluator
+
+        counts = {"a": 0, "b": 0}
+        a, b = Account(5), Account(5)
+
+        def pa(m):
+            counts["a"] += 1
+            return m.balance > 0
+
+        def pb(m):
+            counts["b"] += 1
+            return m.balance > 0
+
+        cond = local(a, pa) & local(b, pb)
+        evaluator = GenerationEvaluator(cond)
+        assert evaluator.evaluate()
+        assert counts == {"a": 1, "b": 1}
+        # nothing moved: whole evaluation served from the memo
+        assert evaluator.evaluate()
+        assert counts == {"a": 1, "b": 1}
+        # touch only a: its atom re-evaluates, b's stays memoized
+        a.deposit(0)
+        assert evaluator.evaluate()
+        assert counts == {"a": 2, "b": 1}
+
+    def test_evaluator_counts_skips_in_metrics(self):
+        from repro.multi import GenerationEvaluator, global_condition_metrics
+
+        a = Account(5)
+        cond = local(a, S.balance > 0) & local(a, S.balance < 100)
+        evaluator = GenerationEvaluator(cond, global_condition_metrics)
+        before = global_condition_metrics.gen_skips
+        assert evaluator.evaluate()
+        assert evaluator.evaluate()
+        assert global_condition_metrics.gen_skips >= before + 2
+
+    def test_wait_until_skips_untouched_monitor(self):
+        """A waiter woken by mutations of one monitor must not re-evaluate
+        atoms local to monitors whose generation did not move."""
+        counts = {"b": 0}
+        a, b = Account(0), Account(5)
+
+        def pb(m):
+            counts["b"] += 1
+            return m.balance > 0
+
+        started = threading.Event()
+        done = threading.Event()
+
+        def waiter():
+            with multisynch(a, b, strategy="AS") as block:
+                started.set()
+                block.wait_until(local(a, S.balance >= 3) & local(b, pb))
+            done.set()
+
+        t = threading.Thread(target=waiter, daemon=True)
+        t.start()
+        assert started.wait(5)
+        time.sleep(0.05)
+        for _ in range(3):
+            a.deposit(1)                  # wakes the AS waiter each exit
+            time.sleep(0.01)
+        assert done.wait(10)
+        t.join(5)
+        # b never changed after the initial evaluation: exactly one call
+        assert counts["b"] == 1

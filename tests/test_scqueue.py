@@ -1,4 +1,18 @@
-"""Unit + property tests for the single-consumer optimal bounded queue."""
+"""Unit + property + stress tests for the single-consumer bounded queue.
+
+The queue is the GIL-atomic ticket/deque MPSC design (see scqueue.py):
+producers reserve slots with an atomic ticket, the consumer steals whole
+batches with one counter touch, and blocking goes through a parking lot
+entered only under contention.  The suite pins:
+
+* FIFO + batch-steal accounting (one ``_taken`` touch per batch);
+* ``try_put`` void-ticket compensation;
+* blocking ``put`` parking/wakeup (no lost wakeups);
+* multi-producer linearizability at 8+ threads — no lost or duplicated
+  items, per-producer FIFO, and the documented ``2 × capacity`` transient
+  occupancy bound;
+* a hypothesis-randomized operation schedule against a deque model.
+"""
 
 import threading
 
@@ -57,7 +71,7 @@ class TestQueueBasics:
         assert q.try_put(1) and q.try_put(2)
         assert not q.try_put(3)
 
-    def test_len_tracks_count(self):
+    def test_len_tracks_enqueued_items(self):
         q = SingleConsumerBoundedQueue(4)
         q.put("a")
         q.put("b")
@@ -67,15 +81,66 @@ class TestQueueBasics:
         with pytest.raises(ValueError):
             SingleConsumerBoundedQueue(0)
 
-    def test_take_count_stealing_batches(self):
+    def test_batch_steal_touches_counter_once(self):
         q = SingleConsumerBoundedQueue(16)
         for i in range(6):
             q.put(i)
-        # first take steals the whole count; the counter only moves once
+        # first take steals the whole visible batch in one counter touch
         assert q.take() == 0
-        assert q._take_count == 5
+        assert q._claimed == 5
+        assert q._taken == 6
+        assert q.steal_batches == 1
+        assert q.steal_items == 6
         for want in range(1, 6):
             assert q.take() == want
+        assert q.steal_batches == 1   # no further counter traffic
+
+    def test_drain_to_moves_visible_batch(self):
+        q = SingleConsumerBoundedQueue(16)
+        for i in range(7):
+            q.put(i)
+        out = []
+        assert q.drain_to(out) == 7
+        assert out == list(range(7))
+        assert q.take() is None
+
+    def test_drain_to_respects_limit(self):
+        q = SingleConsumerBoundedQueue(16)
+        for i in range(6):
+            q.put(i)
+        out = []
+        assert q.drain_to(out, limit=4) == 4
+        assert out == [0, 1, 2, 3]
+        assert q.drain_to(out) == 2
+        assert out == list(range(6))
+
+    def test_try_put_void_compensation(self):
+        """Failed try_put reservations are folded back at the next steal,
+        so they never permanently shrink the capacity."""
+        q = SingleConsumerBoundedQueue(2)
+        assert q.try_put("a") and q.try_put("b")
+        for _ in range(3):
+            assert not q.try_put("x")      # three abandoned tickets
+        assert q.take() == "a"             # steal folds the voids
+        assert q.take() == "b"
+        assert q.take() is None
+        # full capacity is available again — nothing was leaked
+        assert q.try_put("c") and q.try_put("d")
+        assert not q.try_put("e")
+        assert [q.take(), q.take()] == ["c", "d"]
+
+    def test_capacity_frees_at_steal_not_pop(self):
+        """The paper's take-count semantics: admission capacity frees when
+        the batch is *stolen*, so transient occupancy can reach 2×cap."""
+        q = SingleConsumerBoundedQueue(2)
+        q.put(1)
+        q.put(2)
+        assert q.take() == 1           # batch of 2 stolen; 1 still unpopped
+        assert q.try_put(3)            # two fresh slots despite the leftover
+        assert q.try_put(4)
+        assert not q.try_put(5)
+        assert len(q) == 3             # physical occupancy: 1 claimed + 2 new
+        assert [q.take() for _ in range(3)] == [2, 3, 4]
 
 
 class TestQueueConcurrency:
@@ -100,65 +165,158 @@ class TestQueueConcurrency:
         assert done.wait(5)
         assert taken == [1, 2, 3]
 
-    def test_mpsc_no_loss_no_dup(self):
-        q = SingleConsumerBoundedQueue(32)
-        n_producers, per = 4, 500
+    def test_all_parked_producers_wake(self):
+        """A steal wakes every parked producer (notify_all), not a chain."""
+        q = SingleConsumerBoundedQueue(1)
+        q.put("seed")
+        started = threading.Barrier(4)
+        done = []
+
+        def producer(tag):
+            started.wait()
+            q.put(tag)     # all three park: the queue is full
+            done.append(tag)
+
+        threads = [threading.Thread(target=producer, args=(i,), daemon=True)
+                   for i in range(3)]
+        for t in threads:
+            t.start()
+        started.wait()
+        taken = []
+        while len(taken) < 4:
+            item = q.take()
+            if item is not None:
+                taken.append(item)
+        for t in threads:
+            t.join(10)
+        assert not any(t.is_alive() for t in threads)
+        assert sorted(done) == [0, 1, 2]
+
+    def test_mpsc_stress_8_producers_no_loss_no_dup_bounded(self):
+        """8-producer linearizability sweep: every item arrives exactly
+        once, per-producer FIFO holds, and sampled physical occupancy never
+        exceeds the documented 2×capacity transient bound."""
+        capacity = 16
+        q = SingleConsumerBoundedQueue(capacity)
+        n_producers, per = 8, 2_000
+        barrier = threading.Barrier(n_producers + 1)
 
         def producer(base):
+            barrier.wait()
             for i in range(per):
                 q.put(base + i)
 
         threads = [
-            threading.Thread(target=producer, args=(p * 10_000,), daemon=True)
+            threading.Thread(target=producer, args=(p * 1_000_000,), daemon=True)
             for p in range(n_producers)
         ]
         for t in threads:
             t.start()
+        barrier.wait()
         seen = []
+        max_occupancy = 0
         while len(seen) < n_producers * per:
+            max_occupancy = max(max_occupancy, len(q._items))
             item = q.take()
             if item is not None:
                 seen.append(item)
         for t in threads:
-            t.join(10)
+            t.join(30)
+        assert not any(t.is_alive() for t in threads)
         assert len(seen) == len(set(seen)) == n_producers * per
+        assert max_occupancy <= 2 * capacity
         # per-producer FIFO (Rule 2's substrate guarantee)
         for p in range(n_producers):
-            mine = [x for x in seen if x // 10_000 == p]
+            mine = [x for x in seen if x // 1_000_000 == p]
+            assert mine == sorted(mine)
+        # batch stealing actually batched (far fewer steals than items)
+        assert q.steal_batches < q.steal_items
+
+    def test_mixed_put_tryput_stress(self):
+        """Blocking and non-blocking producers interleaved: accepted items
+        are conserved; rejected try_puts never corrupt the accounting."""
+        capacity = 8
+        q = SingleConsumerBoundedQueue(capacity)
+        accepted_counts = [0] * 4
+        stop = threading.Event()
+
+        def blocking_producer(p):
+            for i in range(1_000):
+                q.put((p, i))
+            accepted_counts[p] = 1_000
+
+        def try_producer(p):
+            sent = 0
+            i = 0
+            while sent < 500:
+                if q.try_put((p, i)):
+                    sent += 1
+                    i += 1
+            accepted_counts[p] = sent
+
+        threads = [
+            threading.Thread(target=blocking_producer, args=(0,), daemon=True),
+            threading.Thread(target=blocking_producer, args=(1,), daemon=True),
+            threading.Thread(target=try_producer, args=(2,), daemon=True),
+            threading.Thread(target=try_producer, args=(3,), daemon=True),
+        ]
+        for t in threads:
+            t.start()
+        seen = []
+        while len(seen) < 3_000:
+            item = q.take()
+            if item is not None:
+                seen.append(item)
+        for t in threads:
+            t.join(30)
+        stop.set()
+        assert not any(t.is_alive() for t in threads)
+        assert len(seen) == len(set(seen)) == 3_000
+        assert accepted_counts == [1_000, 1_000, 500, 500]
+        for p in range(4):
+            mine = [i for (pp, i) in seen if pp == p]
             assert mine == sorted(mine)
 
 
-@settings(max_examples=50, deadline=None)
-@given(ops=st.lists(st.one_of(st.just("take"), st.integers(0, 100)), max_size=60))
-def test_sequential_queue_matches_model(ops):
-    """Single-threaded put/take sequences: FIFO with batch-claim capacity.
-
-    The count-stealing design (paper Fig. 3.2) decrements the shared count
-    by the whole stolen batch up front, so producers may admit up to
-    ``capacity`` further items while the consumer drains its claimed batch —
-    transient occupancy is bounded by ``2 × capacity``, and ``try_put``
-    fails exactly when the *unclaimed* count reaches capacity.
-    """
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(
+    st.one_of(
+        st.just("take"),
+        st.just("drain"),
+        st.tuples(st.just("try"), st.integers(0, 100)),
+    ),
+    max_size=80,
+))
+def test_randomized_schedule_matches_model(ops):
+    """Hypothesis-randomized single-threaded schedules against a deque
+    model: FIFO order, conservation, the 2×capacity bound, and the
+    fails-when-full / succeeds-after-drain acceptance pattern."""
     from collections import deque
 
-    capacity = 8
+    capacity = 4
     q = SingleConsumerBoundedQueue(capacity)
-    model: deque = deque()       # every item currently inside the structure
+    model: deque = deque()     # every accepted item not yet dequeued
     for op in ops:
         if op == "take":
             got = q.take()
             want = model.popleft() if model else None
             assert got == want
+        elif op == "drain":
+            out = []
+            q.drain_to(out)
+            assert out == [model.popleft() for _ in range(len(out))]
         else:
-            accepted = q.try_put(op)
-            # acceptance is governed by the unclaimed count, visible via len()
-            if accepted:
-                model.append(op)
-                assert len(q) <= capacity
+            _, value = op
+            if q.try_put(value):
+                model.append(value)
             else:
-                assert len(q) == capacity
-            # batch-claim bound: never more than 2×capacity items inside
-            assert len(model) <= 2 * capacity
+                # rejected ⇒ the unclaimed window really was full
+                assert len(model) >= capacity or len(q._items) >= capacity
+        assert len(q._items) <= 2 * capacity
+    # total drain: everything accepted comes out, in order, exactly once
     while model:
         assert q.take() == model.popleft()
     assert q.take() is None
+    # and the voids folded: full capacity is available again
+    for i in range(capacity):
+        assert q.try_put(i)

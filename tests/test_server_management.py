@@ -1,11 +1,16 @@
 """Unit tests for monitor-server lifecycle and the hardware-cap registry."""
 
+import threading
 import time
+
+import pytest
 
 from repro.active import ActiveMonitor, asynchronous
 from repro.active.management import ServerRegistry
 from repro.active.server import MonitorServer
+from repro.active.tasks import MonitorTask
 from repro.runtime import get_config
+from repro.runtime.errors import TaskError
 
 
 class Tick(ActiveMonitor):
@@ -90,3 +95,78 @@ class TestServerLifecycle:
             assert snap["tasks_submitted"] >= 50
         finally:
             m.shutdown()
+
+    def test_steal_metrics_recorded(self):
+        """The executor counts batch steals from the delegation queue."""
+        m = Tick()
+        try:
+            for _ in range(50):
+                m.tick()
+            m.flush()
+            snap = m.metrics.snapshot()
+            assert snap["steal_items"] >= 50
+            assert 1 <= snap["steal_batches"] <= snap["steal_items"]
+        finally:
+            m.shutdown()
+
+
+class TestShutdownRace:
+    """Regression tests for the stop()/_try_combine race: a combiner must
+    never execute a task after the server has declared the queue drained."""
+
+    def test_combiner_refuses_after_stop_flag(self):
+        m = Tick()
+        server = m.server
+        server._stop = True
+        executed = []
+        task = MonitorTask.acquire(lambda: executed.append(1), (), {})
+        future = task.future
+        server.queue.put(task)
+        # the combiner path must bail rather than execute behind shutdown
+        assert server._try_combine() is False
+        assert executed == []
+        server.drain()
+        with pytest.raises(TaskError) as exc_info:
+            future.get(timeout=1)
+        assert "stopped" in str(exc_info.value.__cause__)
+        m.shutdown()
+
+    def test_submit_after_stop_fails_future_not_hangs(self):
+        m = Tick()
+        server = m.server
+        m.shutdown()
+        task = MonitorTask.acquire(lambda: None, (), {})
+        future = task.future
+        server.submit(task)   # must self-drain, not leave the future pending
+        with pytest.raises(TaskError) as exc_info:
+            future.get(timeout=1)
+        assert "stopped" in str(exc_info.value.__cause__)
+
+    def test_stop_submit_race_futures_never_hang(self):
+        """Hammer submissions racing shutdown: every delegated future must
+        resolve (value or server-stopped error) — none may hang."""
+        for _ in range(15):
+            m = Tick()
+            futures = []
+            go = threading.Event()
+
+            def worker():
+                go.wait()
+                for _ in range(60):
+                    try:
+                        futures.append(m.tick())
+                    except RuntimeError:
+                        return
+
+            t = threading.Thread(target=worker, daemon=True)
+            t.start()
+            go.set()
+            time.sleep(0.001)
+            m.shutdown()
+            t.join(10)
+            assert not t.is_alive()
+            for future in futures:
+                try:
+                    future.get(timeout=5)   # TimeoutError here = regression
+                except TaskError:
+                    pass
