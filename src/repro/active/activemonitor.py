@@ -32,7 +32,7 @@ from repro.active.tasks import MonitorTask
 from repro.core.monitor import Monitor, unmonitored
 from repro.core.predicates import Predicate
 from repro.runtime.config import config_snapshot
-from repro.runtime.errors import MonitorError
+from repro.runtime.errors import BrokenMonitorError, MonitorError
 
 MODES = ("async", "delegate", "sync")
 
@@ -113,10 +113,19 @@ class ActiveMonitor(Monitor):
         # after any synchronous section mutates state, pendings may have
         # become executable: kick the server on exit.
         self._exit_hooks.append(lambda _m: self._server and self._server.kick())
+        # poisoning wakes the server so queued tasks fail fast with
+        # BrokenMonitorError instead of sitting in a queue nobody drains
+        self._break_hooks.append(lambda _m: self._server and self._server.kick())
 
     # ----------------------------------------------------------------- invoke
     def _invoke(self, fn, args, kwargs, pre, priority, is_async: bool,
                 retries: int = 0):
+        # fail-fast for delegated calls, which bypass _monitor_enter: a
+        # broken monitor must reject submissions, not queue them (one load
+        # + branch on the delegation hot path)
+        broken = self._broken
+        if broken is not None:
+            raise BrokenMonitorError(f"{self!r} is broken", broken)
         self._honor_rule3()
         server = self._server
         if server is None or not server.alive:
@@ -194,24 +203,42 @@ class ActiveMonitor(Monitor):
     @unmonitored
     def shutdown(self) -> None:
         """Stop the server thread (idempotent); the monitor keeps working in
-        synchronous mode afterwards."""
+        synchronous mode afterwards.
+
+        Propagates :class:`~repro.runtime.errors.TaskError` when the server
+        thread is wedged and fails to stop — but detaches it regardless, so
+        subsequent calls run synchronously instead of feeding a dead queue.
+        """
         if self._server is not None:
-            self._server.stop()
-            self._server = None
+            try:
+                self._server.stop()
+            finally:
+                self._server = None
 
     @unmonitored
-    def flush(self, timeout: float | None = 10.0) -> None:
+    def flush(self, timeout: float | None = 10.0, cancel=None) -> None:
         """Block until every task submitted so far has executed.
 
         Must not hold the monitor lock while waiting (the server needs it),
-        hence ``@unmonitored``."""
+        hence ``@unmonitored``.
+
+        The flush sentinel is recorded as this worker's outstanding task
+        *before* blocking: if ``get`` times out (or is cancelled), Rule 2
+        still knows about the in-flight sentinel, and the worker's next
+        submission to this monitor first waits for it — program order is
+        preserved across an abandoned flush instead of silently leaking an
+        untracked task.
+        """
         server = self._server
         if server is None:
             return
         sentinel = MonitorTask.acquire(lambda: None, (), {}, name="flush")
         future = sentinel.future   # capture before submit (pooled shell)
         server.submit(sentinel)
-        future.get(timeout)
+        table = _outstanding()
+        table[self.monitor_id] = future
+        _worker_state.last = (self.monitor_id, future)
+        future.get(timeout, cancel)
 
 
 def _evaluated(future: LightFuture) -> LightFuture:

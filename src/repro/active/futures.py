@@ -23,7 +23,7 @@ import threading
 import time
 from typing import Any, Optional
 
-from repro.runtime.errors import TaskError
+from repro.runtime.errors import TaskError, WaitCancelledError, WaitTimeoutError
 
 _PENDING = 0
 _DONE = 1
@@ -67,19 +67,22 @@ class LightFuture:
     def done(self) -> bool:
         return self._state != _PENDING
 
-    def get(self, timeout: float | None = None) -> Any:
+    def get(self, timeout: float | None = None, cancel=None) -> Any:
         """Evaluate the future — blocking until the task completes.
 
         Raises :class:`TaskError` wrapping the task's exception if it failed,
-        and ``TimeoutError`` if ``timeout`` elapses first.
+        :class:`WaitTimeoutError` (a ``TimeoutError`` subclass) if ``timeout``
+        elapses first, and :class:`WaitCancelledError` when the ``cancel``
+        token fires while blocked.  A timed-out or cancelled ``get`` leaves
+        the future intact: it may complete later and be re-collected.
         """
         if self._state == _PENDING:
-            self._block(timeout)
+            self._block(timeout, cancel)
         if self._state == _FAILED:
             raise TaskError("asynchronous monitor task failed", self._error) from self._error
         return self._value
 
-    def _block(self, timeout: float | None) -> None:
+    def _block(self, timeout: float | None, cancel=None) -> None:
         cv = self._cv
         if cv is None:
             with _cv_install_lock:
@@ -87,17 +90,30 @@ class LightFuture:
                 if cv is None:
                     cv = threading.Condition()
                     self._cv = cv
-        with cv:
-            if timeout is None:
+        wake_cb = None
+        if cancel is not None:
+            def wake_cb() -> None:
+                with cv:
+                    cv.notify_all()
+            cancel.add_callback(wake_cb)
+        try:
+            with cv:
+                deadline = None if timeout is None else time.monotonic() + timeout
                 while self._state == _PENDING:
-                    cv.wait()
-            else:
-                deadline = time.monotonic() + timeout
-                while self._state == _PENDING:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        raise TimeoutError("future not completed within timeout")
-                    cv.wait(remaining)
+                    if cancel is not None and cancel.cancelled():
+                        raise WaitCancelledError(
+                            "future wait cancelled", cancel.reason)
+                    if deadline is None:
+                        cv.wait()
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise WaitTimeoutError(
+                                "future not completed within timeout")
+                        cv.wait(remaining)
+        finally:
+            if wake_cb is not None:
+                cancel.remove_callback(wake_cb)
 
     def exception(self) -> Optional[BaseException]:
         return self._error if self._state == _FAILED else None

@@ -45,6 +45,8 @@ import threading
 from collections import deque
 from typing import Any, Optional
 
+from repro.resilience import chaos as _chaos
+
 __all__ = ["AtomicInteger", "SingleConsumerBoundedQueue"]
 
 
@@ -114,6 +116,10 @@ class SingleConsumerBoundedQueue:
     def put(self, item: Any) -> None:
         """Enqueue, blocking while the queue is full.  Lock-free unless the
         admission check fails, in which case the producer parks."""
+        if _chaos.enabled:
+            # fires before the ticket draw: a delay here widens the window
+            # between reservation decisions of racing producers
+            _chaos.fire("queue_put", self)
         t = next(self._tickets)
         if t - self._taken >= self.capacity:
             self._park(t)
@@ -178,6 +184,10 @@ class SingleConsumerBoundedQueue:
     def _steal(self) -> int:
         """Claim the visible batch; fold voids; wake parked producers.
         Returns the batch size (0 when nothing is visible)."""
+        if _chaos.enabled:
+            # between the producers' appends and the consumer's claim —
+            # stretches the window where items are visible but unclaimed
+            _chaos.fire("queue_steal", self)
         advanced = 0
         void = self._void
         if void:

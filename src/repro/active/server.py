@@ -38,13 +38,16 @@ execute a task after the server declared itself drained.
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.active.management import registry
 from repro.active.policies import Policy, select_task
 from repro.active.scqueue import SingleConsumerBoundedQueue
 from repro.active.tasks import MonitorTask
+from repro.core.monitor import _CONTROL_FLOW_EXC as _NO_POISON
+from repro.resilience import chaos as _chaos
 from repro.runtime.config import config_snapshot, get_config
+from repro.runtime.errors import BrokenMonitorError, TaskError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.active.activemonitor import ActiveMonitor
@@ -77,6 +80,14 @@ class MonitorServer:
         #: fails; exceptions it raises are swallowed (the future already
         #: carries the original failure)
         self.exception_handler = None
+        #: every exception that escaped the server *loop* (thread death) —
+        #: distinct from exception_log, which records task-body failures
+        #: the loop survived
+        self.death_log: list[Optional[BaseException]] = []
+        #: optional :class:`~repro.resilience.ServerSupervisor`; when set,
+        #: the death handler asks it to restart the thread after failing
+        #: the in-flight futures fast
+        self.supervisor = None
 
     # ------------------------------------------------------------- lifecycle
     def start(self) -> bool:
@@ -92,13 +103,41 @@ class MonitorServer:
         return True
 
     def stop(self, timeout: float = 5.0) -> None:
+        """Stop the server thread and fail any stranded tasks.
+
+        Raises :class:`TaskError` when the thread does not exit within
+        ``timeout`` — a wedged server (e.g. a task body blocked forever)
+        must not be reported as a clean shutdown.  In that case stranded
+        futures are *not* drained here: the wedged thread may hold the
+        monitor lock, and draining would wedge this caller too.
+        """
         self._stop = True
         self._wake.set()
-        if self._thread is not None:
-            self._thread.join(timeout)
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout)
+            if thread.is_alive():
+                self.alive = False
+                registry.unregister(self)
+                raise TaskError(
+                    f"monitor server thread failed to stop within {timeout}s "
+                    f"(wedged in a task body?)", None)
         self.alive = False
         registry.unregister(self)
         self.drain()
+
+    def restart(self) -> bool:
+        """Respawn the server thread after a death (supervision path).
+
+        No-op returning False when the server was stopped deliberately or
+        is already running."""
+        if self._stop or self.alive:
+            return False
+        started = self.start()
+        if started:
+            # re-scan anything submitted while the server was down
+            self._wake.set()
+        return started
 
     # ------------------------------------------------------------ submission
     def submit(self, task: MonitorTask) -> None:
@@ -153,23 +192,53 @@ class MonitorServer:
     # ---------------------------------------------------------- server loop
     def _run(self) -> None:
         monitor = self.monitor
-        while not self._stop:
-            self._wake.wait()
-            self._wake.clear()
-            if self._stop:
-                break
-            completions: list = []
-            with monitor._lock:  # monlint: disable=W004 — server thread is the monitor's executor
-                monitor._depth += 1
-                try:
-                    _, completions = self._drain_batch(None)
-                finally:
-                    monitor._depth -= 1
-                    monitor._generation += 1
-                    monitor._cond_mgr.relay_signal()
-            if completions:
-                _complete(completions)
+        try:
+            while not self._stop:
+                self._wake.wait()
+                self._wake.clear()
+                if self._stop:
+                    break
+                if _chaos.enabled:
+                    # fires outside the monitor lock: an injected kill here
+                    # dies cleanly through the death handler without
+                    # wedging the monitor
+                    _chaos.fire("server_loop", self)
+                completions: list = []
+                with monitor._lock:  # monlint: disable=W004 — server thread is the monitor's executor
+                    monitor._depth += 1
+                    try:
+                        _, completions = self._drain_batch(None)
+                    finally:
+                        monitor._depth -= 1
+                        monitor._generation += 1
+                        monitor._cond_mgr.relay_signal()
+                if completions:
+                    _complete(completions)
+        except BaseException as exc:  # noqa: BLE001 — thread death handler
+            self._on_death(exc)
+            return
         self.drain()
+
+    def _on_death(self, exc: Optional[BaseException]) -> None:
+        """The server thread died: fail fast, then (maybe) restart.
+
+        Runs on the dying thread itself, or on a polling thread that
+        noticed the corpse (:meth:`ServerSupervisor.check`).  Every queued
+        and in-flight future is failed *immediately* with a
+        :class:`TaskError` carrying the death cause — workers blocked in
+        ``future.get()`` observe the failure instead of hanging — and then
+        an attached supervisor gets the chance to restart the thread.
+        """
+        self.alive = False
+        self.death_log.append(exc)
+        registry.unregister(self)
+        self.drain(lambda: TaskError("monitor server died", exc))
+        supervisor = self.supervisor
+        if supervisor is not None and not self._stop:
+            try:
+                supervisor.handle_death(exc)
+            except Exception:  # noqa: BLE001 — a broken supervisor must not
+                pass           # turn a handled death into an unhandled one
 
     def _drain_batch(self, limit: Optional[int]) -> tuple[int, list]:
         """Run tasks (queue + pendings) until quiescent or ``limit`` reached.
@@ -185,6 +254,21 @@ class MonitorServer:
         executed = 0
         completions: list = []
         while limit is None or executed < limit:
+            broken = monitor._broken
+            if broken is not None:
+                # poisoned monitor: running task bodies on corrupt state is
+                # exactly what poisoning forbids — fail every queued and
+                # pending future fast instead (docs/robustness.md)
+                pulled = self.queue.drain_to(pending)
+                if pulled:
+                    metrics.tasks_submitted += pulled
+                for task in pending:
+                    completions.append((task.future, None, BrokenMonitorError(
+                        f"{monitor!r} is broken", broken)))
+                    task.recycle()
+                metrics.futures_failed_fast += len(pending)
+                pending.clear()
+                break
             # pull everything currently queued into the pending list, which
             # then serves as the uniform candidate set for the policy
             pulled = self.queue.drain_to(pending)
@@ -210,18 +294,30 @@ class MonitorServer:
                 else:
                     completions.append((task.future, None, error))
                     task.recycle()
+                    # §6.2.1: a failed task body may have torn the invariant
+                    # mid-mutation, same as an escaping exception in a
+                    # synchronous critical section (retries exhaust first —
+                    # a retried task gets its chance to repair)
+                    if (config_snapshot().poison_on_exception
+                            and not isinstance(error, _NO_POISON)):
+                        monitor.mark_broken(error)
             else:
                 completions.append((task.future, result, None))
                 task.recycle()
             executed += 1
         return executed, completions
 
-    def drain(self) -> None:
+    def drain(self, error_factory: Optional[Callable[[], BaseException]] = None,
+              ) -> int:
         """Fail any tasks stranded by shutdown so futures never hang.
 
         Runs under the monitor lock to serialize with an in-flight combiner
         (which re-checks ``_stop`` after acquiring): once drain completes,
-        no stranded task can still be executed."""
+        no stranded task can still be executed.  ``error_factory`` overrides
+        the stock shutdown error (the death handler passes one that carries
+        the death cause); when it is given, failed futures are counted in
+        the ``futures_failed_fast`` metric.  Returns the number of futures
+        failed."""
         stranded: list[MonitorTask] = []
         with self.monitor._lock:  # monlint: disable=W004 — shutdown serialization
             pulled = self.queue.drain_to(stranded)
@@ -229,11 +325,19 @@ class MonitorServer:
                 self.monitor._metrics.tasks_submitted += pulled
             stranded.extend(self.pending)
             self.pending.clear()
+        failed = 0
         for task in stranded:
             future = task.future
             if not future.done():
-                future.set_exception(RuntimeError("monitor server stopped"))
+                if error_factory is not None:
+                    future.set_exception(error_factory())
+                else:
+                    future.set_exception(RuntimeError("monitor server stopped"))
+                failed += 1
             task.recycle()
+        if failed and error_factory is not None:
+            self.monitor._metrics.add("futures_failed_fast", failed)
+        return failed
 
     def kick(self) -> None:
         """Wake the server to re-scan pendings (used by exit hooks after

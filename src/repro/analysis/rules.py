@@ -1,4 +1,4 @@
-"""monlint rules W001–W005.
+"""monlint rules W001–W006.
 
 Each rule is a small class with a ``code``, ``severity`` and a
 ``check(module, ctx)`` generator; W004 additionally contributes edges to the
@@ -24,6 +24,11 @@ Paper grounding (see ``docs/analysis.md`` for the full discussion):
 * **W005** — a predicate that is structurally ``shared op constant`` but
   reaches the runtime as an opaque callable falls to the ``None`` tag
   (Algorithm 1) and degrades relay signaling to a linear scan.
+* **W006** — delegated tasks execute under their monitor's lock (Rule 1),
+  so blocking on ``future.get()`` with no timeout — or ``flush()`` without
+  one — from inside a synchronized method holds a lock the executor may
+  need: a self-deadlock the resilience layer (docs/robustness.md) can only
+  bound, never prevent, unless the wait carries a timeout.
 """
 
 from __future__ import annotations
@@ -497,6 +502,131 @@ def _const_like(node: ast.expr, base: str) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# W006 — unbounded blocking wait under the monitor lock
+# ---------------------------------------------------------------------------
+
+class UnboundedBlockingWait(Rule):
+    code = "W006"
+    name = "unbounded-blocking-wait"
+    severity = Severity.WARNING
+
+    def check(self, module: ModuleModel, ctx: ProjectContext) -> Iterator[Finding]:
+        for cls, method in module.iter_methods():
+            if method.kind != "synchronized":
+                continue
+            yield from self._check_method(module, cls, method)
+
+    def _check_method(
+        self, module: ModuleModel, cls: MonitorClassModel, method: MethodModel
+    ) -> Iterator[Finding]:
+        func = method.node
+        resolve = self._monitor_names(module, cls, method)
+        futures = self._future_names(func, resolve)
+        where = f"synchronized method {cls.name}.{method.name}()"
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            base = node.func.value
+            if node.func.attr == "flush":
+                obj = _dotted_name(base)
+                if obj in resolve and not _bounded_by_timeout(node):
+                    yield self._finding(
+                        module.path, node,
+                        f"{obj}.flush() without an explicit timeout inside "
+                        f"{where} — flush blocks until the executor runs, "
+                        "and the executor needs a monitor lock this thread "
+                        "holds (Rule 1): a guaranteed stall; pass timeout= "
+                        "(and see docs/robustness.md for deadlines/cancel)",
+                    )
+            elif node.func.attr == "get":
+                if _bounded_by_timeout(node):
+                    continue
+                recv = _dotted_name(base)
+                chained = _is_monitor_call(base, resolve)
+                if (recv in futures) or chained:
+                    shown = recv if recv is not None else "<future>"
+                    yield self._finding(
+                        module.path, node,
+                        f"{shown}.get() with no timeout inside {where} — "
+                        "the delegated task runs under its monitor's lock "
+                        "(Rule 1) and this thread already holds one: an "
+                        "unbounded get can self-deadlock the pair; pass "
+                        "timeout=/deadline=/cancel= (docs/robustness.md)",
+                    )
+
+    def _monitor_names(
+        self, module: ModuleModel, cls: MonitorClassModel, method: MethodModel
+    ) -> dict[str, str]:
+        """Names (possibly dotted) known to hold monitor objects."""
+        func = method.node
+        resolve: dict[str, str] = {}
+        self_name = method.self_name
+        if self_name:
+            resolve[self_name] = cls.name
+            for attr, mon_cls in cls.monitor_attrs.items():
+                resolve[f"{self_name}.{attr}"] = mon_cls
+        for arg in func.args.args:
+            ann = _annotation_name(arg.annotation)
+            if ann in module.known_monitor_names:
+                resolve[arg.arg] = ann
+        resolve.update(monitor_locals(func, module.known_monitor_names))
+        return resolve
+
+    def _future_names(
+        self, func: ast.AST, resolve: dict[str, str]
+    ) -> set[str]:
+        """Plain names assigned from a call on a known monitor object —
+        the ``future = mon.task(...)`` idiom."""
+        names: set[str] = set()
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Assign)
+                and _is_monitor_call(node.value, resolve)
+            ):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        inner = _dotted_name(node.value)
+        return None if inner is None else f"{inner}.{node.attr}"
+    return None
+
+
+def _is_monitor_call(node: ast.expr, resolve: dict[str, str]) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and _dotted_name(node.func.value) in resolve
+    )
+
+
+def _bounded_by_timeout(call: ast.Call) -> bool:
+    """True when the call carries a non-None timeout (positional or
+    keyword) — ``timeout=None`` is explicit unboundedness, not a bound."""
+    for kw in call.keywords:
+        if kw.arg == "timeout":
+            return not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is None
+            )
+    if call.args:
+        first = call.args[0]
+        return not (
+            isinstance(first, ast.Constant) and first.value is None
+        )
+    return False
+
+
+# ---------------------------------------------------------------------------
 # shared walker: synchronization contexts, lock-graph edges, monitor writes
 # ---------------------------------------------------------------------------
 
@@ -813,6 +943,7 @@ ALL_RULES: list[type[Rule]] = [
     UnsynchronizedWrite,
     HandOrderedAcquisition,
     TagAdvisor,
+    UnboundedBlockingWait,
 ]
 
 

@@ -209,6 +209,22 @@ def compile_predicate(predicate: Any) -> Optional[Callable[[Any], Any]]:
         return None
 
 
+def source_key(predicate: Any) -> Optional[str]:
+    """Return the generated-source cache key for a predicate, or ``None``.
+
+    The source string is exactly the key the closure cache is keyed by —
+    stable across threads and processes for structurally equal predicates —
+    which makes it the right identifier for diagnostics (stall-watchdog
+    reports, waiter dumps) that need to say *what* a thread waits on
+    without holding any lock or evaluating anything.
+    """
+    env: list = []
+    try:
+        return _gen_bool(predicate.root, env)
+    except (_Unsupported, RecursionError, AttributeError, TypeError, ValueError):
+        return None
+
+
 def compile_expr_key(
     expr_key: tuple,
     resolve_node: Callable[[Any], Any],

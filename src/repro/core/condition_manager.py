@@ -25,6 +25,7 @@ their condition variables) recycle through an inactive pool.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Optional
 
 from repro.core import compiled
@@ -33,8 +34,13 @@ from repro.core.predicates import Comparison, Predicate
 from repro.core.tag_index import TagIndex
 from repro.core.tags import tag_predicate
 from repro.core.waiter import Waiter
+from repro.resilience import chaos as _chaos
 from repro.runtime.config import config_snapshot
+from repro.runtime.errors import WaitCancelledError, WaitTimeoutError
 from repro.runtime.metrics import Metrics, PhaseTimer
+
+if False:  # pragma: no cover — annotation-only import
+    from repro.resilience.cancellation import CancelToken
 
 SIGNALING_MODES = ("autosynch", "autosynch_t", "baseline")
 
@@ -84,7 +90,11 @@ class ConditionManager:
         self.wait_blocking(predicate)
 
     def wait_blocking(self, predicate: Predicate,
-                      ev: Callable[[Any], Any] | None = None) -> None:
+                      ev: Callable[[Any], Any] | None = None,
+                      *,
+                      timeout: Optional[float] = None,
+                      deadline: Optional[float] = None,
+                      cancel: "Optional[CancelToken]" = None) -> None:
         """Park until ``predicate`` holds, given it was just seen false.
 
         Implements the waiting side of the relay protocol: before parking,
@@ -92,31 +102,77 @@ class ConditionManager:
         waiter, since this thread is "going into waiting state"); after each
         wakeup it re-evaluates, counting futile wakeups when the state moved
         under it between signal and lock re-acquisition.
+
+        ``timeout`` (relative seconds) and ``deadline`` (absolute
+        ``time.monotonic()`` instant) bound the wait — whichever expires
+        first raises :class:`WaitTimeoutError`; ``cancel`` aborts it with
+        :class:`WaitCancelledError`.  An abandoning waiter re-runs the relay
+        rule after deregistering: if the relay baton was handed to it while
+        it was timing out, the baton passes on to another satisfied waiter,
+        preserving relay invariance (Prop. 2).  This is only sound because
+        of the closure property (Def. 2) — any thread can evaluate any
+        parked predicate, so no signal is ever addressed to a waiter that
+        *must* act on it.
         """
         m = self.metrics
         if ev is None:
             ev = predicate.evaluator()
         m.bump("waits")
 
+        if timeout is not None:
+            t = time.monotonic() + timeout
+            deadline = t if deadline is None else min(deadline, t)
+        if cancel is not None and cancel.cancelled():
+            m.bump("wait_cancels")
+            raise WaitCancelledError(
+                f"wait on {predicate!r} cancelled", cancel.reason)
+
         if self.mode == "baseline":
-            self._wait_baseline(ev)
+            self._wait_baseline(ev, deadline=deadline, cancel=cancel)
             return
 
         waiter = self._obtain_waiter(predicate)
         monitor = self.monitor
-        cv_wait = waiter.cv.wait
+        cv = waiter.cv
+        cv_wait = cv.wait
         # one snapshot per blocking wait, not one config lookup per wakeup
         phase_timing = config_snapshot().phase_timing
+        wake_cb: Optional[Callable[[], None]] = None
+        if cancel is not None:
+            # The canceller notifies our CV under the monitor lock; RLock
+            # makes this safe even when cancel() fires from a thread that
+            # is itself inside this monitor.
+            def wake_cb() -> None:
+                with cv:
+                    cv.notify()
+            cancel.add_callback(wake_cb)
+        satisfied = False
         try:
             while True:
                 # Pass the baton before sleeping (relay rule: a thread going
                 # into waiting state signals some satisfied waiter).
                 self.relay_signal()
-                if phase_timing:
-                    with PhaseTimer(m, "await_time"):
+                if cancel is not None and cancel.cancelled():
+                    m.bump("wait_cancels")
+                    raise WaitCancelledError(
+                        f"wait on {predicate!r} cancelled", cancel.reason)
+                if deadline is None:
+                    if phase_timing:
+                        with PhaseTimer(m, "await_time"):
+                            cv_wait()
+                    else:
                         cv_wait()
                 else:
-                    cv_wait()
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        m.bump("wait_timeouts")
+                        raise WaitTimeoutError(
+                            f"wait on {predicate!r} timed out")
+                    if phase_timing:
+                        with PhaseTimer(m, "await_time"):
+                            cv_wait(remaining)
+                    else:
+                        cv_wait(remaining)
                 waiter.signaled = False
                 m.bump("wakeups")
                 if waiter.poison is not None:
@@ -126,24 +182,65 @@ class ConditionManager:
                 result = ev(monitor)
                 m.predicate_evals += 1
                 if result:
+                    satisfied = True
                     return
                 m.bump("futile_wakeups")
         finally:
             self._deregister(waiter)
+            if wake_cb is not None:
+                cancel.remove_callback(wake_cb)
+            if not satisfied:
+                # Abandoned wait (timeout / cancel / poison): between the
+                # cv-wait return and this point the thread holds the monitor
+                # lock, so if it *was* signaled, that signal is the relay
+                # baton and no other signal can have raced in.  With the
+                # waiter now deregistered, re-running the relay hands the
+                # baton to some other satisfied waiter — no signal is lost.
+                self.relay_signal()
 
-    def _wait_baseline(self, ev: Callable[[Any], Any]) -> None:
+    def _wait_baseline(self, ev: Callable[[Any], Any],
+                       deadline: Optional[float] = None,
+                       cancel: "Optional[CancelToken]" = None) -> None:
         m = self.metrics
         monitor = self.monitor
-        self._broadcast_cv.notify_all()  # baton-pass equivalent
+        bcv = self._broadcast_cv
+        bcv.notify_all()  # baton-pass equivalent
         m.bump("broadcasts")
-        while True:
-            self._broadcast_cv.wait()
-            m.bump("wakeups")
-            result = ev(monitor)
-            m.predicate_evals += 1
-            if result:
-                return
-            m.bump("futile_wakeups")
+        wake_cb: Optional[Callable[[], None]] = None
+        if cancel is not None:
+            def wake_cb() -> None:
+                with bcv:
+                    bcv.notify_all()
+            cancel.add_callback(wake_cb)
+        try:
+            while True:
+                if cancel is not None and cancel.cancelled():
+                    m.bump("wait_cancels")
+                    raise WaitCancelledError("wait cancelled", cancel.reason)
+                if deadline is None:
+                    bcv.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        m.bump("wait_timeouts")
+                        raise WaitTimeoutError("wait timed out")
+                    bcv.wait(remaining)
+                m.bump("wakeups")
+                broken = getattr(monitor, "_broken", None)
+                if broken is not None:
+                    from repro.runtime.errors import BrokenMonitorError
+                    raise BrokenMonitorError(
+                        f"{monitor!r} is broken", broken)
+                result = ev(monitor)
+                m.predicate_evals += 1
+                if result:
+                    return
+                m.bump("futile_wakeups")
+        finally:
+            if wake_cb is not None:
+                cancel.remove_callback(wake_cb)
+            # baseline signaling is broadcast: a departing waiter cannot
+            # have absorbed anyone else's wakeup, so no re-relay is needed
 
     # ---------------------------------------------------------------- signal
     def relay_signal(self) -> Optional[Waiter]:
@@ -166,15 +263,39 @@ class ConditionManager:
             return None
         if not self.waiters:
             return None
+        if _chaos.enabled:
+            _chaos.fire("relay", self.monitor)
         if config_snapshot().phase_timing:
             with PhaseTimer(m, "relay_time"):
                 waiter = self._find_satisfied_waiter()
         else:
             waiter = self._find_satisfied_waiter()
         if waiter is not None:
+            if _chaos.enabled:
+                _chaos.fire("signal", waiter)
             waiter.signal()
             m.bump("signals")
         return waiter
+
+    def poison_all(self, make_exc: Callable[[], BaseException]) -> int:
+        """Poison and wake every parked waiter (caller holds the lock).
+
+        Used by :meth:`Monitor.mark_broken`: each relay-mode waiter gets a
+        fresh exception from ``make_exc`` (fresh per waiter, so concurrent
+        re-raises don't fight over one traceback) and is signaled; baseline
+        mode broadcasts, and the woken threads see ``monitor._broken``
+        themselves.  Returns the number of waiters poisoned.
+        """
+        if self.mode == "baseline":
+            self._broadcast_cv.notify_all()
+            return 0
+        n = 0
+        for waiter in list(self.waiters):
+            if waiter.poison is None:
+                waiter.poison = make_exc()
+            waiter.signal()
+            n += 1
+        return n
 
     def _find_satisfied_waiter(self) -> Optional[Waiter]:
         m = self.metrics

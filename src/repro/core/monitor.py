@@ -37,18 +37,30 @@ from __future__ import annotations
 
 import functools
 import threading
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.analysis import runtime as _monlint
 from repro.core.condition_manager import SIGNALING_MODES, ConditionManager
 from repro.core.predicates import BoolNode, Predicate
+from repro.resilience import chaos as _chaos
 from repro.runtime.config import config_snapshot
-from repro.runtime.errors import MonitorError, NotOwnerError
+from repro.runtime.errors import (
+    BrokenMonitorError,
+    MonitorError,
+    NotOwnerError,
+    WaitCancelledError,
+    WaitTimeoutError,
+)
 from repro.runtime.ids import next_monitor_id
 from repro.runtime.metrics import Metrics, PhaseTimer
 
 #: attribute set by :func:`unmonitored` to opt a method out of auto-locking
 _UNMONITORED = "_repro_unmonitored"
+
+#: control-flow exceptions that never poison a monitor: they are raised *by*
+#: the framework at well-defined points (before/instead of state mutation),
+#: so the invariants cannot have been torn by them (docs/robustness.md)
+_CONTROL_FLOW_EXC = (WaitTimeoutError, WaitCancelledError, BrokenMonitorError)
 
 
 def unmonitored(fn: Callable) -> Callable:
@@ -67,6 +79,15 @@ def _wrap_method(fn: Callable) -> Callable:
         self._monitor_enter()
         try:
             return fn(self, *args, **kwargs)
+        except BaseException as exc:
+            # §6.2.1: an exception escaping a critical section may leave the
+            # invariant torn.  Opt-in poisoning marks the monitor broken so
+            # every other thread fails fast instead of computing on corrupt
+            # state.  The success path pays nothing for this clause.
+            if (config_snapshot().poison_on_exception
+                    and not isinstance(exc, _CONTROL_FLOW_EXC)):
+                self.mark_broken(exc)
+            raise
         finally:
             self._monitor_exit()
 
@@ -122,9 +143,16 @@ class Monitor(metaclass=MonitorMeta):
         self._generation = 0
         self._metrics = Metrics()
         self._cond_mgr = ConditionManager(self, self._lock, self._metrics, signaling)
+        #: poisoning (docs/robustness.md): the exception that broke this
+        #: monitor, or None while healthy.  Read racily on the enter fast
+        #: path; written only under the lock.
+        self._broken: Optional[BaseException] = None
         #: hook used by the multi-object layer: callables run (with the lock
         #: held) just before the final lock release of a monitor section.
         self._exit_hooks: list[Callable[["Monitor"], None]] = []
+        #: callables run (with the lock held) when the monitor is marked
+        #: broken — e.g. the multisynch manager waking global waiters.
+        self._break_hooks: list[Callable[["Monitor"], None]] = []
         #: when inside a multisynch block, lock acquisition is redirected to
         #: the block (which may need to acquire several locks in id order).
         self._external_section = threading.local()
@@ -144,6 +172,8 @@ class Monitor(metaclass=MonitorMeta):
         if _monlint.enabled:
             # raises LockOrderError *before* acquiring on a violation
             _monlint.on_acquire(self)
+        if _chaos.enabled:
+            _chaos.fire("monitor_enter", self)
         # fast path: no allocation, one snapshot read; a PhaseTimer exists
         # only when phase timing is actually on
         if self._depth == 0 and config_snapshot().phase_timing:
@@ -152,6 +182,15 @@ class Monitor(metaclass=MonitorMeta):
         else:
             self._lock.acquire()
         self._depth += 1
+        # Checked *after* acquiring so a thread already queued on the lock
+        # when the monitor breaks also fails fast; one load + branch.
+        broken = self._broken
+        if broken is not None:
+            self._depth -= 1
+            if _monlint.enabled:
+                _monlint.on_release(self)  # keep lock-order tracking balanced
+            self._lock.release()
+            raise BrokenMonitorError(f"{self!r} is broken", broken)
 
     def _monitor_exit(self) -> None:
         if _monlint.enabled:
@@ -168,6 +207,10 @@ class Monitor(metaclass=MonitorMeta):
                 self._cond_mgr.relay_signal()
             finally:
                 self._lock.release()
+            # fires outside the lock: a kill injected here cannot wedge the
+            # monitor behind a never-released lock
+            if _chaos.enabled:
+                _chaos.fire("monitor_exit", self)
         else:
             self._lock.release()
 
@@ -179,12 +222,24 @@ class Monitor(metaclass=MonitorMeta):
 
     # -------------------------------------------------------------- waituntil
     @unmonitored
-    def wait_until(self, condition: BoolNode | Callable[..., bool] | bool) -> None:
+    def wait_until(self, condition: BoolNode | Callable[..., bool] | bool,
+                   *,
+                   timeout: Optional[float] = None,
+                   deadline: Optional[float] = None,
+                   cancel=None) -> None:
         """The paper's ``waituntil(P)`` statement.
 
         Must be called from inside a monitor method (the lock is held).  If
         the predicate is false the thread parks; the relay rule wakes it when
         another thread makes the predicate true.
+
+        ``timeout`` (relative seconds) / ``deadline`` (absolute
+        ``time.monotonic()`` instant) bound the wait with
+        :class:`WaitTimeoutError`; a :class:`~repro.resilience.CancelToken`
+        passed as ``cancel`` aborts it with :class:`WaitCancelledError`.
+        Abandoning a wait never loses a signal: the departing waiter re-runs
+        the relay rule after deregistering (see
+        ``ConditionManager.wait_blocking`` and docs/robustness.md).
         """
         if self._depth <= 0:
             raise NotOwnerError("wait_until called outside a monitor method")
@@ -221,9 +276,62 @@ class Monitor(metaclass=MonitorMeta):
         saved_depth = self._depth
         self._depth = 0  # we are not an active holder while parked
         try:
-            self._cond_mgr.wait_blocking(predicate)
+            self._cond_mgr.wait_blocking(
+                predicate, timeout=timeout, deadline=deadline, cancel=cancel)
         finally:
             self._depth = saved_depth
+
+    # -------------------------------------------------------------- poisoning
+    @property
+    def broken(self) -> bool:
+        """True when the monitor has been poisoned (racy read)."""
+        return self._broken is not None
+
+    @property
+    def broken_cause(self) -> Optional[BaseException]:
+        """The exception that poisoned the monitor, or None while healthy."""
+        return self._broken
+
+    @unmonitored
+    def mark_broken(self, cause: Optional[BaseException] = None) -> bool:
+        """Poison the monitor (§6.2.1, docs/robustness.md).
+
+        Marks the state as possibly corrupt: every parked waiter is woken
+        with a :class:`BrokenMonitorError` (carrying ``cause``), and every
+        future entry attempt fails fast with the same.  Idempotent — the
+        first cause wins; returns False when already broken.
+
+        Called automatically by the method wrapper when
+        ``Config.poison_on_exception`` is on and a non-control-flow
+        exception escapes a critical section; may also be called explicitly
+        by application code that detects corruption.
+        """
+        with self._lock:
+            if self._broken is not None:
+                return False
+            exc = cause if cause is not None else MonitorError(
+                f"{self!r} marked broken")
+            self._broken = exc
+            self._cond_mgr.poison_all(
+                lambda: BrokenMonitorError(f"{self!r} is broken", exc))
+            for hook in self._break_hooks:
+                try:
+                    hook(self)
+                except Exception:  # a notifier must not mask the poisoning
+                    pass
+            return True
+
+    @unmonitored
+    def reset(self) -> Optional[BaseException]:
+        """Clear a broken state after repair; returns the old cause.
+
+        The escape hatch: the caller asserts it has restored the monitor's
+        invariant (e.g. reinitialized the state in a fresh critical
+        section).  The framework cannot check that claim.
+        """
+        with self._lock:
+            cause, self._broken = self._broken, None
+            return cause
 
     # ------------------------------------------------------------- utilities
     @unmonitored
@@ -269,5 +377,11 @@ class synchronized:
         self._monitor._monitor_enter()
         return self._monitor
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # same poisoning discipline as the method wrapper: an ad-hoc section
+        # is a critical section too
+        if (exc is not None
+                and config_snapshot().poison_on_exception
+                and not isinstance(exc, _CONTROL_FLOW_EXC)):
+            self._monitor.mark_broken(exc)
         self._monitor._monitor_exit()

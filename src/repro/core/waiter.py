@@ -70,6 +70,20 @@ class Waiter:
         self.signaled = True
         self.cv.notify()
 
+    def describe(self) -> str:
+        """Lock-free description for diagnostics (watchdog, dump_waiters).
+
+        Identifies the predicate by its compiled-source cache key when one
+        exists — stable across runs for structurally equal predicates —
+        falling back to ``repr``.  Never evaluates the predicate.
+        """
+        from repro.core import compiled  # local: avoid import cycle at load
+
+        pred = self.predicate
+        key = compiled.source_key(pred) if pred is not None else None
+        what = key if key is not None else repr(pred)
+        return f"tid={self.thread_id} on {what}"
+
     def __repr__(self):
         return f"Waiter(tid={self.thread_id}, {self.predicate!r})"
 

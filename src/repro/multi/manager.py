@@ -36,6 +36,7 @@ def _ensure_hook(monitor: Monitor) -> None:
         return
     setattr(monitor, _HOOK_ATTR, True)
     monitor._exit_hooks.append(_on_monitor_exit)
+    monitor._break_hooks.append(_on_monitor_broken)
 
 
 def _on_monitor_exit(monitor: Monitor) -> None:
@@ -54,6 +55,21 @@ def _on_monitor_exit(monitor: Monitor) -> None:
         if waiter.check_on_exit(monitor):
             waiter.signal()
             m.bump("signals")
+
+
+def _on_monitor_broken(monitor: Monitor) -> None:
+    """Poisoning hook: wake every global waiter involving this monitor.
+
+    Runs under the broken monitor's lock (from ``mark_broken``).  The woken
+    threads re-acquire their full lock set, deregister, observe the broken
+    monitor, and raise :class:`BrokenMonitorError` — instead of sleeping on
+    a condition that can no longer legally become true.
+    """
+    table = getattr(monitor, _TABLE_ATTR, None)
+    if not table:
+        return
+    for waiter in list(table):
+        waiter.signal()
 
 
 def register(waiter: GlobalWaiter) -> None:

@@ -38,18 +38,23 @@ Example (the paper's Fig. 1.5)::
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Iterator
+import time
+from typing import Iterable, Iterator, Optional
 
 from repro.analysis import runtime as _monlint
 from repro.core.monitor import Monitor
 from repro.multi import manager
 from repro.multi.global_predicates import GenerationEvaluator, GlobalNode
 from repro.multi.strategies import GlobalWaiter
+from repro.resilience import chaos as _chaos
 from repro.runtime.config import config_snapshot
 from repro.runtime.errors import (
+    BrokenMonitorError,
     MonitorError,
     NestedMultisynchError,
     PredicateError,
+    WaitCancelledError,
+    WaitTimeoutError,
 )
 
 _active = threading.local()
@@ -208,9 +213,26 @@ class Multisynch:
     # in repro.core.monitor must be mirrored here; the guarded slow path
     # keeps behavior identical when either instrument is enabled.
     def _acquire_all(self) -> None:
-        if _monlint.enabled or config_snapshot().phase_timing:
+        """Re-acquire every lock (wait-loop path) — deliberately infallible.
+
+        A waiter returning from a global-condition park still has its
+        :class:`GlobalWaiter` registered, and deregistration requires all
+        locks; so even a monitor that broke while we were parked is
+        re-acquired here, and its brokenness surfaces *after* deregistration
+        (in ``wait_until``), where the block's ``__exit__`` can release
+        everything cleanly.
+        """
+        if _monlint.enabled or _chaos.enabled or config_snapshot().phase_timing:
             for m in self.monitors:       # ascending id
-                m._monitor_enter()
+                try:
+                    m._monitor_enter()
+                except BrokenMonitorError:
+                    # enter released before raising; re-take raw (monlint's
+                    # on_acquire/on_release stayed balanced across the raise)
+                    if _monlint.enabled:
+                        _monlint.on_acquire(m)
+                    m._lock.acquire()  # monlint: disable=W004
+                    m._depth += 1
         else:
             for m in self.monitors:
                 m._lock.acquire()  # monlint: disable=W004
@@ -219,7 +241,7 @@ class Multisynch:
 
     def _release_all(self) -> None:
         self._held = False
-        if _monlint.enabled:
+        if _monlint.enabled or _chaos.enabled:
             for m in self._rev:           # descending id
                 m._monitor_exit()
             return
@@ -251,13 +273,35 @@ class Multisynch:
             )
         _active.block = self
         # inline _acquire_all (one frame fewer on the block-cycle hot path)
-        if _monlint.enabled or config_snapshot().phase_timing:
-            for m in self.monitors:       # ascending id
-                m._monitor_enter()
+        monitors = self.monitors
+        if _monlint.enabled or _chaos.enabled or config_snapshot().phase_timing:
+            acquired = 0
+            try:
+                for m in monitors:        # ascending id
+                    m._monitor_enter()
+                    acquired += 1
+            except BaseException:
+                # a broken monitor (or injected fault) part-way through the
+                # set: unwind what we hold, in descending order, so a failed
+                # entry never leaves a lock behind
+                for j in range(acquired - 1, -1, -1):
+                    monitors[j]._monitor_exit()
+                _active.block = None
+                raise
         else:
-            for m in self.monitors:
+            for idx, m in enumerate(monitors):
                 m._lock.acquire()  # monlint: disable=W004
                 m._depth += 1
+                broken = m._broken
+                if broken is not None:
+                    # raw unwind: nothing was mutated, so no generation
+                    # bump, hooks, or relay — just undo the acquisitions
+                    for j in range(idx, -1, -1):
+                        mm = monitors[j]
+                        mm._depth -= 1
+                        mm._lock.release()  # monlint: disable=W004
+                    _active.block = None
+                    raise BrokenMonitorError(f"{m!r} is broken", broken)
         self._held = True
         return self
 
@@ -265,7 +309,7 @@ class Multisynch:
         # inline _release_all (mirrors the loop above; one frame fewer)
         try:
             self._held = False
-            if _monlint.enabled:
+            if _monlint.enabled or _chaos.enabled:
                 for m in self._rev:       # descending id
                     m._monitor_exit()
                 return
@@ -290,12 +334,24 @@ class Multisynch:
             _active.block = None
 
     # -------------------------------------------------------- global waiting
-    def wait_until(self, condition: GlobalNode) -> None:
+    def wait_until(self, condition: GlobalNode,
+                   *,
+                   timeout: Optional[float] = None,
+                   deadline: Optional[float] = None,
+                   cancel=None) -> None:
         """Block until the global condition holds (no global lock needed).
 
         The condition's monitors must all be covered by this multisynch
         block — otherwise its evaluation under the held locks would be
         unsound.
+
+        ``timeout``/``deadline``/``cancel`` carry the same semantics as
+        :meth:`Monitor.wait_until`.  Abandoning a global wait is simpler
+        than the local case: the manager signals *every* waiter whose
+        strategy check passes (no exclusive relay baton), so a timed-out
+        waiter only needs to deregister — after re-acquiring all locks,
+        which is also when a monitor poisoned during the park is detected
+        and surfaced as :class:`BrokenMonitorError`.
         """
         if not self._held:
             raise PredicateError("wait_until outside the multisynch block")
@@ -315,19 +371,56 @@ class Multisynch:
         evaluator = GenerationEvaluator(condition, gm)
         if evaluator.evaluate():
             return
+        if timeout is not None:
+            t = time.monotonic() + timeout
+            deadline = t if deadline is None else min(deadline, t)
+        if cancel is not None and cancel.cancelled():
+            gm.add("wait_cancels")
+            raise WaitCancelledError(
+                "global wait cancelled before parking", cancel.reason)
         waiter = GlobalWaiter(condition, self.strategy)
-        while True:
-            manager.register(waiter)
-            # our own release bumps each involved monitor exactly once;
-            # credit it so "nobody else touched anything" reads as unchanged
-            evaluator.credit_own_release()
-            self._release_all()
-            waiter.event.wait()
-            self._acquire_all()
-            manager.deregister(waiter)
-            if evaluator.evaluate():
-                return
-            gm.false_evals += 1
+        wake_cb = None
+        if cancel is not None:
+            # Event.set is safe from any thread and idempotent; the woken
+            # loop observes the token after deregistering.
+            wake_cb = waiter.event.set
+            cancel.add_callback(wake_cb)
+        try:
+            while True:
+                manager.register(waiter)
+                # our own release bumps each involved monitor exactly once;
+                # credit it so "nobody else touched anything" reads as
+                # unchanged
+                evaluator.credit_own_release()
+                self._release_all()
+                if deadline is None:
+                    waiter.event.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining > 0:
+                        waiter.event.wait(remaining)
+                self._acquire_all()
+                manager.deregister(waiter)
+                broken = next(
+                    (m for m in self.monitors if m._broken is not None), None)
+                if broken is not None:
+                    raise BrokenMonitorError(
+                        f"{broken!r} was marked broken during a global wait",
+                        broken._broken)
+                if evaluator.evaluate():
+                    return
+                gm.false_evals += 1
+                if cancel is not None and cancel.cancelled():
+                    gm.add("wait_cancels")
+                    raise WaitCancelledError(
+                        "global wait cancelled", cancel.reason)
+                if deadline is not None and time.monotonic() >= deadline:
+                    gm.add("wait_timeouts")
+                    raise WaitTimeoutError(
+                        f"global wait on {condition!r} timed out")
+        finally:
+            if wake_cb is not None:
+                cancel.remove_callback(wake_cb)
 
     def __repr__(self):
         ids = [m.monitor_id for m in self.monitors]

@@ -1,0 +1,106 @@
+"""Cooperative cancellation for monitor waits and future evaluation.
+
+A :class:`CancelToken` is the cancellation analogue of the paper's closure
+property (Def. 2): because any thread can re-evaluate a parked predicate,
+a waiter can always be *deregistered* without losing a relay signal — the
+abandoning thread re-runs the relay rule before unparking, handing any
+baton it held to another satisfied waiter.  That is what makes external
+cancellation safe here, where it would be a correctness hazard for
+hand-signaled condition variables.
+
+Usage::
+
+    token = CancelToken()
+    ...
+    self.wait_until(S.count > 0, cancel=token)   # raises WaitCancelledError
+    future.get(cancel=token)                     # when token.cancel() fires
+
+Tokens are multi-use and thread-safe: one token may guard many concurrent
+waits across many monitors; ``cancel()`` wakes all of them.  Cancellation
+is sticky — once cancelled, every subsequent guarded wait fails immediately
+(build a new token to start a new cancellation scope).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from repro.runtime.errors import WaitCancelledError
+
+__all__ = ["CancelToken"]
+
+
+class CancelToken:
+    """A sticky, thread-safe cancellation flag with wakeup callbacks.
+
+    Waiters register a callback (that signals their condition variable /
+    event) before parking; ``cancel()`` runs every registered callback so
+    no wait sleeps through its own cancellation.  Callbacks run on the
+    *cancelling* thread and must therefore be cheap and lock-disciplined —
+    the framework's internal wakers only notify a CV under its own lock
+    (reentrant-safe even when the canceller is inside the same monitor).
+    """
+
+    __slots__ = ("_lock", "_cancelled", "_reason", "_callbacks")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cancelled = False
+        self._reason: Any = None
+        self._callbacks: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------- cancelling
+    def cancel(self, reason: Any = None) -> bool:
+        """Cancel the token; returns False when it was already cancelled.
+
+        Every registered wakeup callback runs exactly once (on this
+        thread); callbacks registered after cancellation run immediately
+        at registration instead.
+        """
+        with self._lock:
+            if self._cancelled:
+                return False
+            self._cancelled = True
+            self._reason = reason
+            callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            try:
+                cb()
+            except Exception:  # noqa: BLE001 — a waker must not kill the canceller
+                pass
+        return True
+
+    # -------------------------------------------------------------- observing
+    def cancelled(self) -> bool:
+        """Racy-read-safe check (a plain bool mutated under the GIL)."""
+        return self._cancelled
+
+    @property
+    def reason(self) -> Any:
+        return self._reason
+
+    def raise_if_cancelled(self, what: str = "operation") -> None:
+        if self._cancelled:
+            raise WaitCancelledError(f"{what} cancelled", self._reason)
+
+    # -------------------------------------------------- waker registration
+    def add_callback(self, callback: Callable[[], None]) -> None:
+        """Register a wakeup callback; runs immediately if already cancelled."""
+        with self._lock:
+            if not self._cancelled:
+                self._callbacks.append(callback)
+                return
+        callback()
+
+    def remove_callback(self, callback: Callable[[], None]) -> None:
+        """Deregister a callback (no-op when it already ran or was removed)."""
+        with self._lock:
+            try:
+                self._callbacks.remove(callback)
+            except ValueError:
+                pass
+
+    def __repr__(self) -> str:
+        state = f"cancelled reason={self._reason!r}" if self._cancelled else "live"
+        return f"<CancelToken {state}>"

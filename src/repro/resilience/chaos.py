@@ -1,0 +1,231 @@
+"""Deterministic fault injection for schedule-fuzzing the monitor stack.
+
+The liveness arguments of the paper (relay invariance Prop. 2, Rules 1–3 /
+Lemma 1) quantify over *all* schedules, but an unperturbed test run explores
+very few.  This module plants named injection sites across the stack so the
+test suite can widen the explored schedule space deterministically:
+
+========================  ====================================================
+site                      where it fires
+========================  ====================================================
+``monitor_enter``         before a monitor lock acquisition
+``monitor_exit``          after a monitor section's final release
+``relay``                 on entry to the relay-signal rule
+``signal``                just before a chosen waiter is signaled
+``queue_put``             producer side of the server task queue
+``queue_steal``           consumer batch-steal of the server task queue
+``server_loop``           top of every server-thread loop iteration
+========================  ====================================================
+
+Three fault kinds are supported, all drawn from one seeded PRNG so a failing
+schedule replays from its seed:
+
+* **delays** — ``time.sleep`` of a random duration in ``delay_range`` with
+  probability ``delay_prob`` (stretches race windows);
+* **forced context switches** — ``time.sleep(0)`` with probability
+  ``switch_prob`` (releases the GIL at the site);
+* **thread kills** — raise :class:`ThreadKilledFault` the *n*-th time a site
+  fires (one-shot per configured site), e.g. to murder a server thread and
+  exercise supervision/fail-fast paths.
+
+Cost discipline (mirrors ``repro.analysis.runtime``): every instrumented hot
+path guards its call with the module-global :data:`enabled` flag, so the
+disabled cost is one attribute load and one branch — nothing else.
+
+Usage::
+
+    from repro.resilience import chaos
+
+    chaos.configure(seed=42, delay_prob=0.2, switch_prob=0.3)
+    chaos.enable()
+    try:
+        run_workload()
+    finally:
+        chaos.disable()
+
+    # or, equivalently:
+    with chaos.active(seed=42, delay_prob=0.2):
+        run_workload()
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "SITES",
+    "ThreadKilledFault",
+    "active",
+    "configure",
+    "disable",
+    "enable",
+    "enabled",
+    "fire",
+    "reset",
+    "stats",
+]
+
+#: Every named injection site wired into the stack.
+SITES = (
+    "monitor_enter",
+    "monitor_exit",
+    "relay",
+    "signal",
+    "queue_put",
+    "queue_steal",
+    "server_loop",
+)
+
+#: Fast flag read by instrumented hot paths (``if chaos.enabled: ...``).
+#: A plain module attribute mutated under the GIL — same discipline as
+#: ``repro.analysis.runtime.enabled``.
+enabled = False
+
+
+class ThreadKilledFault(BaseException):
+    """An injected thread-kill fault.
+
+    Deliberately a :class:`BaseException`: user-level ``except Exception``
+    handlers must not swallow an injected kill, exactly like a real
+    asynchronous thread death.  The server loop's death handler (and
+    nothing else) is expected to field it.
+    """
+
+    def __init__(self, site: str):
+        super().__init__(f"chaos: thread killed at site {site!r}")
+        self.site = site
+
+
+class _ChaosState:
+    """The process-global injection engine (one instance, reconfigured)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._reset_locked()
+
+    # ------------------------------------------------------------ life cycle
+    def _reset_locked(self) -> None:
+        self.rng = random.Random(0)
+        self.delay_prob = 0.0
+        self.delay_range = (0.0001, 0.001)
+        self.switch_prob = 0.0
+        self.sites: Optional[frozenset[str]] = None  # None = all sites
+        self.kill: dict[str, int] = {}
+        self.fired: dict[str, int] = {}
+        self.injected: dict[str, int] = {"delay": 0, "switch": 0, "kill": 0}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._reset_locked()
+
+    def configure(
+        self,
+        *,
+        seed: Optional[int] = None,
+        delay_prob: Optional[float] = None,
+        delay_range: Optional[tuple[float, float]] = None,
+        switch_prob: Optional[float] = None,
+        sites: Optional[Iterable[str]] = None,
+        kill: Optional[dict[str, int]] = None,
+    ) -> None:
+        """Set injection parameters; unspecified ones keep their value.
+
+        ``kill`` maps a site name to the 1-based fire count at which a
+        :class:`ThreadKilledFault` is raised there (one-shot).  ``sites``
+        restricts injection to a subset of :data:`SITES` (None = all).
+        """
+        for name in list(sites or ()) + list(kill or ()):
+            if name not in SITES:
+                raise ValueError(f"unknown chaos site {name!r}; known: {SITES}")
+        with self._lock:
+            if seed is not None:
+                self.rng = random.Random(seed)
+            if delay_prob is not None:
+                self.delay_prob = delay_prob
+            if delay_range is not None:
+                self.delay_range = delay_range
+            if switch_prob is not None:
+                self.switch_prob = switch_prob
+            if sites is not None:
+                self.sites = frozenset(sites)
+            if kill is not None:
+                self.kill = dict(kill)
+
+    # -------------------------------------------------------------- injection
+    def fire(self, site: str, obj: Any = None) -> None:
+        """Run the configured fault decision for one site hit.
+
+        Called only behind the :data:`enabled` guard.  The PRNG draw and
+        all bookkeeping happen under a private lock (deterministic fault
+        *sequence* for a given seed and thread interleaving); the sleep
+        itself happens outside it.
+        """
+        delay = 0.0
+        switch = False
+        with self._lock:
+            if self.sites is not None and site not in self.sites:
+                return
+            n = self.fired.get(site, 0) + 1
+            self.fired[site] = n
+            k = self.kill.get(site)
+            if k is not None and n >= k:
+                del self.kill[site]
+                self.injected["kill"] += 1
+                raise ThreadKilledFault(site)
+            roll = self.rng.random()
+            if roll < self.delay_prob:
+                delay = self.rng.uniform(*self.delay_range)
+                self.injected["delay"] += 1
+            elif roll < self.delay_prob + self.switch_prob:
+                switch = True
+                self.injected["switch"] += 1
+        if delay:
+            time.sleep(delay)
+        elif switch:
+            time.sleep(0)  # drop the GIL: forced context-switch opportunity
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        with self._lock:
+            return {"fired": dict(self.fired), "injected": dict(self.injected)}
+
+
+_state = _ChaosState()
+
+#: bound once — instrumented call sites do ``chaos.fire("site")``
+fire = _state.fire
+configure = _state.configure
+stats = _state.stats
+
+
+def enable() -> None:
+    """Arm the injection sites (configure first)."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Disarm all sites (configuration is kept; ``reset()`` clears it)."""
+    global enabled
+    enabled = False
+
+
+def reset() -> None:
+    """Disarm and restore the default (inject-nothing) configuration."""
+    disable()
+    _state.reset()
+
+
+@contextmanager
+def active(**config):
+    """``with chaos.active(seed=42, delay_prob=0.2): ...`` — configure,
+    arm, and disarm on exit (configuration is kept for inspection)."""
+    configure(**config)
+    enable()
+    try:
+        yield _state
+    finally:
+        disable()

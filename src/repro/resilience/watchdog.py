@@ -1,0 +1,259 @@
+"""Opt-in stall watchdog: structured reports for wedged monitor stacks.
+
+A deadlock or lost-signal bug in a monitor program usually presents as
+"the test hangs" — zero information.  The watchdog turns that into a
+structured report: which monitors have parked waiters, what predicates
+they are waiting on (by compiled-source cache key), who holds which
+monitor, and how deep the server queues are.
+
+Design constraints:
+
+* **Off by default, zero hooks.**  The watchdog is a pure polling daemon
+  thread; it installs nothing in the monitor hot path.  When you never
+  start one, the cost is exactly zero.
+* **Lock-free observation.**  Every read is a racy attribute load under
+  the GIL (generation counters, waiter lists, queue lengths).  A report
+  is a best-effort snapshot — the watchdog must never acquire a monitor
+  lock, or it could itself block on the stall it is diagnosing.
+
+Progress is tracked through each monitor's ``_generation`` counter, which
+the core bumps on every section exit: a monitor with parked waiters (or a
+queued backlog) whose generation has not moved for ``quiet_period``
+seconds is reported as stalled.
+
+Usage::
+
+    dog = StallWatchdog([buf, rw], quiet_period=2.0,
+                        on_stall=lambda r: print(r))
+    dog.start()
+    ...
+    dog.stop()
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["MonitorStall", "StallReport", "StallWatchdog"]
+
+
+@dataclass
+class MonitorStall:
+    """Snapshot of one stalled monitor."""
+
+    monitor_id: int
+    monitor_class: str
+    generation: int
+    quiet_seconds: float        #: time since the generation last moved
+    depth: int                  #: reentrancy depth of the current holder (racy)
+    broken: bool                #: poisoned via mark_broken()
+    waiters: list[str]          #: one description per parked local waiter
+    global_waiters: int         #: parked multisynch global-condition waiters
+    queue_depth: Optional[int]  #: server task-queue backlog (active monitors)
+    pending: Optional[int]      #: tasks stolen but not yet executed
+    server_alive: Optional[bool]
+
+    def describe(self) -> str:
+        bits = [
+            f"monitor #{self.monitor_id} {self.monitor_class}: "
+            f"generation {self.generation} quiet for {self.quiet_seconds:.1f}s"
+        ]
+        if self.broken:
+            bits.append("  state: BROKEN (poisoned)")
+        if self.depth:
+            bits.append(f"  held (depth={self.depth})")
+        for w in self.waiters:
+            bits.append(f"  waiter: {w}")
+        if self.global_waiters:
+            bits.append(f"  global waiters parked: {self.global_waiters}")
+        if self.queue_depth is not None:
+            bits.append(
+                f"  server: alive={self.server_alive} "
+                f"queue={self.queue_depth} pending={self.pending}"
+            )
+        return "\n".join(bits)
+
+
+@dataclass
+class StallReport:
+    """Everything the watchdog observed in one stalled poll."""
+
+    quiet_period: float
+    stalls: list[MonitorStall] = field(default_factory=list)
+
+    def describe(self) -> str:
+        head = (
+            f"STALL: {len(self.stalls)} monitor(s) made no progress for "
+            f">= {self.quiet_period:.1f}s while work was outstanding"
+        )
+        return "\n".join([head] + [s.describe() for s in self.stalls])
+
+    __str__ = describe
+
+
+def _describe_waiter(waiter: Any) -> str:
+    describe = getattr(waiter, "describe", None)
+    if describe is not None:
+        try:
+            return describe()
+        except Exception:  # racy read of a live structure; never fail a report
+            pass
+    return repr(waiter)
+
+
+class StallWatchdog:
+    """Poll a set of monitors; report when progress stops under load."""
+
+    def __init__(
+        self,
+        monitors: Iterable[Any] = (),
+        *,
+        quiet_period: float = 5.0,
+        poll_interval: Optional[float] = None,
+        on_stall: Optional[Callable[[StallReport], None]] = None,
+    ):
+        if quiet_period <= 0:
+            raise ValueError("quiet_period must be > 0")
+        self.quiet_period = quiet_period
+        self.poll_interval = (
+            poll_interval if poll_interval is not None
+            else max(0.05, quiet_period / 4.0)
+        )
+        self.on_stall = on_stall
+        self._monitors: list[Any] = []
+        self._last_gen: dict[int, tuple[int, float]] = {}  # id -> (gen, t_changed)
+        self._reported: set[int] = set()
+        self._lock = threading.Lock()
+        self._stop_evt = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.last_report: Optional[StallReport] = None
+        self.reports: list[StallReport] = []
+        for m in monitors:
+            self.watch(m)
+
+    # ----------------------------------------------------------------- set-up
+    def watch(self, monitor: Any) -> None:
+        """Add a monitor (plain or active) to the watch set."""
+        with self._lock:
+            if all(m is not monitor for m in self._monitors):
+                self._monitors.append(monitor)
+
+    def unwatch(self, monitor: Any) -> None:
+        with self._lock:
+            self._monitors = [m for m in self._monitors if m is not monitor]
+            self._last_gen.pop(id(monitor), None)
+            self._reported.discard(id(monitor))
+
+    # ---------------------------------------------------------------- control
+    def start(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop_evt.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-stall-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop_evt.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        self._thread = None
+
+    def __enter__(self) -> "StallWatchdog":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- inspection
+    def poll_once(self) -> Optional[StallReport]:
+        """Run one observation pass; returns a report when a stall is seen.
+
+        Exposed for tests and for callers that want watchdog semantics
+        without the background thread.
+        """
+        now = time.monotonic()
+        stalls: list[MonitorStall] = []
+        with self._lock:
+            monitors = list(self._monitors)
+        for m in monitors:
+            stall = self._observe(m, now)
+            if stall is not None:
+                stalls.append(stall)
+        if not stalls:
+            return None
+        report = StallReport(quiet_period=self.quiet_period, stalls=stalls)
+        self.last_report = report
+        self.reports.append(report)
+        cb = self.on_stall
+        if cb is not None:
+            try:
+                cb(report)
+            except Exception:  # observer errors must not kill the watchdog
+                pass
+        else:
+            print(report.describe(), file=sys.stderr)
+        return report
+
+    # ------------------------------------------------------------------ internals
+    def _run(self) -> None:
+        while not self._stop_evt.wait(self.poll_interval):
+            try:
+                self.poll_once()
+            except Exception:
+                # An observation race must never kill the watchdog thread.
+                pass
+
+    def _observe(self, m: Any, now: float) -> Optional[MonitorStall]:
+        gen = getattr(m, "_generation", 0)
+        key = id(m)
+        prev = self._last_gen.get(key)
+        if prev is None or prev[0] != gen:
+            self._last_gen[key] = (gen, now)
+            self._reported.discard(key)
+            return None
+        quiet = now - prev[1]
+        if quiet < self.quiet_period or key in self._reported:
+            return None
+
+        # Racy snapshot — every read is a single attribute/len load.
+        cond_mgr = getattr(m, "_cond_mgr", None)
+        waiters = list(cond_mgr.waiters) if cond_mgr is not None else []
+        global_table = getattr(m, "_repro_global_waiters", None)
+        global_count = len(global_table) if global_table else 0
+        server = getattr(m, "_server", None)
+        queue_depth = pending = server_alive = None
+        if server is not None:
+            try:
+                queue_depth = len(server.queue)
+                pending = len(server.pending)
+                server_alive = server.alive
+            except Exception:
+                pass
+
+        backlog = bool(waiters) or global_count or (queue_depth or 0) or (pending or 0)
+        if not backlog:
+            # Quiet but idle: nothing is waiting, so nothing is stalled.
+            return None
+
+        self._reported.add(key)
+        return MonitorStall(
+            monitor_id=getattr(m, "monitor_id", -1),
+            monitor_class=type(m).__name__,
+            generation=gen,
+            quiet_seconds=quiet,
+            depth=getattr(m, "_depth", 0),
+            broken=getattr(m, "_broken", None) is not None,
+            waiters=[_describe_waiter(w) for w in waiters],
+            global_waiters=global_count,
+            queue_depth=queue_depth,
+            pending=pending,
+            server_alive=server_alive,
+        )

@@ -8,6 +8,7 @@ predicate-evaluation / false-signal measurements.
 
 from repro.runtime.config import Config, get_config
 from repro.runtime.errors import (
+    BrokenMonitorError,
     CompositionError,
     MonitorError,
     NestedMultisynchError,
@@ -15,6 +16,8 @@ from repro.runtime.errors import (
     PredicateError,
     ReproError,
     TaskError,
+    WaitCancelledError,
+    WaitTimeoutError,
 )
 from repro.runtime.ids import next_monitor_id
 from repro.runtime.metrics import Metrics, PhaseTimer, global_metrics
@@ -30,6 +33,9 @@ __all__ = [
     "NestedMultisynchError",
     "CompositionError",
     "TaskError",
+    "WaitTimeoutError",
+    "WaitCancelledError",
+    "BrokenMonitorError",
     "next_monitor_id",
     "Metrics",
     "PhaseTimer",

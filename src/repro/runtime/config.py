@@ -75,6 +75,15 @@ class Config:
     #: interpreter (the microbenchmarks do exactly that).
     compile_predicates: bool = True
 
+    #: Poison a monitor (``BrokenMonitorError`` for all current and future
+    #: waiters/submitters, see docs/robustness.md) when an exception escapes
+    #: one of its critical sections — a monitor method, ``synchronized``
+    #: block, delegated task body (retries exhausted), or multisynch block.
+    #: Off by default: many programs use exceptions as ordinary control flow
+    #: out of monitor methods and their state stays consistent.  Timeout /
+    #: cancellation / broken-monitor control-flow errors never poison.
+    poison_on_exception: bool = False
+
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def __setattr__(self, name: str, value) -> None:
@@ -113,6 +122,7 @@ class ConfigSnapshot:
         "phase_timing",
         "analysis_checks",
         "compile_predicates",
+        "poison_on_exception",
     )
 
     def __init__(self, cfg: Config, generation: int):
@@ -125,6 +135,7 @@ class ConfigSnapshot:
         self.phase_timing = cfg.phase_timing
         self.analysis_checks = cfg.analysis_checks
         self.compile_predicates = cfg.compile_predicates
+        self.poison_on_exception = cfg.poison_on_exception
 
 
 _config = Config()

@@ -59,3 +59,41 @@ class TaskError(ReproError):
     def __init__(self, message: str, cause: BaseException | None = None):
         super().__init__(message)
         self.cause = cause
+
+
+class WaitTimeoutError(MonitorError, TimeoutError):
+    """A bounded wait (``wait_until(timeout=...)``, ``LightFuture.get``,
+    ``Multisynch.wait_until``) expired before its condition became true.
+
+    Subclasses :class:`TimeoutError` so existing ``except TimeoutError``
+    call sites keep working.  Timing out never loses a relay signal: the
+    closure property (Def. 2) lets any thread re-evaluate a parked
+    predicate, so a timed-out waiter deregisters and re-runs the relay
+    rule, handing any baton it held to another satisfied waiter.
+    """
+
+
+class WaitCancelledError(MonitorError):
+    """A wait was abandoned because its :class:`CancelToken` was cancelled.
+
+    Carries the token's reason (if any) as ``reason``.
+    """
+
+    def __init__(self, message: str, reason: object = None):
+        super().__init__(message)
+        self.reason = reason
+
+
+class BrokenMonitorError(MonitorError):
+    """The monitor was poisoned: an exception escaped a critical section
+    with shared state possibly corrupt, and the monitor now fails fast.
+
+    All current and future waiters/submitters receive this error (carrying
+    the original ``cause``) instead of hanging on state that will never be
+    repaired.  ``Monitor.reset()`` is the explicit escape hatch once the
+    invariants have been re-established.
+    """
+
+    def __init__(self, message: str, cause: BaseException | None = None):
+        super().__init__(message)
+        self.cause = cause

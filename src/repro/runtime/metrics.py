@@ -46,6 +46,11 @@ class Metrics:
                                 #: the generation memo (skipped re-evaluations)
     stm_commits: int = 0        #: STM transactions committed
     stm_aborts: int = 0         #: STM transactions aborted/retried
+    wait_timeouts: int = 0      #: bounded waits that expired (WaitTimeoutError)
+    wait_cancels: int = 0       #: waits abandoned via CancelToken
+    server_restarts: int = 0    #: supervised server threads restarted after death
+    futures_failed_fast: int = 0  #: futures failed immediately on server death
+                                  #: or monitor poisoning instead of hanging
 
     # Phase timers (seconds), populated only when Config.phase_timing is on.
     await_time: float = 0.0
@@ -79,6 +84,8 @@ class Metrics:
         "tasks_submitted", "tasks_combined",
         "steal_batches", "steal_items", "gen_skips",
         "stm_commits", "stm_aborts",
+        "wait_timeouts", "wait_cancels",
+        "server_restarts", "futures_failed_fast",
         "await_time", "lock_time", "relay_time", "tag_time",
     )
 

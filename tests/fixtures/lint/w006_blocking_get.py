@@ -1,0 +1,42 @@
+"""Lint fixture: W006 — unbounded blocking waits under the monitor lock."""
+
+from repro.active import ActiveMonitor, asynchronous
+from repro.core import Monitor
+
+
+class Journal(ActiveMonitor):
+    def __init__(self):
+        super().__init__()
+        self.log = []
+
+    @asynchronous()
+    def append(self, entry):
+        self.log.append(entry)
+
+
+class Coordinator(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.journal = Journal()
+        self.done = 0
+
+    def record(self, entry):
+        # the journal executor may be parked behind Coordinator's lock
+        future = self.journal.append(entry)
+        future.get()  # W006: unbounded get under the monitor lock
+        self.done += 1
+
+    def record_chained(self, entry):
+        self.journal.append(entry).get()  # W006: chained, same hazard
+
+    def checkpoint(self):
+        self.journal.flush()              # W006: no explicit bound
+        self.journal.flush(timeout=None)  # W006: explicitly unbounded flush
+
+    def record_bounded(self, entry):
+        # bounded waits are allowed (they stall at worst, never hang)
+        self.journal.append(entry).get(timeout=1.0)
+        self.journal.flush(timeout=2.0)
+
+    def record_suppressed(self, entry):
+        self.journal.append(entry).get()  # monlint: disable=W006 — harness bounds the run

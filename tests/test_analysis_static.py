@@ -21,6 +21,7 @@ FIXTURE_CODES = {
     "w003_unsynchronized_write.py": "W003",
     "w004_lock_order.py": "W004",
     "w005_tag_advisor.py": "W005",
+    "w006_blocking_get.py": "W006",
 }
 
 
@@ -53,6 +54,18 @@ def test_severities():
     assert by_code["W003"] == Severity.ERROR
     assert by_code["W004"] == Severity.ERROR
     assert by_code["W005"] == Severity.HINT
+    assert by_code["W006"] == Severity.WARNING
+
+
+def test_w006_counts_and_suppression():
+    """Exactly the four unbounded sites fire; bounded and suppressed
+    lines stay clean."""
+    findings = lint_paths([FIXTURES / "w006_blocking_get.py"])
+    assert {f.code for f in findings} == {"W006"}
+    assert len(findings) == 4
+    source = (FIXTURES / "w006_blocking_get.py").read_text().splitlines()
+    for finding in findings:
+        assert "W006:" in source[finding.line - 1]
 
 
 # ------------------------------------------------- the repo itself is clean
@@ -181,7 +194,7 @@ def test_cli_usage_errors(capsys):
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == EXIT_CLEAN
     out = capsys.readouterr().out
-    for code in ("W001", "W002", "W003", "W004", "W005"):
+    for code in ("W001", "W002", "W003", "W004", "W005", "W006"):
         assert code in out
 
 
