@@ -53,6 +53,15 @@ SEED_NS_PER_OP = {
 GATED_LANES = ("wait_until_true_prebuilt", "relay_search_256")
 RATIO_TOLERANCE = 0.30
 
+#: dependency-tracked relay record (docs/performance.md "Reading
+#: BENCH_relay_dirty.json"): sparse-write lanes over an untagged pool
+DIRTY_BENCH_FILE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_relay_dirty.json"
+#: the committed compiled ``relay_search_256`` number at the time the
+#: dependency-tracking subsystem landed — the dense regression reference
+DENSE_SEED_NS = 206593.7
+SPARSE_MIN_SPEEDUP = 5.0
+DENSE_MAX_RATIO_VS_SEED = 1.10
+
 
 def best_ns_per_op(fn, number: int, repeats: int = 5) -> float:
     best = None
@@ -157,6 +166,70 @@ def bench_tag_probe(n_waiters: int) -> float:
     return best_ns_per_op(run, 20000)
 
 
+def _sparse_pool(n_waiters: int):
+    """256 untagged (NONE-tag) waiters, each reading one distinct variable.
+
+    ``S.v{i} != 0`` is a disequality — Algorithm 1 gives it no tag, so the
+    pool lands in the condition manager's untagged lanes, each waiter with
+    read set ``{v{i}}``.  Every variable is 0, so every predicate is false
+    and each relay walks whatever the filter lets through.
+    """
+    m = Probe()
+    mgr = m._cond_mgr
+    names = [f"v{i}" for i in range(n_waiters)]
+    for name in names:
+        setattr(m, name, 0)
+    m._dirty.clear()
+    for name in names:
+        pred = Predicate(getattr(S, name) != 0)
+        mgr._register(Waiter(pred, m._lock))
+    return m, mgr, names
+
+
+def bench_relay_search_sparse(n_waiters: int, number: int) -> float:
+    """One write per exit, touching 1 of ``n_waiters`` read variables.
+
+    With dependency tracking the relay re-evaluates ~1 waiter per exit
+    (the one whose read set intersects the dirty set); with
+    ``track_dependencies = False`` it falls back to scanning all of them.
+    """
+    m, mgr, names = _sparse_pool(n_waiters)
+
+    def run(n):
+        with m._lock:
+            relay = mgr.relay_signal
+            j = 0
+            for _ in range(n):
+                setattr(m, names[j], 0)  # dirty one variable; still false
+                relay()
+                j += 1
+                if j == n_waiters:
+                    j = 0
+
+    return best_ns_per_op(run, number)
+
+
+def run_dirty_suite() -> tuple[dict[str, float], float]:
+    cfg = get_config()
+    prior_track = cfg.track_dependencies
+    prior_compile = cfg.compile_predicates
+    try:
+        cfg.compile_predicates = True
+        cfg.track_dependencies = True
+        tracked = round(bench_relay_search_sparse(256, number=5000), 1)
+        dense = round(bench_relay_search(256), 1)
+        cfg.track_dependencies = False
+        untracked = round(bench_relay_search_sparse(256, number=200), 1)
+    finally:
+        cfg.track_dependencies = prior_track
+        cfg.compile_predicates = prior_compile
+    lanes = {
+        "relay_search_256_sparse": tracked,
+        "relay_search_256_sparse_untracked": untracked,
+    }
+    return lanes, dense
+
+
 BENCHES = {
     "enter_exit": bench_enter_exit,
     "wait_until_true_prebuilt": bench_wait_until_true_prebuilt,
@@ -231,3 +304,76 @@ def test_ratio_gate_vs_committed_baseline(results):
             f"{lane}: compiled/interpreted speedup {measured[lane]:.2f}x fell "
             f">30% below the committed {recorded[lane]:.2f}x"
         )
+
+
+# -- dependency-tracked relay (BENCH_relay_dirty.json) ------------------------
+
+
+@pytest.fixture(scope="module")
+def dirty_results():
+    committed = None
+    if DIRTY_BENCH_FILE.exists():
+        committed = json.loads(DIRTY_BENCH_FILE.read_text())
+    lanes, dense_now = run_dirty_suite()
+    report = {
+        "unit": "ns_per_op",
+        "dense_seed_ns": DENSE_SEED_NS,
+        "lanes": lanes,
+        "sparse_speedup_tracked_vs_untracked": round(
+            lanes["relay_search_256_sparse_untracked"]
+            / lanes["relay_search_256_sparse"],
+            2,
+        ),
+        "dense_ratio_vs_seed": round(dense_now / DENSE_SEED_NS, 3),
+    }
+    import os
+
+    if os.environ.get("REPRO_WRITE_BENCH") == "1":
+        DIRTY_BENCH_FILE.write_text(json.dumps(report, indent=2) + "\n")
+    return {"committed": committed, "fresh": report}
+
+
+def test_emit_dirty_report(dirty_results, capsys):
+    with capsys.disabled():
+        print("\n" + json.dumps(dirty_results["fresh"], indent=2))
+
+
+def test_sparse_tracked_beats_exhaustive(dirty_results):
+    """Dependency filtering must win ≥5× on the 1-of-256 sparse workload."""
+    speedup = dirty_results["fresh"]["sparse_speedup_tracked_vs_untracked"]
+    assert speedup >= SPARSE_MIN_SPEEDUP, (
+        f"sparse tracked lane only {speedup:.2f}x faster than exhaustive "
+        f"scan (need ≥{SPARSE_MIN_SPEEDUP}x)"
+    )
+
+
+def test_sparse_ratio_gate_vs_committed_record(dirty_results):
+    """Fail when the tracked-vs-untracked speedup regressed >30% vs the
+    committed BENCH_relay_dirty.json (same-process ratio, runner-agnostic)."""
+    committed = dirty_results["committed"]
+    if committed is None:
+        pytest.skip("no committed BENCH_relay_dirty.json to gate against")
+    floor = committed["sparse_speedup_tracked_vs_untracked"] * (
+        1.0 - RATIO_TOLERANCE
+    )
+    measured = dirty_results["fresh"]["sparse_speedup_tracked_vs_untracked"]
+    assert measured >= floor, (
+        f"sparse dependency-filter speedup {measured:.2f}x fell >30% below "
+        f"the committed {committed['sparse_speedup_tracked_vs_untracked']:.2f}x"
+    )
+
+
+def test_dense_lane_unharmed_in_committed_record(dirty_results):
+    """Static check on the committed record: the tagged dense lane paid
+    ≤10% for the dependency machinery when the record was captured.
+    (Asserted on the committed numbers, not re-timed — absolute times are
+    not comparable across runners; the live regression signal for the dense
+    lane is the ratio gate above.)"""
+    committed = dirty_results["committed"]
+    if committed is None:
+        pytest.skip("no committed BENCH_relay_dirty.json to gate against")
+    assert committed["dense_ratio_vs_seed"] <= DENSE_MAX_RATIO_VS_SEED, (
+        f"committed dense relay_search_256 ratio "
+        f"{committed['dense_ratio_vs_seed']:.3f} exceeds "
+        f"{DENSE_MAX_RATIO_VS_SEED} vs the pre-subsystem record"
+    )

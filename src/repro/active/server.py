@@ -178,6 +178,10 @@ class MonitorServer:
             finally:
                 monitor._depth -= 1
                 monitor._generation += 1   # task bodies mutate monitor state
+                # one relay per batch: the task bodies' writes accumulated
+                # in monitor._dirty, so this flushes the *union* of the
+                # batch's dirty sets — untagged waiters are re-evaluated
+                # once per batch, not once per task
                 monitor._cond_mgr.relay_signal()
             if executed:
                 monitor._metrics.tasks_combined += executed  # lock held
@@ -211,6 +215,7 @@ class MonitorServer:
                     finally:
                         monitor._depth -= 1
                         monitor._generation += 1
+                        # batch-unioned dirty flush, as in _try_combine
                         monitor._cond_mgr.relay_signal()
                 if completions:
                     _complete(completions)

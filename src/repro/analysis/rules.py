@@ -29,6 +29,14 @@ Paper grounding (see ``docs/analysis.md`` for the full discussion):
   one — from inside a synchronized method holds a lock the executor may
   need: a self-deadlock the resilience layer (docs/robustness.md) can only
   bound, never prevent, unless the wait carries a timeout.
+* **W007** — the dependency-tracked relay (docs/performance.md) filters
+  untagged waiters by each exit's dirty set, recorded by the monitor's
+  ``__setattr__`` proxy.  An in-place write (``self.jobs.append(x)``,
+  ``self.table[k] = v``) bypasses the proxy; when some wait-site predicate
+  in the class declares that variable in its read set, the write is
+  invisible to the filter and the waiter may sleep through its enabling
+  update.  ``@monitor_compile`` classes are exempt (the preprocessor
+  inserts ``self._note_write``), as are methods that call it by hand.
 """
 
 from __future__ import annotations
@@ -627,6 +635,158 @@ def _bounded_by_timeout(call: ast.Call) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# W007 — in-place shared-state write bypassing the tracking proxy
+# ---------------------------------------------------------------------------
+
+#: receiver methods that mutate a container in place (mirror of the
+#: preprocessor's instrumentation vocabulary)
+_CONTAINER_MUTATORS = {
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "extendleft", "insert", "pop", "popitem", "popleft", "remove",
+    "reverse", "rotate", "setdefault", "sort", "update",
+}
+
+
+class UntrackedSharedWrite(Rule):
+    code = "W007"
+    name = "untracked-shared-write"
+    severity = Severity.WARNING
+
+    def check(self, module: ModuleModel, ctx: ProjectContext) -> Iterator[Finding]:
+        for cls in module.monitor_classes:
+            if self._is_compiled(cls.node):
+                continue  # @monitor_compile inserts _note_write itself
+            read_names = self._predicate_reads(cls)
+            if not read_names:
+                continue
+            for method in cls.methods.values():
+                if method.self_name is None:
+                    continue
+                noted = _noted_names(method.node, method.self_name)
+                for node, name in _untracked_self_writes(
+                    method.node, method.self_name
+                ):
+                    if name in read_names and name not in noted:
+                        yield self._finding(
+                            module.path, node,
+                            f"in-place write to self.{name} bypasses the "
+                            "monitor's write-tracking proxy, but a wait "
+                            "predicate in this class reads "
+                            f"{name!r} — the dependency-filtered relay "
+                            "will not re-evaluate that waiter for this "
+                            "update; rebind the attribute, call "
+                            f"self._note_write({name!r}) first, or compile "
+                            "the class with @monitor_compile",
+                        )
+
+    @staticmethod
+    def _is_compiled(node: ast.ClassDef) -> bool:
+        return any(
+            _base_name(dec) == "monitor_compile" or (
+                isinstance(dec, ast.Call)
+                and _base_name(dec.func) == "monitor_compile"
+            )
+            for dec in node.decorator_list
+        )
+
+    def _predicate_reads(self, cls: MonitorClassModel) -> set[str]:
+        """Variable names some wait-site predicate of ``cls`` declares it
+        reads: ``S.attr`` leaves plus explicit ``reads=`` annotations on
+        ``S(fn, name, reads)`` shared expressions.  Multi-monitor wait
+        sites are skipped — their ``S.attr`` reads belong to other
+        monitors."""
+        names: set[str] = set()
+        for method in cls.methods.values():
+            for site in method.waits:
+                if site.form == "multi_wait":
+                    continue
+                for node in ast.walk(site.expr):
+                    if (
+                        isinstance(node, ast.Attribute)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "S"
+                    ):
+                        names.add(node.attr)
+                    elif (
+                        isinstance(node, ast.Call)
+                        and _base_name(node.func) == "S"
+                    ):
+                        for kw in node.keywords:
+                            if kw.arg == "reads":
+                                names |= _const_str_names(kw.value)
+                        if len(node.args) >= 3:
+                            names |= _const_str_names(node.args[2])
+        return names
+
+
+def _const_str_names(node: ast.expr) -> set[str]:
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return {
+            elt.value for elt in node.elts
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+        }
+    return set()
+
+
+def _noted_names(func: ast.AST, self_name: str) -> set[str]:
+    """Variables the method already reports via ``self._note_write('x')``."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "_note_write"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == self_name
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+        ):
+            names.add(node.args[0].value)
+    return names
+
+
+def _peel_self_root(node: ast.expr, self_name: str) -> str | None:
+    """``self.a.b[k]`` → ``"a"``; None when not rooted at ``self``."""
+    attr = None
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            attr = node.attr
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == self_name:
+        return attr
+    return None
+
+
+def _untracked_self_writes(
+    func: ast.AST, self_name: str
+) -> Iterator[tuple[ast.AST, str]]:
+    """Yield (node, variable) for writes ``Monitor.__setattr__`` cannot
+    see: subscript / nested-attribute stores and deletes rooted at self,
+    and container-mutator calls on a self attribute."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Attribute, ast.Subscript)) and isinstance(
+            getattr(node, "ctx", None), (ast.Store, ast.Del)
+        ):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == self_name
+            ):
+                continue  # plain rebind/del: the proxy tracks it
+            root = _peel_self_root(node, self_name)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _CONTAINER_MUTATORS
+        ):
+            root = _peel_self_root(node.func.value, self_name)
+        else:
+            continue
+        if root is not None and not root.startswith("_"):
+            yield node, root
+
+
+# ---------------------------------------------------------------------------
 # shared walker: synchronization contexts, lock-graph edges, monitor writes
 # ---------------------------------------------------------------------------
 
@@ -944,6 +1104,7 @@ ALL_RULES: list[type[Rule]] = [
     HandOrderedAcquisition,
     TagAdvisor,
     UnboundedBlockingWait,
+    UntrackedSharedWrite,
 ]
 
 

@@ -69,15 +69,30 @@ def fig4_7_pizza() -> Series:
 
 
 def fig4_8_false_evaluations() -> Series:
-    """Fig. 4.8: pizza store false evaluations (waiter re-checks that failed)."""
+    """Fig. 4.8: pizza store false evaluations (waiter re-checks that failed).
+
+    Run with dependency tracking disabled: the paper's AS ≫ AV/CC gap is a
+    property of *untracked* always-signal — with the read/write-set relay
+    filter on, AS's blind re-evaluations collapse and the figure flattens
+    (see the Fig 4.8 note in EXPERIMENTS.md; the A/B lives in
+    benchmarks/test_fig4_8_false_eval.py).
+    """
+    from repro.runtime.config import get_config
+
     counts = _threads()
     pizzas = work_scale(15, 60)
     fig = Series("Fig 4.8 — pizza store false evaluations", "#cooks", counts)
-    for variant in ("as", "av", "cc"):
-        fig.add(variant, [
-            int(run_pizza_store(variant, n, pizzas).metrics["false_evals"])
-            for n in counts
-        ])
+    cfg = get_config()
+    prior = cfg.track_dependencies
+    cfg.track_dependencies = False
+    try:
+        for variant in ("as", "av", "cc"):
+            fig.add(variant, [
+                int(run_pizza_store(variant, n, pizzas).metrics["false_evals"])
+                for n in counts
+            ])
+    finally:
+        cfg.track_dependencies = prior
     fig.notes = "paper: AS needs 2-7x more evaluations than AV/CC"
     return fig.show()
 

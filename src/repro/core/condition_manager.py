@@ -20,6 +20,16 @@ compiled closures (:mod:`repro.core.compiled`), phase timers exist only
 when ``phase_timing`` is on, non-event counters bump by direct attribute
 increment, tag-search callbacks are pre-bound, and Waiter objects (with
 their condition variables) recycle through an inactive pool.
+
+Dependency-tracked relay (docs/performance.md): untagged (None-tag) waiters
+no longer live in the TagIndex's exhaustive-scan list.  Waiters with a known
+predicate read set are bucketed per shared-variable name; a monitor exit
+flushes its dirty set here (:meth:`note_writes`), which queues exactly the
+waiters whose predicates could have flipped.  A relay search evaluates the
+queued waiters (plus opaque-read-set ones, every time), so the untagged
+search is O(affected), not O(waiters).  Canonical shared-expression values
+used by the tag search are additionally memoized per summed read-variable
+generation.
 """
 
 from __future__ import annotations
@@ -32,7 +42,7 @@ from repro.core import compiled
 from repro.core.expressions import Expr
 from repro.core.predicates import Comparison, Predicate
 from repro.core.tag_index import TagIndex
-from repro.core.tags import tag_predicate
+from repro.core.tags import TagKind, tag_predicate
 from repro.core.waiter import Waiter
 from repro.resilience import chaos as _chaos
 from repro.runtime.config import config_snapshot
@@ -79,6 +89,36 @@ class ConditionManager:
         # would allocate two method objects on every monitor exit
         self._search_expr_cb = self._search_expr
         self._search_pred_cb = self._search_pred
+        # ---- dependency tracking -------------------------------------
+        #: True when the monitor participates in per-variable write
+        #: tracking (real Monitor subclasses carry a ``_dirty`` set; bare
+        #: state objects driven directly in tests do not, and keep the
+        #: exhaustive untagged scan)
+        self._tracked = hasattr(monitor, "_dirty")
+        #: per-shared-variable write generation stamps (monotonic; bumped
+        #: by :meth:`note_writes` when an exit's dirty set is flushed)
+        self.var_gens: dict[str, int] = {}
+        #: untagged waiters with a *known* predicate read set, bucketed
+        #: below; kept as a list for the exhaustive fallback scan
+        self._untagged: list[Waiter] = []
+        #: untagged waiters with an *opaque* read set (FuncAtom predicates
+        #: and unannotated SharedExprs): re-checked on every relay search
+        self._always: list[Waiter] = []
+        #: shared-variable name → untagged waiters whose read set holds it
+        self._dep_buckets: dict[str, list[Waiter]] = {}
+        #: untagged waiters due for (re-)evaluation at the next relay
+        #: search: freshly parked, or some read variable was written since
+        #: they last evaluated false.  Entries persist across relays that
+        #: signal someone else first — a waiter leaves the queue only by
+        #: being evaluated (``pending`` flag) — so an early-stopping relay
+        #: never loses a signal.
+        self._eligible: list[Waiter] = []
+        #: canonical expression key → read-variable names (None = opaque)
+        self._expr_reads: dict[Any, Optional[frozenset]] = {}
+        #: expression key → [stamp, value] memo, valid while the sum of
+        #: the read variables' generations equals ``stamp`` (any tracked
+        #: write strictly increases the sum)
+        self._expr_memo: dict[Any, list] = {}
 
     # ------------------------------------------------------------------ wait
     def wait(self, predicate: Predicate) -> None:
@@ -252,6 +292,15 @@ class ConditionManager:
         thread exists afterwards.
         """
         m = self.metrics
+        # Flush the exiting section's dirty set *before* any early return:
+        # per-variable generations must advance even when nobody waits, or
+        # a memoized expression value could be revalidated against a stale
+        # stamp later.  Costs one truth test per relay when clean.
+        if self._tracked:
+            dirty = self.monitor._dirty
+            if dirty:
+                self.note_writes(dirty)
+                dirty.clear()
         if self.mode == "baseline":
             if self._waiting_baseline():
                 if config_snapshot().phase_timing:
@@ -297,6 +346,29 @@ class ConditionManager:
             n += 1
         return n
 
+    def note_writes(self, names) -> None:
+        """Bump per-variable generations; queue untagged waiters that read
+        a written name.  Caller holds the monitor lock.
+
+        Marked waiters become *pending* and stay queued until some relay
+        search actually evaluates them — a relay that signals another
+        waiter first leaves the rest queued, so dependency filtering never
+        drops a waiter whose predicate may have flipped (Prop. 2).
+        """
+        gens = self.var_gens
+        buckets = self._dep_buckets
+        eligible = self._eligible
+        m = self.metrics
+        for name in names:
+            gens[name] = gens.get(name, 0) + 1
+            bucket = buckets.get(name)
+            if bucket:
+                m.relay_buckets_scanned += 1
+                for w in bucket:
+                    if not w.pending:
+                        w.pending = True
+                        eligible.append(w)
+
     def _find_satisfied_waiter(self) -> Optional[Waiter]:
         m = self.metrics
         if self.mode == "autosynch_t":
@@ -307,14 +379,81 @@ class ConditionManager:
                 if self._safe_evaluate(waiter):
                     return waiter
             return None
-        # autosynch: tag-index search
+        # autosynch: tag-index search (equivalence + threshold), then the
+        # dependency-filtered untagged scan
         if config_snapshot().phase_timing:
             with PhaseTimer(m, "tag_time"):
-                return self.index.search(self._search_expr_cb, self._search_pred_cb)
-        return self.index.search(self._search_expr_cb, self._search_pred_cb)
+                waiter = self.index.search(self._search_expr_cb, self._search_pred_cb)
+        else:
+            waiter = self.index.search(self._search_expr_cb, self._search_pred_cb)
+        if waiter is not None:
+            return waiter
+        return self._scan_untagged()
+
+    def _scan_untagged(self) -> Optional[Waiter]:
+        """Find a satisfied waiter among None-tag registrations.
+
+        Opaque-read-set waiters are re-checked on every relay (a write to
+        anything could have flipped them).  Bucketed waiters are evaluated
+        only while ``pending``: freshly parked, or some variable in their
+        read set was written since they last evaluated false — if neither
+        holds, the predicate still has the value the last evaluation saw,
+        so skipping it cannot lose a signal (docs/performance.md).
+        """
+        pred_true = self._search_pred
+        for w in self._always:
+            if pred_true(w):
+                return w
+        eligible = self._eligible
+        if not eligible and not self._untagged:
+            return None
+        if self._tracked and config_snapshot().track_dependencies:
+            m = self.metrics
+            evaluated = 0
+            found = None
+            while eligible:
+                w = eligible.pop()
+                if not w.pending:
+                    continue  # deregistered, or a stale duplicate entry
+                # clear *before* evaluating: a True result leads to a
+                # signal (the waiter consumes its own wakeup), and a
+                # False result must leave the flag armed for re-marking
+                w.pending = False
+                evaluated += 1
+                if pred_true(w):
+                    found = w
+                    break
+            m.relay_dirty_skips += len(self._untagged) - evaluated
+            return found
+        # exhaustive fallback (tracking off, or a bare state object with no
+        # write instrumentation): evaluate every untagged waiter.  Drain
+        # the queue so pending flags stay consistent if tracking turns on.
+        while eligible:
+            eligible.pop().pending = False
+        for w in self._untagged:
+            if pred_true(w):
+                return w
+        return None
 
     def _search_expr(self, expr_key: Any) -> Any:
-        self.metrics.tag_checks += 1
+        m = self.metrics
+        m.tag_checks += 1
+        if self._tracked:
+            reads = self._expr_reads.get(expr_key)
+            if reads is not None and config_snapshot().track_dependencies:
+                # memo hit: the expression reads only tracked variables and
+                # none of their generations moved since the cached value
+                gens = self.var_gens
+                stamp = 0
+                for name in reads:
+                    stamp += gens.get(name, 0)
+                memo = self._expr_memo.get(expr_key)
+                if memo is not None and memo[0] == stamp:
+                    m.gen_skips += 1
+                    return memo[1]
+                value = self._evaluate_expr_key(expr_key)
+                self._expr_memo[expr_key] = [stamp, value]
+                return value
         return self._evaluate_expr_key(expr_key)
 
     def _search_pred(self, waiter: Waiter) -> bool:
@@ -362,10 +501,14 @@ class ConditionManager:
             evaler_refs = self._evaler_refs
             compile_ok = config_snapshot().compile_predicates
             for tag in tag_predicate(waiter.predicate.conjunctions):
+                if tag.kind is TagKind.NONE:
+                    # untagged conjunctions go to the dependency-filtered
+                    # structures instead of the index's exhaustive list
+                    if not waiter.untagged:
+                        self._register_untagged(waiter)
+                    continue
                 waiter.records.append(self.index.add(tag, waiter))
                 expr_key = tag.expr_key
-                if expr_key is None:
-                    continue
                 evaler_refs[expr_key] = evaler_refs.get(expr_key, 0) + 1
                 waiter.evaler_keys.append(expr_key)
                 if expr_key not in evalers:
@@ -373,6 +516,46 @@ class ConditionManager:
                         compiled.compile_expr_key(expr_key, self._expr_cache.get)
                         if compile_ok else None
                     )
+                    self._expr_reads[expr_key] = self._expr_key_reads(expr_key)
+
+    def _register_untagged(self, waiter: Waiter) -> None:
+        waiter.untagged = True
+        rs = waiter.predicate.read_set()
+        waiter.read_set = rs
+        if rs is None:
+            self._always.append(waiter)
+            return
+        self._untagged.append(waiter)
+        buckets = self._dep_buckets
+        for name in rs:
+            bucket = buckets.get(name)
+            if bucket is None:
+                buckets[name] = [waiter]
+            else:
+                bucket.append(waiter)
+        # a freshly parked waiter is always eligible for the next relay
+        # search, so filtering cannot disturb relay invariance (Prop. 2)
+        waiter.pending = True
+        self._eligible.append(waiter)
+
+    def _expr_key_reads(self, expr_key: Any) -> Optional[frozenset]:
+        """Read-variable names of a canonical expression key, or None.
+
+        ``("var", name)`` terms read exactly ``name``; other terms resolve
+        through the structural node cache and report their own read sets
+        (opaque unless a SharedExpr declares ``reads``)."""
+        reads: set = set()
+        for term_key, _coeff in expr_key:
+            if (isinstance(term_key, tuple) and len(term_key) == 2
+                    and term_key[0] == "var"):
+                reads.add(term_key[1])
+                continue
+            node = self._expr_cache.get(term_key)
+            rs = node.read_set() if node is not None else None
+            if rs is None:
+                return None
+            reads.update(rs)
+        return frozenset(reads)
 
     def _cache_expressions(self, waiter: Waiter) -> None:
         """Record (and refcount) evaluators for every sub-expression in the
@@ -403,6 +586,33 @@ class ConditionManager:
         for record in waiter.records:
             self.index.remove(record, waiter)
         waiter.records.clear()
+        if waiter.untagged:
+            # stale queue entries are skipped on drain via the pending flag
+            waiter.untagged = False
+            waiter.pending = False
+            rs = waiter.read_set
+            waiter.read_set = None
+            if rs is None:
+                try:
+                    self._always.remove(waiter)
+                except ValueError:
+                    pass
+            else:
+                try:
+                    self._untagged.remove(waiter)
+                except ValueError:
+                    pass
+                buckets = self._dep_buckets
+                for name in rs:
+                    bucket = buckets.get(name)
+                    if bucket is None:
+                        continue
+                    try:
+                        bucket.remove(waiter)
+                    except ValueError:
+                        pass
+                    if not bucket:
+                        del buckets[name]
         # drop the waiter's pins on the expression caches; the entry (and
         # its compiled evaluator) dies with its last referencing waiter
         if waiter.expr_keys:
@@ -422,6 +632,9 @@ class ConditionManager:
                 if n <= 0:
                     refs.pop(key, None)
                     evalers.pop(key, None)
+                    # the memo and read-set entries die with the evaluator
+                    self._expr_memo.pop(key, None)
+                    self._expr_reads.pop(key, None)
                 else:
                     refs[key] = n
             waiter.evaler_keys.clear()
@@ -436,8 +649,23 @@ class ConditionManager:
 
     def dump_waiters(self) -> list[str]:
         """Human-readable descriptions of every parked predicate — the
-        first thing to look at when a program seems wedged."""
-        return [repr(w) for w in self.waiters]
+        first thing to look at when a program seems wedged.
+
+        Each line carries the predicate's read set and the current write
+        generation of every variable it reads (every tracked variable for
+        opaque predicates): a waiter whose read variables have generation 0
+        is stuck because *nobody ever wrote* what it waits for.
+        """
+        gens = self.var_gens
+        out = []
+        for w in self.waiters:
+            pred = w.predicate
+            rs = pred.read_set() if pred is not None else None
+            reads = "{" + ",".join(sorted(rs)) + "}" if rs is not None else "?"
+            names = sorted(rs) if rs is not None else sorted(gens)
+            shown = {n: gens.get(n, 0) for n in names}
+            out.append(f"{w!r} reads={reads} gens={shown}")
+        return out
 
     def _waiting_baseline(self) -> bool:
         # Condition keeps private waiter list; len() of it is an internal

@@ -26,6 +26,19 @@ from repro.runtime.errors import PredicateError
 
 Number = (int, float)
 
+#: the "reads nothing" read set (compare with ``None`` = "reads everything")
+_EMPTY_READS: frozenset = frozenset()
+
+
+def union_reads(*sets: Optional[frozenset]) -> Optional[frozenset]:
+    """Union read sets, propagating the conservative ``None`` (unknown)."""
+    out = _EMPTY_READS
+    for s in sets:
+        if s is None:
+            return None
+        out = out | s if s else out
+    return out
+
 
 class Expr:
     """Base class for expression-tree nodes.
@@ -47,6 +60,16 @@ class Expr:
     def key(self) -> Any:
         """A hashable structural identity for tag-table sharing."""
         raise NotImplementedError
+
+    def read_set(self) -> Optional[frozenset]:
+        """Shared-variable names this expression reads, or None if unknown.
+
+        ``None`` is the conservative answer ("reads everything"): dependency
+        filtering must then treat the expression as affected by every write.
+        An *empty* frozenset is a much stronger claim — "reads no shared
+        state at all" — so unknown nodes must never return it.
+        """
+        return None
 
     # -- arithmetic operators ------------------------------------------------
     def __add__(self, other):
@@ -136,6 +159,9 @@ class Const(Expr):
     def key(self):
         return ("const", self.value)
 
+    def read_set(self):
+        return _EMPTY_READS
+
     def __repr__(self):
         return repr(self.value)
 
@@ -157,6 +183,9 @@ class SharedVar(Expr):
     def key(self):
         return ("var", self.name)
 
+    def read_set(self):
+        return frozenset((self.name,))
+
     def __repr__(self):
         return f"S.{self.name}"
 
@@ -167,13 +196,20 @@ class SharedExpr(Expr):
     ``name`` provides the canonical identity; two SharedExprs with the same
     name are assumed to denote the same function of monitor state (so their
     waiters can share tag tables).
+
+    ``reads`` optionally declares the shared-variable names the function
+    touches, enabling dependency-filtered relay for computed expressions
+    (the ``waituntil`` preprocessor fills it in automatically).  Leaving it
+    ``None`` keeps the conservative "reads everything" behavior.
     """
 
-    __slots__ = ("fn", "name")
+    __slots__ = ("fn", "name", "reads")
 
-    def __init__(self, fn: Callable[[Any], Any], name: str | None = None):
+    def __init__(self, fn: Callable[[Any], Any], name: str | None = None,
+                 reads: Optional[frozenset] = None):
         self.fn = fn
         self.name = name or getattr(fn, "__qualname__", repr(fn))
+        self.reads = frozenset(reads) if reads is not None else None
 
     def evaluate(self, monitor: Any) -> Any:
         return self.fn(monitor)
@@ -183,6 +219,9 @@ class SharedExpr(Expr):
 
     def key(self):
         return ("expr", self.name)
+
+    def read_set(self):
+        return self.reads
 
     def __repr__(self):
         return f"E[{self.name}]"
@@ -240,6 +279,9 @@ class BinOp(Expr):
     def key(self):
         return (self.op, self.lhs.key(), self.rhs.key())
 
+    def read_set(self):
+        return union_reads(self.lhs.read_set(), self.rhs.read_set())
+
     def __repr__(self):
         return f"({self.lhs!r} {self.op} {self.rhs!r})"
 
@@ -276,8 +318,9 @@ class _SharedNamespace:
             raise AttributeError(name)
         return SharedVar(name)
 
-    def __call__(self, fn: Callable[[Any], Any], name: str | None = None) -> SharedExpr:
-        return SharedExpr(fn, name)
+    def __call__(self, fn: Callable[[Any], Any], name: str | None = None,
+                 reads: Optional[frozenset] = None) -> SharedExpr:
+        return SharedExpr(fn, name, reads)
 
 
 #: The shared-variable namespace users import: ``from repro import S``.

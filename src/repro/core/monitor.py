@@ -131,6 +131,12 @@ class Monitor(metaclass=MonitorMeta):
     """
 
     def __init__(self, signaling: str = "autosynch"):
+        #: names of shared variables written since the last relay flush —
+        #: the current critical section's *dirty set*.  Must exist before
+        #: any other attribute so ``__setattr__`` tracking is armed from
+        #: the first public write (and before the ConditionManager probes
+        #: for it to decide this monitor participates in tracking).
+        self._dirty: set = set()
         if signaling not in SIGNALING_MODES:
             raise MonitorError(f"unknown signaling mode {signaling!r}")
         self._monitor_id = next_monitor_id()
@@ -156,6 +162,42 @@ class Monitor(metaclass=MonitorMeta):
         #: when inside a multisynch block, lock acquisition is redirected to
         #: the block (which may need to acquire several locks in id order).
         self._external_section = threading.local()
+
+    # ------------------------------------------------------- write tracking
+    def __setattr__(self, name: str, value) -> None:
+        # Every public-attribute store is a shared-variable write (Def. 1);
+        # recording it costs one set.add on the first write of a name per
+        # critical section.  Underscore names are framework internals.  The
+        # AttributeError guard covers stores before Monitor.__init__ ran
+        # (e.g. a subclass assigning fields first).
+        object.__setattr__(self, name, value)
+        if name[0] != "_":
+            try:
+                self._dirty.add(name)
+            except AttributeError:
+                pass
+
+    def __delattr__(self, name: str) -> None:
+        object.__delattr__(self, name)
+        if name[0] != "_":
+            try:
+                self._dirty.add(name)
+            except AttributeError:
+                pass
+
+    def _note_write(self, name: str) -> None:
+        """Record a shared-variable write that bypassed attribute assignment.
+
+        In-place container mutation (``self.items.append(x)``,
+        ``self.table[k] = v``) never triggers ``__setattr__``; call this (or
+        let the ``waituntil`` preprocessor insert it) so dependency-filtered
+        relay still sees the write.  monlint's W007 flags bypassing writes
+        whose variable some predicate reads.
+        """
+        try:
+            self._dirty.add(name)
+        except AttributeError:
+            pass
 
     # ------------------------------------------------------------ properties
     @property

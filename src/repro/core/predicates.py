@@ -21,13 +21,22 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.core import compiled as _compiled
-from repro.core.expressions import Const, Expr, linear_key
+from repro.core.expressions import (
+    _EMPTY_READS,
+    Const,
+    Expr,
+    linear_key,
+    union_reads,
+)
 from repro.runtime.config import config_snapshot
 from repro.runtime.errors import PredicateError
 
 #: Cap on DNF size to guard against exponential blow-up of pathological
 #: formulas; real synchronization conditions are tiny.
 MAX_DNF_CONJUNCTIONS = 256
+
+#: sentinel for Predicate's lazily computed read set (None is meaningful)
+_READS_UNSET = object()
 
 _NEGATE = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
 _EVAL = {
@@ -70,6 +79,14 @@ class BoolNode:
         """Return the formula as a list of conjunctions of atoms."""
         raise NotImplementedError
 
+    def read_set(self):
+        """Shared-variable names this formula reads, or None if unknown.
+
+        The conservative default — opaque callables (:class:`FuncAtom`) may
+        read anything, so any formula containing one reads "everything".
+        """
+        return None
+
 
 def _as_bool(value) -> BoolNode:
     if isinstance(value, BoolNode):
@@ -99,6 +116,9 @@ class TrueAtom(Atom):
     def negate(self):
         return FalseAtom()
 
+    def read_set(self):
+        return _EMPTY_READS
+
     def __repr__(self):
         return "true"
 
@@ -111,6 +131,9 @@ class FalseAtom(Atom):
 
     def negate(self):
         return TrueAtom()
+
+    def read_set(self):
+        return _EMPTY_READS
 
     def __repr__(self):
         return "false"
@@ -217,6 +240,9 @@ class Comparison(Atom):
         """``(expr_key, op, const)`` for the tagger, or None."""
         return self._shape
 
+    def read_set(self):
+        return union_reads(self.lhs.read_set(), self.rhs.read_set())
+
     def evaluate(self, monitor):
         return self._cmp(self.lhs.evaluate(monitor), self.rhs.evaluate(monitor))
 
@@ -262,6 +288,9 @@ class And(BoolNode):
                 raise PredicateError("predicate too large to convert to DNF")
         return result
 
+    def read_set(self):
+        return union_reads(*(c.read_set() for c in self.children))
+
     def __repr__(self):
         return "(" + " && ".join(map(repr, self.children)) + ")"
 
@@ -293,6 +322,9 @@ class Or(BoolNode):
                 raise PredicateError("predicate too large to convert to DNF")
         return result
 
+    def read_set(self):
+        return union_reads(*(c.read_set() for c in self.children))
+
     def __repr__(self):
         return "(" + " || ".join(map(repr, self.children)) + ")"
 
@@ -316,16 +348,30 @@ class Predicate:
     synthesis cost.
     """
 
-    __slots__ = ("root", "conjunctions", "_evaluator", "_uses")
+    __slots__ = ("root", "conjunctions", "_evaluator", "_uses", "_read_set")
 
     def __init__(self, condition: BoolNode | Callable[..., bool] | bool):
         self.root = _as_bool(condition)
         self.conjunctions: list[tuple[Atom, ...]] = self.root.dnf()
         self._evaluator: Callable[[Any], Any] | None = None
         self._uses = 0
+        self._read_set: Any = _READS_UNSET
 
     def evaluate(self, monitor: Any) -> bool:
         return self.root.evaluate(monitor)
+
+    def read_set(self) -> Any:
+        """Shared-variable names this predicate reads (cached).
+
+        ``None`` means "unknown — may read anything" (some atom is an opaque
+        callable); dependency-filtered relay then always re-evaluates the
+        waiter.  A frozenset is exact: a monitor exit whose dirty set is
+        disjoint from it cannot have flipped the predicate."""
+        rs = self._read_set
+        if rs is _READS_UNSET:
+            rs = self.root.read_set()
+            self._read_set = rs
+        return rs
 
     def fast_eval(self, monitor: Any) -> Any:
         """Hot-path evaluation with tiered compilation (see class docs)."""

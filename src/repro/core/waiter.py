@@ -30,6 +30,7 @@ class Waiter:
     __slots__ = (
         "predicate", "eval_fn", "cv", "signaled", "records",
         "expr_keys", "evaler_keys", "thread_id", "poison",
+        "read_set", "untagged", "pending",
     )
 
     def __init__(self, predicate: Predicate, lock: threading.RLock,
@@ -55,6 +56,13 @@ class Waiter:
         #: exception raised while another thread evaluated this predicate;
         #: re-raised in the owning thread when it wakes
         self.poison: Optional[BaseException] = None
+        #: dependency tracking (untagged waiters only): the predicate's
+        #: shared-variable read set (None = opaque, re-check every relay)
+        self.read_set: Optional[frozenset] = None
+        #: True when registered in the manager's untagged structures
+        self.untagged = False
+        #: True while queued for (re-)evaluation at the next relay search
+        self.pending = False
 
     def retire(self) -> None:
         """Drop references held for the finished wait (before pooling)."""
@@ -82,7 +90,12 @@ class Waiter:
         pred = self.predicate
         key = compiled.source_key(pred) if pred is not None else None
         what = key if key is not None else repr(pred)
-        return f"tid={self.thread_id} on {what}"
+        reads = pred.read_set() if pred is not None else None
+        if reads is None:
+            reads_desc = "?"  # opaque: may read any shared variable
+        else:
+            reads_desc = "{" + ",".join(sorted(reads)) + "}"
+        return f"tid={self.thread_id} on {what} reads={reads_desc}"
 
     def __repr__(self):
         return f"Waiter(tid={self.thread_id}, {self.predicate!r})"

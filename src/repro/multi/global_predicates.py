@@ -25,6 +25,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.monitor import Monitor
 from repro.core.predicates import BoolNode, Predicate
+from repro.runtime.config import config_snapshot
 from repro.runtime.errors import PredicateError
 
 
@@ -203,6 +204,14 @@ class GenerationEvaluator:
     wakeup re-evaluates only the atoms whose monitors actually moved, and
     when nothing moved the whole evaluation is served from the memo.
 
+    Local atoms with a *known* predicate read set are stamped at finer
+    grain: per summed read-variable write generation
+    (``ConditionManager.var_gens``, bumped when an exit's dirty set is
+    flushed) instead of per monitor generation.  A neighbor's exit that
+    wrote unrelated variables then still validates the memo — the common
+    case in sparse workloads, where the whole-monitor stamp is invalidated
+    by every exit.
+
     The memo is confined to one ``wait_until`` call (one thread).  That
     confinement is what makes direct in-block attribute writes safe: a
     write by *this* thread can only happen before the evaluator was built
@@ -219,7 +228,10 @@ class GenerationEvaluator:
 
     def __init__(self, node: GlobalNode, metrics=None):
         self.node = node
-        #: id(atom) -> [generation stamp, value, #monitors the atom spans]
+        #: id(atom) -> [stamp, value, span, reads, monitor]; ``reads`` is
+        #: None for generation-stamped entries (stamp = Σ generations,
+        #: own-release credit = span) and a frozenset of variable names for
+        #: var-stamped ones (stamp = Σ var gens, credit = |reads ∩ dirty|)
         self._memo: dict[int, list] = {}
         self._metrics = metrics   # e.g. manager.global_condition_metrics
 
@@ -239,11 +251,24 @@ class GenerationEvaluator:
                 if self._eval(c):
                     return True
             return False
-        # atom: stamp = sum of involved generations (each is monotonically
-        # non-decreasing, so the sum is unchanged iff every one is)
+        # atom: stamp = sum of monotonically non-decreasing counters (the
+        # sum is unchanged iff every one is) — per read variable when the
+        # atom's read set is known, per monitor generation otherwise
+        reads = None
+        monitor = None
         if isinstance(node, LocalPredicate):
-            stamp = node.monitor._generation
-            span = 1
+            monitor = node.monitor
+            if config_snapshot().track_dependencies:
+                reads = node.predicate.read_set()
+            if reads is not None:
+                gens = monitor._cond_mgr.var_gens
+                stamp = 0
+                for name in reads:
+                    stamp += gens.get(name, 0)
+                span = 0
+            else:
+                stamp = monitor._generation
+                span = 1
         else:
             stamp = 0
             span = 0
@@ -251,20 +276,33 @@ class GenerationEvaluator:
                 stamp += m._generation
                 span += 1
         memo = self._memo.get(id(node))
-        if memo is not None and memo[0] == stamp:
+        if (memo is not None and memo[0] == stamp
+                and (memo[3] is None) == (reads is None)):
             if self._metrics is not None:
                 self._metrics.gen_skips += 1
             return memo[1]
         value = node.evaluate()
-        self._memo[id(node)] = [stamp, value, span]
+        self._memo[id(node)] = [stamp, value, span, reads, monitor]
         return value
 
     def credit_own_release(self) -> None:
-        """Fold the caller's imminent release — one ``_monitor_exit`` bump
-        per monitor the atom spans — into the memoized stamps.  Call right
-        before releasing all locks on the way into a park."""
+        """Fold the caller's imminent release into the memoized stamps.
+
+        Generation-stamped entries gain one bump per monitor the atom spans
+        (every ``_monitor_exit`` bumps ``_generation``); var-stamped entries
+        gain one bump per read variable the caller's own section dirtied
+        (the release's relay flush bumps exactly those).  Call right before
+        releasing all locks on the way into a park."""
         for memo in self._memo.values():
-            memo[0] += memo[2]
+            reads = memo[3]
+            if reads is None:
+                memo[0] += memo[2]
+                continue
+            dirty = memo[4]._dirty
+            if dirty:
+                for name in reads:
+                    if name in dirty:
+                        memo[0] += 1
 
 
 def local(monitor: Monitor, condition) -> LocalPredicate:

@@ -14,6 +14,7 @@ from __future__ import annotations
 import threading
 from repro.core.monitor import Monitor
 from repro.multi.strategies import STRATEGIES, GlobalWaiter
+from repro.runtime.config import config_snapshot
 from repro.runtime.metrics import Metrics
 
 #: process-global aggregate of global-condition activity
@@ -40,17 +41,32 @@ def _ensure_hook(monitor: Monitor) -> None:
 
 
 def _on_monitor_exit(monitor: Monitor) -> None:
-    """Algorithm 4: before releasing Mᵢ, check related global conditions."""
+    """Algorithm 4: before releasing Mᵢ, check related global conditions.
+
+    Exit hooks run *before* the relay flush, so ``monitor._dirty`` is still
+    exactly the exiting section's write set: a waiter whose per-monitor read
+    set is disjoint from it cannot have been enabled by this exit (no atom
+    local to the monitor changed value), and is skipped without a strategy
+    check — under AS this eliminates the wakeup (and its false evaluation)
+    outright.
+    """
     table = getattr(monitor, _TABLE_ATTR, None)
     if not table:
         return
     m = global_condition_metrics
     me = threading.get_ident()
+    dirty = monitor._dirty
+    track = config_snapshot().track_dependencies
     for waiter in list(table):
         if waiter.owner == me:
             # a thread releasing its own locks on the way into a wait must
             # not signal itself (would livelock the AS strategy)
             continue
+        if track:
+            reads = waiter.reads_by_monitor.get(monitor)
+            if reads is not None and (not dirty or reads.isdisjoint(dirty)):
+                m.relay_dirty_skips += 1
+                continue
         m.predicate_evals += 1  # direct increment: runs on every monitor exit
         if waiter.check_on_exit(monitor):
             waiter.signal()

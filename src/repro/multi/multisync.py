@@ -258,7 +258,11 @@ class Multisynch:
                         for hook in hooks:
                             hook(m)
                     cm = m._cond_mgr
-                    if cm.waiters or cm.mode == "baseline":
+                    # _dirty forces the call even with nobody waiting: the
+                    # relay flush is what advances per-variable write
+                    # generations, and memoized values are revalidated
+                    # against those
+                    if cm.waiters or m._dirty or cm.mode == "baseline":
                         cm.relay_signal()
                 finally:
                     m._lock.release()  # monlint: disable=W004
@@ -324,7 +328,9 @@ class Multisynch:
                             for hook in hooks:
                                 hook(m)
                         cm = m._cond_mgr
-                        if cm.waiters or cm.mode == "baseline":
+                        # _dirty: flush write generations even when nobody
+                        # waits locally (see _release_all)
+                        if cm.waiters or m._dirty or cm.mode == "baseline":
                             cm.relay_signal()
                     finally:
                         m._lock.release()  # monlint: disable=W004

@@ -40,12 +40,16 @@ from repro.multi.global_predicates import (
 
 STRATEGIES = ("AS", "AV", "CC")
 
+#: "reads nothing yet" seed for the per-monitor read-set union
+_NO_READS: frozenset = frozenset()
+
 
 class GlobalWaiter:
     """One thread blocked on one global condition."""
 
     __slots__ = ("predicate", "strategy", "event", "monitors",
-                 "cells", "mirror", "local_clauses", "signaled", "owner")
+                 "cells", "mirror", "local_clauses", "signaled", "owner",
+                 "reads_by_monitor")
 
     def __init__(self, predicate: GlobalNode, strategy: str):
         self.predicate = predicate
@@ -59,6 +63,21 @@ class GlobalWaiter:
         #: CC state: monitor -> list of atoms (the local clause Cᵢ)
         self.local_clauses: dict[Monitor, list[GlobalAtom]] = {}
         self.signaled = False
+        #: monitor -> union of the read sets of atoms involving it, or None
+        #: when some such atom is opaque/complex.  The manager's exit hook
+        #: skips this waiter entirely when the exiting section's dirty set
+        #: is disjoint from the exit monitor's entry — no atom local to the
+        #: monitor can have changed value, under any strategy.
+        self.reads_by_monitor = reads = {}
+        for atom in predicate.atoms():
+            if isinstance(atom, LocalPredicate):
+                rs = atom.predicate.read_set()
+                cur = reads.get(atom.monitor, _NO_READS)
+                reads[atom.monitor] = (
+                    None if rs is None or cur is None else cur | rs)
+            else:  # complex atom: conservative for every involved monitor
+                for mon in atom.monitors():
+                    reads[mon] = None
 
     # -- called by the waiting thread while holding ALL involved locks --------
     def prepare(self) -> None:

@@ -26,6 +26,17 @@ to ``self.wait_until(<DSL form of expr>)`` where
   the predicate as constants when ``wait_until`` builds it, which is
   exactly the paper's closure operation.
 
+The preprocessor also feeds the dependency-tracked relay (see
+``docs/performance.md``): each lifted :class:`SharedExpr` is annotated
+with the ``self.X`` names it reads (or None when opaque), and every
+method — public or private, with or without waits — gets
+``self._note_write('X')`` inserted before statements that write shared
+state through paths ``Monitor.__setattr__`` cannot see (``self.x[i] =
+v``, ``self.a.b = v``, ``del self.x[i]``, ``self.items.append(v)`` and
+the other list/dict/set/deque mutators).  Aliased mutations (``xs =
+self.items; xs.append(v)``) escape the static rewrite; monlint's W007
+flags those.
+
 Limitations (documented, mirroring the original's): the transform needs the
 class's source (``inspect.getsource``), so it does not work in the REPL;
 ``waituntil`` must be called as a statement with a single positional
@@ -90,6 +101,33 @@ def _is_plain_self_attr(node: ast.AST, self_name: str) -> bool:
     )
 
 
+def _collect_self_reads(node: ast.AST, self_name: str) -> frozenset | None:
+    """Read set of a lifted expression: the ``self.X`` roots it mentions.
+
+    ``len(self.items)`` reads ``{items}``; ``self.grid[i][j]`` reads
+    ``{grid}``.  Returns None (conservative "reads everything") when the
+    expression calls a method reached through ``self`` (its body may read
+    anything) or lets bare ``self`` escape into a call/subscript — then
+    the dependency-filtered relay must re-evaluate on every write.
+    """
+    reads: set[str] = set()
+    consumed: set[int] = set()
+    for n in ast.walk(node):
+        if isinstance(n, ast.Call) and _mentions_self(n.func, self_name):
+            return None
+        if (
+            isinstance(n, ast.Attribute)
+            and isinstance(n.value, ast.Name)
+            and n.value.id == self_name
+        ):
+            reads.add(n.attr)
+            consumed.add(id(n.value))
+    for n in ast.walk(node):
+        if isinstance(n, ast.Name) and n.id == self_name and id(n) not in consumed:
+            return None  # bare self escapes (f(self), self[k], ...)
+    return frozenset(reads)
+
+
 class _PredicateRewriter(ast.NodeTransformer):
     """Rewrite one waituntil argument into DSL form."""
 
@@ -150,6 +188,14 @@ class _PredicateRewriter(ast.NodeTransformer):
         if not _mentions_self(node, self.self_name):
             return node  # pure-local: closure constant, leave untouched
         source = ast.unparse(node)
+        reads = _collect_self_reads(node, self.self_name)
+        if reads is None:
+            reads_node: ast.expr = ast.Constant(value=None)
+        else:
+            reads_node = ast.Tuple(
+                elts=[ast.Constant(value=n) for n in sorted(reads)],
+                ctx=ast.Load(),
+            )
         renamed = _RenameSelf(self.self_name).visit(
             ast.parse(source, mode="eval").body
         )
@@ -165,7 +211,7 @@ class _PredicateRewriter(ast.NodeTransformer):
         )
         return ast.Call(
             func=ast.Name(id="__repro_shared", ctx=ast.Load()),
-            args=[lam, ast.Constant(value=source)],
+            args=[lam, ast.Constant(value=source), reads_node],
             keywords=[],
         )
 
@@ -178,6 +224,116 @@ class _RenameSelf(ast.NodeTransformer):
         if node.id == self.self_name:
             return ast.Name(id="__repro_m", ctx=node.ctx)
         return node
+
+
+#: receiver methods treated as in-place mutation of the container they are
+#: called on (list/dict/set/deque vocabulary; unknown names are left alone
+#: and fall under monlint's W007 instead)
+_MUTATORS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "extendleft", "insert", "pop", "popitem", "popleft", "remove",
+    "reverse", "rotate", "setdefault", "sort", "update",
+})
+
+
+def _peel_to_self_attr(node: ast.AST, self_name: str) -> str | None:
+    """Follow ``value`` chains of attribute/subscript nodes down to the
+    root; return the attribute name adjacent to ``self`` (``self.a.b[k]``
+    → ``"a"``) or None when the path is not rooted at ``self``."""
+    attr = None
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            attr = node.attr
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == self_name:
+        return attr
+    return None
+
+
+def _stmt_header_nodes(stmt: ast.stmt):
+    """Yield a statement's expression nodes without descending into nested
+    statement blocks (those are instrumented separately, in place)."""
+    stack: list[ast.AST] = []
+    for _field, value in ast.iter_fields(stmt):
+        if isinstance(value, list):
+            stack.extend(
+                v for v in value
+                if isinstance(v, ast.AST)
+                and not isinstance(v, (ast.stmt, ast.excepthandler))
+            )
+        elif isinstance(value, ast.AST):
+            stack.append(value)
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _untracked_writes(stmt: ast.stmt, self_name: str) -> set[str]:
+    """Shared-variable names ``stmt`` writes through paths the monitor's
+    ``__setattr__`` proxy cannot see: subscript/nested-attribute stores and
+    deletes (``self.x[i] = v``, ``self.a.b = v``, ``del self.x[i]``) and
+    in-place mutator calls (``self.items.append(v)``)."""
+    roots: set[str] = set()
+    for node in _stmt_header_nodes(stmt):
+        if isinstance(node, (ast.Attribute, ast.Subscript)) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            if _is_plain_self_attr(node, self_name):
+                continue  # rebind/del of self.attr: __setattr__ tracks it
+            root = _peel_to_self_attr(node, self_name)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+        ):
+            root = _peel_to_self_attr(node.func.value, self_name)
+        else:
+            continue
+        if root is not None:
+            roots.add(root)
+    return roots
+
+
+def _note_write_stmt(self_name: str, attr: str) -> ast.Expr:
+    return ast.Expr(
+        value=ast.Call(
+            func=ast.Attribute(
+                value=ast.Name(id=self_name, ctx=ast.Load()),
+                attr="_note_write",
+                ctx=ast.Load(),
+            ),
+            args=[ast.Constant(value=attr)],
+            keywords=[],
+        )
+    )
+
+
+def _instrument_block(stmts: list, self_name: str) -> tuple[list, bool]:
+    """Insert ``self._note_write('X')`` before every statement with an
+    untracked write to shared variable X.  The note runs even when the
+    write turns out conditional (ternary, short-circuit) — over-marking
+    dirty only costs a spurious re-evaluation, never a missed signal."""
+    out: list = []
+    changed = False
+    for stmt in stmts:
+        for field, value in ast.iter_fields(stmt):
+            if not (isinstance(value, list) and value):
+                continue
+            if isinstance(value[0], ast.stmt):
+                new, sub = _instrument_block(value, self_name)
+                setattr(stmt, field, new)
+                changed |= sub
+            elif isinstance(value[0], ast.excepthandler):
+                for handler in value:
+                    new, sub = _instrument_block(handler.body, self_name)
+                    handler.body = new
+                    changed |= sub
+        for name in sorted(_untracked_writes(stmt, self_name)):
+            out.append(_note_write_stmt(self_name, name))
+            changed = True
+        out.append(stmt)
+    return out, changed
 
 
 class _MethodRewriter(ast.NodeTransformer):
@@ -215,8 +371,15 @@ class _MethodRewriter(ast.NodeTransformer):
         return node
 
 
-def _compile_method(fn: Callable, cls_globals: dict) -> Callable | None:
-    """Rewrite one method; returns the new function or None if untouched."""
+def _compile_method(
+    fn: Callable, cls_globals: dict, allow_waituntil: bool = True
+) -> Callable | None:
+    """Rewrite one method; returns the new function or None if untouched.
+
+    Two independent rewrites may apply: the ``waituntil`` → ``wait_until``
+    transform (public methods only) and the untracked-write instrumentation
+    (``self._note_write`` insertion, so dependency-filtered relay sees
+    in-place container mutations)."""
     try:
         source = textwrap.dedent(inspect.getsource(fn))
     except (OSError, TypeError) as exc:
@@ -232,8 +395,6 @@ def _compile_method(fn: Callable, cls_globals: dict) -> Callable | None:
                 "self.wait_until(...) directly"
             ) from exc
         return None
-    if WAITUNTIL not in source:
-        return None
     tree = ast.parse(source)
     func_def = tree.body[0]
     if not isinstance(func_def, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -241,10 +402,22 @@ def _compile_method(fn: Callable, cls_globals: dict) -> Callable | None:
     if not func_def.args.args:
         return None
     self_name = func_def.args.args[0].arg
-    rewriter = _MethodRewriter(self_name)
-    rewriter.visit(func_def)
-    if not rewriter.rewrote:
+    rewrote = False
+    if allow_waituntil and WAITUNTIL in source:
+        rewriter = _MethodRewriter(self_name)
+        rewriter.visit(func_def)
+        rewrote = rewriter.rewrote
+    func_def.body, instrumented = _instrument_block(func_def.body, self_name)
+    if not rewrote and not instrumented:
         return None
+    # closure variables (rare in methods) cannot be rebuilt by exec; detect
+    if fn.__closure__:
+        if rewrote:
+            raise PredicateError(
+                f"{fn.__qualname__}: waituntil methods must not close over "
+                "enclosing-scope variables (pass them as parameters instead)"
+            )
+        return None  # keep closure-bearing methods intact; W007 covers them
     func_def.decorator_list = []     # decorators already applied to `fn`
     ast.fix_missing_locations(tree)
     namespace: dict = {}
@@ -252,17 +425,13 @@ def _compile_method(fn: Callable, cls_globals: dict) -> Callable | None:
     from repro.core.expressions import S, SharedExpr
 
     exec_globals["__repro_S"] = S
-    exec_globals["__repro_shared"] = lambda f, name: SharedExpr(f, name)
+    exec_globals["__repro_shared"] = (
+        lambda f, name, reads=None: SharedExpr(f, name, reads)
+    )
     code = compile(tree, filename=f"<monitor_compile {fn.__qualname__}>", mode="exec")
     exec(code, exec_globals, namespace)  # noqa: S102 — compiling our own AST
     new_fn = namespace[func_def.name]
     functools.update_wrapper(new_fn, fn)
-    # closure variables (rare in methods) cannot be rebuilt by exec; detect
-    if fn.__closure__:
-        raise PredicateError(
-            f"{fn.__qualname__}: waituntil methods must not close over "
-            "enclosing-scope variables (pass them as parameters instead)"
-        )
     return new_fn
 
 
@@ -280,10 +449,14 @@ def monitor_compile(cls: T) -> T:
     module = inspect.getmodule(cls)
     cls_globals = vars(module) if module else {}
     for name, value in list(vars(cls).items()):
-        if not callable(value) or name.startswith("_"):
+        if not callable(value) or (name.startswith("__") and name.endswith("__")):
             continue
         raw = getattr(value, "__wrapped__", value)
-        compiled = _compile_method(raw, cls_globals)
+        # private helpers run under the public caller's lock: they get the
+        # write instrumentation but never the waituntil rewrite
+        compiled = _compile_method(
+            raw, cls_globals, allow_waituntil=not name.startswith("_")
+        )
         if compiled is None:
             continue
         if getattr(value, "_repro_wrapped", False):

@@ -52,10 +52,15 @@ class MonitorStall:
     depth: int                  #: reentrancy depth of the current holder (racy)
     broken: bool                #: poisoned via mark_broken()
     waiters: list[str]          #: one description per parked local waiter
+                                #: (includes each predicate's read set)
     global_waiters: int         #: parked multisynch global-condition waiters
     queue_depth: Optional[int]  #: server task-queue backlog (active monitors)
     pending: Optional[int]      #: tasks stolen but not yet executed
     server_alive: Optional[bool]
+    var_gens: dict = field(default_factory=dict)
+    """Per-variable write generations at snapshot time.  Cross-reference
+    with the waiters' read sets: a parked predicate whose read variables
+    all show generation 0 is waiting on state nobody has ever written."""
 
     def describe(self) -> str:
         bits = [
@@ -66,6 +71,11 @@ class MonitorStall:
             bits.append("  state: BROKEN (poisoned)")
         if self.depth:
             bits.append(f"  held (depth={self.depth})")
+        if self.var_gens:
+            gens = " ".join(
+                f"{k}={v}" for k, v in sorted(self.var_gens.items())
+            )
+            bits.append(f"  write generations: {gens}")
         for w in self.waiters:
             bits.append(f"  waiter: {w}")
         if self.global_waiters:
@@ -226,6 +236,7 @@ class StallWatchdog:
         # Racy snapshot — every read is a single attribute/len load.
         cond_mgr = getattr(m, "_cond_mgr", None)
         waiters = list(cond_mgr.waiters) if cond_mgr is not None else []
+        var_gens = dict(getattr(cond_mgr, "var_gens", None) or {})
         global_table = getattr(m, "_repro_global_waiters", None)
         global_count = len(global_table) if global_table else 0
         server = getattr(m, "_server", None)
@@ -256,4 +267,5 @@ class StallWatchdog:
             queue_depth=queue_depth,
             pending=pending,
             server_alive=server_alive,
+            var_gens=var_gens,
         )

@@ -75,6 +75,14 @@ class Config:
     #: interpreter (the microbenchmarks do exactly that).
     compile_predicates: bool = True
 
+    #: Dependency-filtered relay: monitor writes are tracked per shared
+    #: variable and an exit only re-evaluates untagged waiters whose
+    #: predicate read sets intersect the exit's dirty set (plus memoizes
+    #: shared-expression values per write generation).  On by default; turn
+    #: off to A/B the exhaustive untagged scan — correctness is identical,
+    #: only the amount of redundant re-evaluation changes.
+    track_dependencies: bool = True
+
     #: Poison a monitor (``BrokenMonitorError`` for all current and future
     #: waiters/submitters, see docs/robustness.md) when an exception escapes
     #: one of its critical sections — a monitor method, ``synchronized``
@@ -122,6 +130,7 @@ class ConfigSnapshot:
         "phase_timing",
         "analysis_checks",
         "compile_predicates",
+        "track_dependencies",
         "poison_on_exception",
     )
 
@@ -135,6 +144,7 @@ class ConfigSnapshot:
         self.phase_timing = cfg.phase_timing
         self.analysis_checks = cfg.analysis_checks
         self.compile_predicates = cfg.compile_predicates
+        self.track_dependencies = cfg.track_dependencies
         self.poison_on_exception = cfg.poison_on_exception
 
 

@@ -42,8 +42,16 @@ class Metrics:
     tasks_combined: int = 0     #: tasks executed by a combiner (not the server)
     steal_batches: int = 0      #: queue batch-steals by the executor (Fig. 3.2)
     steal_items: int = 0        #: tasks moved by those steals (items/batch ratio)
-    gen_skips: int = 0          #: global-predicate atom evaluations served from
-                                #: the generation memo (skipped re-evaluations)
+    gen_skips: int = 0          #: predicate/expression evaluations served from
+                                #: a generation memo (global-predicate atoms and
+                                #: relay shared-expression values) — skipped work
+    relay_dirty_skips: int = 0  #: parked untagged waiters a relay search did
+                                #: *not* re-evaluate because no variable in
+                                #: their read set was written since they last
+                                #: evaluated false (dependency filtering)
+    relay_buckets_scanned: int = 0  #: read-set buckets flushed into the
+                                    #: eligible queue by write tracking (one
+                                    #: per dirtied variable with parked readers)
     stm_commits: int = 0        #: STM transactions committed
     stm_aborts: int = 0         #: STM transactions aborted/retried
     wait_timeouts: int = 0      #: bounded waits that expired (WaitTimeoutError)
@@ -83,6 +91,7 @@ class Metrics:
         "waits", "predicate_evals", "tag_checks", "false_evals",
         "tasks_submitted", "tasks_combined",
         "steal_batches", "steal_items", "gen_skips",
+        "relay_dirty_skips", "relay_buckets_scanned",
         "stm_commits", "stm_aborts",
         "wait_timeouts", "wait_cancels",
         "server_restarts", "futures_failed_fast",

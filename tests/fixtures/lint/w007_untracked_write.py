@@ -1,0 +1,28 @@
+"""Lint fixture: W007 — in-place writes invisible to dependency tracking."""
+
+from repro.core import Monitor, S
+
+
+class JobQueue(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.jobs = []
+        self.closed = False
+
+    def put(self, job):
+        # bypasses the tracking proxy; take()'s predicate reads `jobs`
+        self.jobs.append(job)
+
+    def take(self):
+        self.wait_until(
+            S(lambda m: len(m.jobs) > 0, "jobs_nonempty", reads=("jobs",))
+        )
+        # same problem on the consumer side
+        return self.jobs.pop(0)
+
+    def close(self):
+        self.closed = True          # fine: plain rebind, proxy sees it
+
+    def reset(self):
+        self._note_write("jobs")    # manual note: the write below is visible
+        self.jobs.clear()

@@ -22,6 +22,7 @@ FIXTURE_CODES = {
     "w004_lock_order.py": "W004",
     "w005_tag_advisor.py": "W005",
     "w006_blocking_get.py": "W006",
+    "w007_untracked_write.py": "W007",
 }
 
 
@@ -55,6 +56,7 @@ def test_severities():
     assert by_code["W004"] == Severity.ERROR
     assert by_code["W005"] == Severity.HINT
     assert by_code["W006"] == Severity.WARNING
+    assert by_code["W007"] == Severity.WARNING
 
 
 def test_w006_counts_and_suppression():
@@ -194,7 +196,7 @@ def test_cli_usage_errors(capsys):
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == EXIT_CLEAN
     out = capsys.readouterr().out
-    for code in ("W001", "W002", "W003", "W004", "W005", "W006"):
+    for code in ("W001", "W002", "W003", "W004", "W005", "W006", "W007"):
         assert code in out
 
 
