@@ -9,6 +9,10 @@ Usage::
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage
 errors.  Findings can be silenced per line with ``# monlint: disable=W00x``
 or per file with ``# monlint: disable-file=W00x``.
+
+``--format json`` emits one finding per line (JSON-lines: ``code``,
+``path``, ``line``, ``message``, …) so CI pipelines and editors can
+consume findings with a line-oriented reader.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import json
 import sys
 from typing import Sequence
 
+from repro.analysis import liveness  # noqa: F401 — registers W010–W012
 from repro.analysis.linter import lint_paths
 from repro.analysis.rules import ALL_RULES
 
@@ -46,7 +51,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Static monitor-usage lint for the repro framework: predicate "
             "closure (W001/W002), relay invariance (W003), lock ordering "
-            "and deadlock cycles (W004) and tagging hints (W005)."
+            "and deadlock cycles (W004), tagging hints (W005), and "
+            "signal-obligation liveness (W010-W012)."
         ),
     )
     parser.add_argument(
@@ -97,7 +103,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return EXIT_USAGE
 
     if args.format == "json":
-        print(json.dumps([f.to_dict() for f in findings], indent=2))
+        for finding in findings:
+            print(json.dumps(finding.to_dict(), sort_keys=True))
     else:
         for finding in findings:
             print(finding.format())

@@ -1,10 +1,10 @@
 """monlint orchestration: files → models → rules → findings.
 
 Linting is a two-pass process so the cross-class lock-order graph (rule
-W004) can span modules: pass 1 parses every file and collects the names of
-all monitor subclasses in the project; pass 2 builds full models with that
-global knowledge, runs every rule per module, then the graph-level
-finalizers once.
+W004) and the whole-program liveness pass (W010–W012) can span modules:
+pass 1 parses every file and collects the names of all monitor subclasses
+in the project; pass 2 builds full models with that global knowledge, runs
+every rule per module, then the graph-level finalizers once.
 """
 
 from __future__ import annotations
@@ -13,6 +13,7 @@ import ast
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.analysis import liveness  # noqa: F401 — registers W010–W012
 from repro.analysis.findings import Finding, Severity, apply_suppressions
 from repro.analysis.model import (
     ModuleModel,

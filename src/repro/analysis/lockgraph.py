@@ -33,6 +33,12 @@ class LockOrderGraph:
     def add_edge(self, src: str, dst: str, path: str, lineno: int) -> None:
         self.edges.append(LockEdge(src, dst, path, lineno))
 
+    def nodes(self) -> list[str]:
+        """Every class that participates in an edge, sorted — handy for
+        tooling that wants to enumerate the graph without recomputing the
+        adjacency map."""
+        return sorted({e.src for e in self.edges} | {e.dst for e in self.edges})
+
     def adjacency(self) -> dict[str, set[str]]:
         adj: dict[str, set[str]] = {}
         for edge in self.edges:

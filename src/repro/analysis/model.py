@@ -109,6 +109,10 @@ class MonitorClassModel:
     shared_attrs: set[str] = field(default_factory=set)
     #: attr name → monitor class name, for attributes holding monitors
     monitor_attrs: dict[str, str] = field(default_factory=dict)
+    #: bare names of the class's declared bases — the liveness pass merges
+    #: write sets across an inheritance family (a subclass's sections can
+    #: discharge a wait declared in its base, and vice versa)
+    base_names: set[str] = field(default_factory=set)
 
     @property
     def sync_method_names(self) -> set[str]:
@@ -259,6 +263,9 @@ def _build_monitor_class(
     node: ast.ClassDef, known_monitor_names: set[str]
 ) -> MonitorClassModel:
     cls = MonitorClassModel(name=node.name, node=node)
+    cls.base_names = {
+        name for name in (_base_name(b) for b in node.bases) if name
+    }
     for item in node.body:
         if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
             cls.methods[item.name] = _build_method(item)

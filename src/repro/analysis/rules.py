@@ -1,8 +1,11 @@
-"""monlint rules W001–W006.
+"""monlint rules W001–W007.
 
 Each rule is a small class with a ``code``, ``severity`` and a
 ``check(module, ctx)`` generator; W004 additionally contributes edges to the
-project-wide lock-order graph and reports cycles in ``finalize``.
+project-wide lock-order graph and reports cycles in ``finalize``.  The
+whole-program liveness rules (W010–W012, signal-obligation discharge) live
+in :mod:`repro.analysis.liveness` and register themselves into
+``ALL_RULES`` on import.
 
 Paper grounding (see ``docs/analysis.md`` for the full discussion):
 

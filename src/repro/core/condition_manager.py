@@ -667,6 +667,30 @@ class ConditionManager:
             out.append(f"{w!r} reads={reads} gens={shown}")
         return out
 
+    def obligation_view(self) -> list:
+        """Racy snapshot of each parked waiter's signal obligation:
+        ``(waiter, read_set, description)`` triples.
+
+        Unlike :attr:`Waiter.read_set` (populated only for untagged
+        waiters), the read set here always comes from the predicate, so
+        tagged waiters report theirs too; ``None`` means opaque.  Every
+        read is a plain attribute load under the GIL — no lock is taken,
+        and a waiter racing out mid-snapshot is simply skipped.  Consumed
+        by :class:`repro.resilience.obligations.ObligationTracker`.
+        """
+        out = []
+        for w in list(self.waiters):
+            pred = w.predicate
+            if pred is None:  # retired under us (pool recycling race)
+                continue
+            try:
+                rs = pred.read_set()
+                desc = w.describe()
+            except Exception:
+                continue  # racy read of a live structure; skip, don't fail
+            out.append((w, rs, desc))
+        return out
+
     def _waiting_baseline(self) -> bool:
         # Condition keeps private waiter list; len() of it is an internal
         # detail, so track via the public API instead: notify_all on a CV

@@ -409,6 +409,18 @@ class Predicate:
             return _compiled.crosscheck_wrap(ev, self.evaluate, repr(self))
         return ev
 
+    def describe(self) -> str:
+        """Stable, lock-free identification for diagnostics.
+
+        Prefers the compiled-source cache key (identical for structurally
+        equal predicates, across runs) and falls back to ``repr``.  Never
+        evaluates the predicate — safe to call from watchdog/obligation
+        threads observing a live monitor."""
+        from repro.core import compiled  # local: avoid import cycle at load
+
+        key = compiled.source_key(self)
+        return key if key is not None else repr(self)
+
     def __repr__(self):
         return f"Predicate({self.root!r})"
 

@@ -37,6 +37,12 @@ the other list/dict/set/deque mutators).  Aliased mutations (``xs =
 self.items; xs.append(v)``) escape the static rewrite; monlint's W007
 flags those.
 
+As a by-product, compilation stashes a write-site summary on the class —
+``cls._repro_write_sites`` maps each shared variable to the methods that
+write it — which the runtime obligation checker
+(:class:`repro.resilience.obligations.ObligationTracker`) uses to name
+the candidate sections that *could* discharge a starving wait.
+
 Limitations (documented, mirroring the original's): the transform needs the
 class's source (``inspect.getsource``), so it does not work in the REPL;
 ``waituntil`` must be called as a statement with a single positional
@@ -371,6 +377,37 @@ class _MethodRewriter(ast.NodeTransformer):
         return node
 
 
+def _method_write_vars(fn: Callable) -> set[str]:
+    """Shared-variable names one raw method writes, proxy-visible or not:
+    plain ``self.attr`` rebinds/deletes plus the untracked in-place roots
+    ``_untracked_writes`` instruments.  Empty when the source is
+    unavailable (REPL/exec classes)."""
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError):
+        return set()
+    try:
+        func_def = ast.parse(source).body[0]
+    except (SyntaxError, IndexError):  # pragma: no cover — defensive
+        return set()
+    if not isinstance(func_def, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return set()
+    if not func_def.args.args:
+        return set()
+    self_name = func_def.args.args[0].arg
+    written: set[str] = set()
+    for node in ast.walk(func_def):
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            if _is_plain_self_attr(node, self_name):
+                written.add(node.attr)
+    for node in ast.walk(func_def):
+        if isinstance(node, ast.stmt):
+            written |= _untracked_writes(node, self_name)
+    return {name for name in written if not name.startswith("_")}
+
+
 def _compile_method(
     fn: Callable, cls_globals: dict, allow_waituntil: bool = True
 ) -> Callable | None:
@@ -448,10 +485,18 @@ def monitor_compile(cls: T) -> T:
         raise PredicateError("@monitor_compile requires a Monitor subclass")
     module = inspect.getmodule(cls)
     cls_globals = vars(module) if module else {}
+    #: shared variable → method names that write it (the static pass's
+    #: candidate write sites, consumed by the runtime ObligationTracker
+    #: when naming who *could* have discharged a starving wait)
+    write_sites: dict[str, list[str]] = {}
     for name, value in list(vars(cls).items()):
         if not callable(value) or (name.startswith("__") and name.endswith("__")):
             continue
         raw = getattr(value, "__wrapped__", value)
+        for var in _method_write_vars(raw):
+            methods = write_sites.setdefault(var, [])
+            if name not in methods:
+                methods.append(name)
         # private helpers run under the public caller's lock: they get the
         # write instrumentation but never the waituntil rewrite
         compiled = _compile_method(
@@ -463,4 +508,7 @@ def monitor_compile(cls: T) -> T:
             setattr(cls, name, _wrap_method(compiled))
         else:
             setattr(cls, name, compiled)
+    cls._repro_write_sites = {
+        var: sorted(methods) for var, methods in write_sites.items()
+    }
     return cls

@@ -10,6 +10,9 @@ that happy path:
   bounded backoff after failing their futures fast;
 * :mod:`repro.resilience.watchdog` — opt-in stall detector producing
   structured reports of parked waiters and queue backlogs;
+* :mod:`repro.resilience.obligations` — opt-in signal-obligation checker
+  flagging waiters that outlive many section exits with zero writes to
+  any variable they read (runtime twin of monlint W010);
 * :mod:`repro.resilience.chaos` — seeded fault injection (delays, forced
   context switches, thread kills) at named sites across the stack.
 
@@ -28,10 +31,13 @@ from typing import TYPE_CHECKING
 
 __all__ = [
     "CancelToken",
+    "ObligationReport",
+    "ObligationTracker",
     "ServerSupervisor",
     "StallReport",
     "StallWatchdog",
     "ThreadKilledFault",
+    "WaiterObligation",
     "chaos",
     "supervise",
 ]
@@ -42,6 +48,9 @@ _EXPORTS = {
     "supervise": ("repro.resilience.supervision", "supervise"),
     "StallWatchdog": ("repro.resilience.watchdog", "StallWatchdog"),
     "StallReport": ("repro.resilience.watchdog", "StallReport"),
+    "ObligationTracker": ("repro.resilience.obligations", "ObligationTracker"),
+    "ObligationReport": ("repro.resilience.obligations", "ObligationReport"),
+    "WaiterObligation": ("repro.resilience.obligations", "WaiterObligation"),
     "ThreadKilledFault": ("repro.resilience.chaos", "ThreadKilledFault"),
     "chaos": ("repro.resilience.chaos", None),
 }
@@ -50,6 +59,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience import chaos
     from repro.resilience.cancellation import CancelToken
     from repro.resilience.chaos import ThreadKilledFault
+    from repro.resilience.obligations import (
+        ObligationReport,
+        ObligationTracker,
+        WaiterObligation,
+    )
     from repro.resilience.supervision import ServerSupervisor, supervise
     from repro.resilience.watchdog import StallReport, StallWatchdog
 

@@ -21,6 +21,12 @@ the core bumps on every section exit: a monitor with parked waiters (or a
 queued backlog) whose generation has not moved for ``quiet_period``
 seconds is reported as stalled.
 
+The watchdog catches the *quiet* failure mode — nothing moves at all.
+Its complement, :class:`repro.resilience.obligations.ObligationTracker`,
+catches the *busy* one: sections keep exiting, but none of them ever
+writes a variable some parked waiter reads (an undischarged signal
+obligation — monlint W010 observed live).
+
 Usage::
 
     dog = StallWatchdog([buf, rw], quiet_period=2.0,

@@ -9,6 +9,12 @@ class Cell(Monitor):
         self.value = 0
         self.ready = False
 
+    def produce(self):
+        # keeps the liveness pass (W010/W011) satisfied: value moves up
+        # and ready is written by a reachable section
+        self.value += 1
+        self.ready = True
+
     def consume(self):
         # opaque lambda, but the body is `shared > constant`: a Threshold
         # tag away from O(1) relay signaling

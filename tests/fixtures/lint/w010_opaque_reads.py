@@ -1,0 +1,23 @@
+"""Lint fixture: W010 (hint) — an unannotated ``S(fn, name)`` expression.
+
+Without ``reads=``, the shared expression's read set is opaque: the
+dependency-filtered relay must re-evaluate it on every exit, and the
+liveness pass cannot check the wait at all.  The fix is one annotation:
+``S(lambda m: m.level >= m.capacity, "full", reads=("level", "capacity"))``.
+"""
+
+from repro.core import Monitor, S
+
+
+class Tank(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.level = 0
+        self.capacity = 10
+
+    def fill(self, amount):
+        self.level += amount
+
+    def drain(self):
+        self.wait_until(S(lambda m: m.level >= m.capacity, "full"))
+        self.level = 0

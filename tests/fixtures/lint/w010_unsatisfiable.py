@@ -1,0 +1,19 @@
+"""Lint fixture: W010 — a wait whose variable no reachable section writes.
+
+``released`` is assigned only in ``__init__``, which runs before any
+thread can wait: the signal obligation created by ``enter()`` can never
+be discharged, so every waiter stalls forever.
+"""
+
+from repro.core import Monitor, S
+
+
+class Gate(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.released = False
+        self.entered = 0
+
+    def enter(self):
+        self.wait_until(S.released == True)  # noqa: E712 — DSL comparison
+        self.entered += 1

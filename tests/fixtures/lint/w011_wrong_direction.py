@@ -1,0 +1,21 @@
+"""Lint fixture: W011 — threshold approached from the wrong direction.
+
+``await_refill()`` needs ``remaining`` to climb back to 10, but every
+write site is a constant decrement: the variable moves monotonically away
+from the threshold and the wait can never terminate.
+"""
+
+from repro.core import Monitor, S
+
+
+class Countdown(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.remaining = 10
+
+    def tick(self):
+        self.remaining -= 1
+
+    def await_refill(self):
+        self.wait_until(S.remaining >= 10)
+        self.remaining -= 2

@@ -1,0 +1,29 @@
+"""Lint fixture: W012 — the sole satisfying write skipped on exception.
+
+``load()`` holds the only write that can discharge ``consume()``'s
+obligation, but it sits after a statement that can raise, inside a try
+whose handler swallows the exception.  With ``poison_on_exception`` off,
+a bad ``raw`` value means the section exits cleanly without writing
+``loaded`` — and the consumer parks forever.
+"""
+
+from repro.core import Monitor, S
+
+
+class Loader(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.raw = "0"
+        self.loaded = False
+        self.value = 0
+
+    def load(self):
+        try:
+            self.value = int(self.raw)
+            self.loaded = True
+        except ValueError:
+            pass  # swallowed: the write above never happened
+
+    def consume(self):
+        self.wait_until(S.loaded == True)  # noqa: E712 — DSL comparison
+        return self.value

@@ -1,0 +1,370 @@
+"""Semantics tests for the whole-program liveness pass (W010-W012).
+
+The fixtures in tests/fixtures/lint exercise the happy one-finding paths;
+this file pins the *boundaries*: when each rule must stay silent (family
+writes, cross-class writers, opaque predicates, poisoning) and when it
+must fire across module-shaped corner cases.
+"""
+
+from pathlib import Path
+
+from repro.analysis import lint_source, lint_paths
+from repro.analysis.findings import Severity
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+def only(findings, code):
+    return [f for f in findings if f.code == code]
+
+
+# --------------------------------------------------------------------- W010
+def test_w010_fires_when_no_writer_exists():
+    src = """
+from repro.core import Monitor, S
+
+class Gate(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.open = False
+
+    def enter(self):
+        self.wait_until(S.open == True)  # noqa: E712
+"""
+    findings = only(lint_source(src), "W010")
+    assert len(findings) == 1
+    f = findings[0]
+    assert f.severity == Severity.ERROR
+    assert "open" in f.message and "Gate.enter()" in f.message
+
+
+def test_w010_silent_when_any_reachable_section_writes():
+    src = """
+from repro.core import Monitor, S
+
+class Gate(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.open = False
+
+    def release(self):
+        self.open = True
+
+    def enter(self):
+        self.wait_until(S.open == True)  # noqa: E712
+"""
+    assert "W010" not in codes(lint_source(src))
+
+
+def test_w010_init_write_does_not_count():
+    """__init__ runs before any waiter exists; a write there cannot
+    discharge an obligation."""
+    src = """
+from repro.core import Monitor, S
+
+class Gate(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.open = True   # only written at construction
+
+    def enter(self):
+        self.wait_until(S.open == True)  # noqa: E712
+"""
+    assert "W010" in codes(lint_source(src))
+
+
+def test_w010_subclass_writer_discharges_base_wait():
+    """Write sets merge across an inheritance family: the waiting method
+    may live in the base while the writer lives in a subclass."""
+    src = """
+from repro.core import Monitor, S
+
+class Base(Monitor):
+    def consume(self):
+        self.wait_until(S.ready == True)  # noqa: E712
+
+class Impl(Base):
+    def produce(self):
+        self.ready = True
+"""
+    assert "W010" not in codes(lint_source(src))
+
+
+def test_w010_framework_base_does_not_merge_families():
+    """Two unrelated monitors both subclass Monitor; the shared framework
+    base must NOT union their write sets."""
+    src = """
+from repro.core import Monitor, S
+
+class Writer(Monitor):
+    def produce(self):
+        self.ready = True
+
+class Waiter(Monitor):
+    def consume(self):
+        self.wait_until(S.ready == True)  # noqa: E712
+"""
+    assert "W010" in codes(lint_source(src))
+
+
+def test_w010_cross_class_writer_discharges():
+    """A non-monitor coordinator writing through a typed parameter (or a
+    held monitor attribute) counts as a reachable write site."""
+    src = """
+from repro.core import Monitor, S
+
+class Cell(Monitor):
+    def consume(self):
+        self.wait_until(S.ready == True)  # noqa: E712
+
+def release(cell: Cell):
+    cell.ready = True
+"""
+    assert "W010" not in codes(lint_source(src))
+
+
+def test_w010_in_place_mutation_counts_as_write():
+    src = """
+from repro.core import Monitor, S
+
+class Q(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.items = []
+
+    def put(self, x):
+        self.items.append(x)
+        self.note_writes("items")
+
+    def take(self):
+        self.wait_until(S(lambda m: len(m.items) > 0, "nonempty",
+                          reads=("items",)))
+        return self.items.pop(0)
+"""
+    findings = lint_source(src)
+    assert "W010" not in codes(findings), [f.message for f in findings]
+
+
+def test_w010_annotated_reads_respected():
+    """reads= annotations define the obligation exactly: a write to a
+    variable outside the declared read set does not discharge it."""
+    src = """
+from repro.core import Monitor, S
+
+class Q(Monitor):
+    def bump(self):
+        self.other = 1
+
+    def take(self):
+        self.wait_until(S(lambda m: m.hidden > 0, "h", reads=("hidden",)))
+"""
+    assert "W010" in codes(lint_source(src))
+
+
+def test_w010_unannotated_s_is_hint_not_error():
+    src = """
+from repro.core import Monitor, S
+
+class Q(Monitor):
+    def bump(self):
+        self.n += 1
+
+    def take(self):
+        self.wait_until(S(lambda m: m.n > 0, "positive"))
+"""
+    findings = only(lint_source(src), "W010")
+    assert len(findings) == 1
+    assert findings[0].severity == Severity.HINT
+    assert "reads=" in findings[0].message
+
+
+def test_w010_method_call_predicate_never_hard_errors():
+    """A predicate that calls a monitor method is opaque: the pass must
+    not claim unsatisfiability (no ERROR), only ask for an annotation."""
+    src = """
+from repro.core import Monitor, S
+
+class Pair(Monitor):
+    def _check(self):
+        return True
+
+    def a(self):
+        self.wait_until(S(lambda m: m._check(), "chk"))
+"""
+    findings = only(lint_source(src), "W010")
+    assert all(f.severity == Severity.HINT for f in findings)
+    assert len(findings) == 1  # the reads= annotation hint
+
+
+# --------------------------------------------------------------------- W011
+def test_w011_threshold_needs_up_but_writes_go_down():
+    src = """
+from repro.core import Monitor, S
+
+class C(Monitor):
+    def drain(self):
+        self.level -= 1
+
+    def wait_full(self):
+        self.wait_until(S.level >= 10)
+"""
+    findings = only(lint_source(src), "W011")
+    assert len(findings) == 1
+    assert "level" in findings[0].message
+    assert findings[0].severity == Severity.WARNING
+
+
+def test_w011_silent_when_any_write_moves_toward_threshold():
+    src = """
+from repro.core import Monitor, S
+
+class C(Monitor):
+    def drain(self):
+        self.level -= 1
+
+    def fill(self):
+        self.level += 1
+
+    def wait_full(self):
+        self.wait_until(S.level >= 10)
+"""
+    assert "W011" not in codes(lint_source(src))
+
+
+def test_w011_silent_on_non_monotonic_write():
+    """A plain rebind has unknown direction; the rule must assume it can
+    cross the threshold."""
+    src = """
+from repro.core import Monitor, S
+
+class C(Monitor):
+    def set(self, v):
+        self.level = v
+
+    def wait_full(self):
+        self.wait_until(S.level >= 10)
+"""
+    assert "W011" not in codes(lint_source(src))
+
+
+def test_w011_downward_threshold_with_upward_writes():
+    src = """
+from repro.core import Monitor, S
+
+class C(Monitor):
+    def grow(self):
+        self.backlog += 1
+
+    def wait_drained(self):
+        self.wait_until(S.backlog <= 0)
+"""
+    assert "W011" in codes(lint_source(src))
+
+
+# --------------------------------------------------------------------- W012
+def test_w012_sole_guarded_write_flagged():
+    src = """
+from repro.core import Monitor, S
+
+class L(Monitor):
+    def load(self, raw):
+        try:
+            self.value = int(raw)
+            self.done = True
+        except ValueError:
+            pass
+
+    def consume(self):
+        self.wait_until(S.done == True)  # noqa: E712
+"""
+    findings = only(lint_source(src), "W012")
+    assert len(findings) == 1
+    assert "done" in findings[0].message
+
+
+def test_w012_silent_with_second_unguarded_writer():
+    src = """
+from repro.core import Monitor, S
+
+class L(Monitor):
+    def load(self, raw):
+        try:
+            self.done = True
+        except ValueError:
+            pass
+
+    def force(self):
+        self.done = True
+
+    def consume(self):
+        self.wait_until(S.done == True)  # noqa: E712
+"""
+    assert "W012" not in codes(lint_source(src))
+
+
+def test_w012_silent_when_handler_reraises():
+    src = """
+from repro.core import Monitor, S
+
+class L(Monitor):
+    def load(self, raw):
+        try:
+            self.done = True
+        except ValueError:
+            raise
+
+    def consume(self):
+        self.wait_until(S.done == True)  # noqa: E712
+"""
+    assert "W012" not in codes(lint_source(src))
+
+
+def test_w012_silent_when_class_enables_poisoning():
+    """poison_on_exception converts a swallowed failure into a
+    BrokenMonitorError for waiters — the obligation is discharged by
+    poisoning, so the leak report would be noise."""
+    src = """
+from repro.core import Monitor, S
+
+class L(Monitor):
+    def __init__(self):
+        super().__init__(poison_on_exception=True)
+        self.done = False
+
+    def load(self, raw):
+        try:
+            self.done = bool(int(raw))
+        except ValueError:
+            pass
+
+    def consume(self):
+        self.wait_until(S.done == True)  # noqa: E712
+"""
+    assert "W012" not in codes(lint_source(src))
+
+
+# ----------------------------------------------------- whole-tree guarantees
+def test_problem_suite_has_no_liveness_findings():
+    """Acceptance bar from the issue: every Ch. 2-6 problem implementation
+    and example must lint clean under W010-W012."""
+    findings = lint_paths([
+        REPO / "src" / "repro" / "problems",
+        REPO / "examples",
+    ])
+    live = [f for f in findings if f.code in ("W010", "W011", "W012")]
+    assert live == [], "\n".join(f.format() for f in live)
+
+
+def test_line_suppression_applies_to_liveness_findings():
+    src = """
+from repro.core import Monitor, S
+
+class Gate(Monitor):
+    def enter(self):
+        self.wait_until(S.open == True)  # noqa: E712  # monlint: disable=W010
+"""
+    assert "W010" not in codes(lint_source(src))

@@ -23,6 +23,10 @@ FIXTURE_CODES = {
     "w005_tag_advisor.py": "W005",
     "w006_blocking_get.py": "W006",
     "w007_untracked_write.py": "W007",
+    "w010_unsatisfiable.py": "W010",
+    "w010_opaque_reads.py": "W010",
+    "w011_wrong_direction.py": "W011",
+    "w012_obligation_leak.py": "W012",
 }
 
 
@@ -57,6 +61,18 @@ def test_severities():
     assert by_code["W005"] == Severity.HINT
     assert by_code["W006"] == Severity.WARNING
     assert by_code["W007"] == Severity.WARNING
+    assert by_code["W011"] == Severity.WARNING
+    assert by_code["W012"] == Severity.WARNING
+
+
+def test_w010_dual_severity():
+    """W010 is an ERROR when the read set is known and never written, but
+    only a HINT when it merely asks for a ``reads=`` annotation."""
+    hard = lint_paths([FIXTURES / "w010_unsatisfiable.py"])
+    assert {f.severity for f in hard} == {Severity.ERROR}
+    soft = lint_paths([FIXTURES / "w010_opaque_reads.py"])
+    assert {f.severity for f in soft} == {Severity.HINT}
+    assert all("reads=" in f.message for f in soft)
 
 
 def test_w006_counts_and_suppression():
@@ -164,6 +180,59 @@ def test_lockgraph_self_loop_and_acyclic():
     assert graph.cycles() == [["B"]]
 
 
+def test_lockgraph_diamond_is_acyclic():
+    """A diamond (A→B, A→C, B→D, C→D) shares a sink but has no cycle —
+    the SCC condensation must not merge converging paths."""
+    graph = LockOrderGraph()
+    graph.add_edge("A", "B", "f.py", 1)
+    graph.add_edge("A", "C", "f.py", 2)
+    graph.add_edge("B", "D", "f.py", 3)
+    graph.add_edge("C", "D", "f.py", 4)
+    assert graph.cycles() == []
+    assert graph.nodes() == ["A", "B", "C", "D"]
+
+
+def test_lockgraph_two_disjoint_cycles_reported_separately():
+    graph = LockOrderGraph()
+    graph.add_edge("A", "B", "f.py", 1)
+    graph.add_edge("B", "A", "f.py", 2)
+    graph.add_edge("X", "Y", "g.py", 1)
+    graph.add_edge("Y", "X", "g.py", 2)
+    assert graph.cycles() == [["A", "B"], ["X", "Y"]]
+    # each anchor stays inside its own component
+    assert graph.anchor_for(["A", "B"]).path == "f.py"
+    assert graph.anchor_for(["X", "Y"]).path == "g.py"
+
+
+NESTED_PAIR = """
+from repro.core import Monitor
+
+class A(Monitor):
+    def poke(self, other: "B"):
+        other.poke(self){comment}
+
+class B(Monitor):
+    def poke(self, other: "A"):
+        other.poke(self)
+"""
+
+
+def test_lockgraph_suppressed_anchor_silences_cycle():
+    """The whole-program cycle finding is anchored at its smallest
+    path/line edge; a line suppression there silences it, same as any
+    per-site finding."""
+    dirty = lint_source(NESTED_PAIR.format(comment=""))
+    assert "W004" in {f.code for f in dirty}
+    cycle = [f for f in dirty if f.code == "W004" and "cycle" in f.message]
+    assert len(cycle) == 1
+    # the anchor is the first (smallest-line) edge — A.poke's call site
+    assert cycle[0].line == 6
+    clean = lint_source(
+        NESTED_PAIR.format(comment="  # monlint: disable=W004")
+    )
+    assert "W004" not in {f.code for f in clean}
+
+
 def test_syntax_error_becomes_finding():
     findings = lint_source("def broken(:\n")
     assert len(findings) == 1
@@ -180,11 +249,19 @@ def test_cli_exit_codes(capsys):
 
 
 def test_cli_json_format(capsys):
+    """--format json emits one finding per line (JSON-lines), so stream
+    consumers can process findings without buffering the whole run."""
     code = main(["--format", "json", str(FIXTURES / "w005_tag_advisor.py")])
     assert code == EXIT_FINDINGS
-    payload = json.loads(capsys.readouterr().out)
+    lines = capsys.readouterr().out.strip().splitlines()
+    payload = [json.loads(line) for line in lines]
+    assert len(payload) >= 1
     assert {entry["code"] for entry in payload} == {"W005"}
     assert all(entry["severity"] == "hint" for entry in payload)
+    # every line is a complete, self-describing record
+    for entry in payload:
+        assert {"code", "severity", "message", "path", "line", "col", "rule"} \
+            <= set(entry)
 
 
 def test_cli_usage_errors(capsys):
@@ -196,7 +273,10 @@ def test_cli_usage_errors(capsys):
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == EXIT_CLEAN
     out = capsys.readouterr().out
-    for code in ("W001", "W002", "W003", "W004", "W005", "W006", "W007"):
+    for code in (
+        "W001", "W002", "W003", "W004", "W005", "W006", "W007",
+        "W010", "W011", "W012",
+    ):
         assert code in out
 
 
