@@ -22,6 +22,7 @@ import json
 import sys
 from typing import Sequence
 
+from repro.analysis import aot  # noqa: F401 — registers W013
 from repro.analysis import liveness  # noqa: F401 — registers W010–W012
 from repro.analysis.linter import lint_paths
 from repro.analysis.rules import ALL_RULES
@@ -51,8 +52,9 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Static monitor-usage lint for the repro framework: predicate "
             "closure (W001/W002), relay invariance (W003), lock ordering "
-            "and deadlock cycles (W004), tagging hints (W005), and "
-            "signal-obligation liveness (W010-W012)."
+            "and deadlock cycles (W004), tagging hints (W005), "
+            "signal-obligation liveness (W010-W012), and AOT signal "
+            "placement (W013)."
         ),
     )
     parser.add_argument(

@@ -13,6 +13,7 @@ import ast
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.analysis import aot  # noqa: F401 — registers W013
 from repro.analysis import liveness  # noqa: F401 — registers W010–W012
 from repro.analysis.findings import Finding, Severity, apply_suppressions
 from repro.analysis.model import (

@@ -45,6 +45,7 @@ from repro.core.tag_index import TagIndex
 from repro.core.tags import TagKind, tag_predicate
 from repro.core.waiter import Waiter
 from repro.resilience import chaos as _chaos
+from repro.runtime import config as _config_state
 from repro.runtime.config import config_snapshot
 from repro.runtime.errors import WaitCancelledError, WaitTimeoutError
 from repro.runtime.metrics import Metrics, PhaseTimer
@@ -119,6 +120,22 @@ class ConditionManager:
         #: the read variables' generations equals ``stamp`` (any tracked
         #: write strictly increases the sum)
         self._expr_memo: dict[Any, list] = {}
+        # ---- ahead-of-time signal placement --------------------------
+        #: method → MethodSignalPlan stamped by ``@monitor_compile``
+        #: (docs/performance.md).  When plans exist and tracking is live,
+        #: *every* waiter joins the dependency buckets at registration
+        #: (tagged ones too), so a planned section exit can run
+        #: :meth:`direct_signal` — no tag-index probe, no relay search.
+        self._aot_plans = getattr(type(monitor), "_repro_aot_plans", None)
+        self._direct_enabled = (
+            mode == "autosynch" and self._tracked and bool(self._aot_plans)
+        )
+        #: per-generation cache of the direct-signal config gate (recomputed
+        #: only when the global config generation moves); the hot path reads
+        #: the generation int straight off the config module, skipping even
+        #: the snapshot call
+        self._gate_gen = -1
+        self._gate_ok = False
 
     # ------------------------------------------------------------------ wait
     def wait(self, predicate: Predicate) -> None:
@@ -326,6 +343,140 @@ class ConditionManager:
             m.bump("signals")
         return waiter
 
+    def direct_signal(self, plan) -> Optional[Waiter]:
+        """Section exit of an AOT-planned method: targeted signal, no search.
+
+        The compile-time matcher (:mod:`repro.analysis.aot`) proved every
+        statically visible write of the exiting method lands in
+        ``plan.write_set``; because registration is *unified* when plans
+        exist (tagged waiters join the dependency buckets too), the only
+        waiters whose predicates can have flipped are the opaque ones
+        (``_always``, evaluated every exit) and the bucketed readers of the
+        written variables — marked pending right here, without the
+        per-bucket relay bookkeeping, and drained exactly like the relay's
+        filtered scan.  Relay invariance (Prop. 2) holds for the same
+        reason it does under dependency filtering: a waiter leaves the
+        eligible queue only by being evaluated, and every written
+        variable's readers are queued before any early return.
+
+        The static result is never trusted alone: if the observed dirty
+        set escapes the plan (monkeypatched method, dynamic attribute
+        name), or any config lane wants the generic path (``aot_signal``
+        off for A/B, tracking off, phase timing on so Table 2.1 stays
+        complete), the exit falls back to :meth:`relay_signal`.
+        """
+        if not self._direct_enabled:
+            return self.relay_signal()
+        # config gate, recomputed only when the global config generation
+        # moves (reading the generation int off the module skips even the
+        # snapshot call — this runs on every planned section exit)
+        gen = _config_state._generation
+        if gen != self._gate_gen:
+            self._gate_gen = gen
+            snap = config_snapshot()
+            self._gate_ok = (snap.aot_signal and snap.track_dependencies
+                             and not snap.phase_timing)
+        if not self._gate_ok:
+            return self.relay_signal()
+        m = self.metrics
+        monitor = self.monitor
+        dirty = monitor._dirty
+        cand = None
+        if dirty:
+            if not dirty <= plan.write_set:
+                m.relay_aot_fallbacks += 1
+                return self.relay_signal()  # flushes dirty itself
+            # inline generation bump + reader marking: same effect as
+            # note_writes, minus the relay bucket-flush accounting — the
+            # exit performs zero relay-search work.  The first fresh reader
+            # is held out as ``cand`` (marked pending for cross-bucket
+            # dedup, but not queued): the typical exit flips exactly one
+            # waiter, and evaluating it in place skips the queue roundtrip.
+            gens = self.var_gens
+            buckets = self._dep_buckets
+            eligible = self._eligible
+            for name in dirty:
+                gens[name] = gens.get(name, 0) + 1
+                bucket = buckets.get(name)
+                if bucket:
+                    for w in bucket:
+                        if not w.pending:
+                            w.pending = True
+                            if cand is None:
+                                cand = w
+                            else:
+                                eligible.append(w)
+            dirty.clear()
+        m.relay_skipped_aot += 1
+        if not self.waiters:
+            if cand is not None:   # pragma: no cover — cand is registered
+                self._eligible.append(cand)
+            return None
+        chaos_on = _chaos.enabled
+        if chaos_on:
+            _chaos.fire("relay", monitor)
+        # _search_pred inlined (signaled check, eval count, poison-on-raise):
+        # one exit evaluates at most a handful of candidates, and the extra
+        # frame per candidate is the difference between this path and the
+        # relay it replaces
+        evals = 0
+        waiter = None
+        if self._always:
+            for w in self._always:
+                if w.signaled:
+                    continue
+                evals += 1
+                try:
+                    hit = w.eval_fn(monitor)
+                except BaseException as exc:  # noqa: BLE001 — owner re-raises
+                    w.poison = exc
+                    hit = True
+                if hit:
+                    waiter = w
+                    break
+        if cand is not None:
+            # evaluated exactly like a drained queue entry; when an opaque
+            # waiter already won, cand goes to the queue unevaluated
+            if waiter is None:
+                cand.pending = False
+                if not cand.signaled:
+                    evals += 1
+                    try:
+                        hit = cand.eval_fn(monitor)
+                    except BaseException as exc:  # noqa: BLE001
+                        cand.poison = exc
+                        hit = True
+                    if hit:
+                        waiter = cand
+            else:
+                self._eligible.append(cand)
+        if waiter is None:
+            eligible = self._eligible
+            while eligible:
+                w = eligible.pop()
+                if not w.pending:
+                    continue  # deregistered, or a stale duplicate entry
+                w.pending = False
+                if w.signaled:
+                    continue
+                evals += 1
+                try:
+                    hit = w.eval_fn(monitor)
+                except BaseException as exc:  # noqa: BLE001 — owner re-raises
+                    w.poison = exc
+                    hit = True
+                if hit:
+                    waiter = w
+                    break
+        if evals:
+            m.predicate_evals += evals
+        if waiter is not None:
+            if chaos_on:
+                _chaos.fire("signal", waiter)
+            waiter.signal()
+            m.bump("signals")
+        return waiter
+
     def poison_all(self, make_exc: Callable[[], BaseException]) -> int:
         """Poison and wake every parked waiter (caller holds the lock).
 
@@ -517,6 +668,22 @@ class ConditionManager:
                         if compile_ok else None
                     )
                     self._expr_reads[expr_key] = self._expr_key_reads(expr_key)
+            if self._direct_enabled:
+                waiter.aot_direct = True
+                pred = waiter.predicate
+                if pred.aot_match is None:
+                    # stamp the static match metadata with the same engine
+                    # monlint runs, so lint and runtime agree (lazy import:
+                    # the analysis package never loads on relay-only paths)
+                    from repro.analysis.aot import match_predicate
+                    pred.aot_match = match_predicate(
+                        pred.read_set(), self._aot_plans)
+                if not waiter.untagged:
+                    # unified registration: tagged waiters join the
+                    # dependency buckets too, so a direct exit covers them
+                    # without a tag-index probe.  The tag records stay —
+                    # generic relays (baton pass, fallbacks) still use them.
+                    self._register_untagged(waiter)
 
     def _register_untagged(self, waiter: Waiter) -> None:
         waiter.untagged = True

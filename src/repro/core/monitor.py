@@ -95,6 +95,32 @@ def _wrap_method(fn: Callable) -> Callable:
     return wrapper
 
 
+def _wrap_method_direct(fn: Callable, plan) -> Callable:
+    """Like :func:`_wrap_method`, but the section exit carries the method's
+    AOT signal plan (:class:`repro.analysis.aot.MethodSignalPlan`): the
+    final exit runs ``ConditionManager.direct_signal(plan)`` — a targeted
+    signal with zero relay-search work — instead of the generic relay.
+    Only ``@monitor_compile`` applies this, and only to methods whose
+    write sets it could close statically (docs/performance.md)."""
+    @functools.wraps(fn)
+    def wrapper(self: "Monitor", *args, **kwargs):
+        self._monitor_enter()
+        try:
+            return fn(self, *args, **kwargs)
+        except BaseException as exc:
+            # same poisoning discipline as _wrap_method
+            if (config_snapshot().poison_on_exception
+                    and not isinstance(exc, _CONTROL_FLOW_EXC)):
+                self.mark_broken(exc)
+            raise
+        finally:
+            self._monitor_exit(plan)
+
+    setattr(wrapper, "_repro_wrapped", True)
+    setattr(wrapper, "_repro_aot_plan", plan)
+    return wrapper
+
+
 class MonitorMeta(type):
     """Wraps every public callable of a Monitor subclass with lock + relay.
 
@@ -234,7 +260,7 @@ class Monitor(metaclass=MonitorMeta):
             self._lock.release()
             raise BrokenMonitorError(f"{self!r} is broken", broken)
 
-    def _monitor_exit(self) -> None:
+    def _monitor_exit(self, aot_plan=None) -> None:
         if _monlint.enabled:
             _monlint.on_release(self)
         self._depth -= 1
@@ -246,7 +272,15 @@ class Monitor(metaclass=MonitorMeta):
             try:
                 for hook in self._exit_hooks:
                     hook(self)
-                self._cond_mgr.relay_signal()
+                if aot_plan is not None:
+                    # AOT signal placement: this section's write set was
+                    # closed statically, so the exit signals directly and
+                    # skips the relay search (falls back inside when the
+                    # observed writes escape the plan or a config lane
+                    # wants the generic path)
+                    self._cond_mgr.direct_signal(aot_plan)
+                else:
+                    self._cond_mgr.relay_signal()
             finally:
                 self._lock.release()
             # fires outside the lock: a kill injected here cannot wedge the

@@ -30,7 +30,7 @@ class Waiter:
     __slots__ = (
         "predicate", "eval_fn", "cv", "signaled", "records",
         "expr_keys", "evaler_keys", "thread_id", "poison",
-        "read_set", "untagged", "pending",
+        "read_set", "untagged", "pending", "aot_direct",
     )
 
     def __init__(self, predicate: Predicate, lock: threading.RLock,
@@ -63,6 +63,10 @@ class Waiter:
         self.untagged = False
         #: True while queued for (re-)evaluation at the next relay search
         self.pending = False
+        #: True when registered with a monitor whose compiled write sites
+        #: signal directly (AOT signal placement); diagnostics report the
+        #: signal path so stall triage doesn't mis-blame the relay
+        self.aot_direct = False
 
     def retire(self) -> None:
         """Drop references held for the finished wait (before pooling)."""
@@ -95,7 +99,8 @@ class Waiter:
             reads_desc = "?"  # opaque: may read any shared variable
         else:
             reads_desc = "{" + ",".join(sorted(reads)) + "}"
-        return f"tid={self.thread_id} on {what} reads={reads_desc}"
+        path = "direct" if self.aot_direct else "relay"
+        return f"tid={self.thread_id} on {what} reads={reads_desc} path={path}"
 
     def __repr__(self):
         return f"Waiter(tid={self.thread_id}, {self.predicate!r})"

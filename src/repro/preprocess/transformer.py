@@ -478,8 +478,18 @@ def monitor_compile(cls: T) -> T:
     Must sit *above* the Monitor metaclass's wrapping — i.e. applied to the
     already-created class — so it unwraps each auto-wrapped method, rewrites
     the original body, and re-wraps it.
+
+    Beyond the rewrite, compilation runs the ahead-of-time signal-placement
+    analysis (:mod:`repro.analysis.aot`): each method's transitively-closed
+    write set is derived from its raw source, and public methods whose
+    writes are fully statically visible are re-wrapped so their section
+    exits signal directly — skipping the relay search — with
+    ``cls._repro_aot_plans`` recording the per-method plans.  Methods with
+    bare-``self`` escapes, unresolvable calls, or no retrievable source
+    keep the generic relay exit, as do inherited methods (cross-class
+    writers always fall back).
     """
-    from repro.core.monitor import Monitor, _wrap_method
+    from repro.core.monitor import Monitor, _wrap_method, _wrap_method_direct
 
     if not issubclass(cls, Monitor):
         raise PredicateError("@monitor_compile requires a Monitor subclass")
@@ -489,10 +499,13 @@ def monitor_compile(cls: T) -> T:
     #: candidate write sites, consumed by the runtime ObligationTracker
     #: when naming who *could* have discharged a starving wait)
     write_sites: dict[str, list[str]] = {}
+    #: raw (unwrapped) functions, for the AOT signal-placement analysis
+    raw_methods: dict[str, Callable] = {}
     for name, value in list(vars(cls).items()):
         if not callable(value) or (name.startswith("__") and name.endswith("__")):
             continue
         raw = getattr(value, "__wrapped__", value)
+        raw_methods[name] = raw
         for var in _method_write_vars(raw):
             methods = write_sites.setdefault(var, [])
             if name not in methods:
@@ -511,4 +524,19 @@ def monitor_compile(cls: T) -> T:
     cls._repro_write_sites = {
         var: sorted(methods) for var, methods in write_sites.items()
     }
+    # ---- ahead-of-time signal placement ---------------------------------
+    # lazy import: the analysis package loads only when a class actually
+    # compiles, never on plain Monitor use
+    from repro.analysis.aot import build_plans_for_class
+
+    aot_plans = build_plans_for_class(raw_methods)
+    for name, plan in aot_plans.items():
+        if name.startswith("_"):
+            continue  # helpers run under a public caller's exit
+        current = vars(cls).get(name)
+        if current is None or not getattr(current, "_repro_wrapped", False):
+            continue  # unmonitored / property-like: no section exit to plan
+        inner = getattr(current, "__wrapped__", current)
+        setattr(cls, name, _wrap_method_direct(inner, plan))
+    cls._repro_aot_plans = aot_plans
     return cls

@@ -68,6 +68,10 @@ class WaiterObligation:
     var_deltas: dict = field(default_factory=dict)
     #: sections the static pass says *could* write a read variable
     candidate_sites: dict = field(default_factory=dict)
+    #: which wake path serves this waiter: "direct" when the monitor's
+    #: AOT signal plans cover it (section exits signal it without a relay
+    #: search), "relay" otherwise — so stall triage blames the right layer
+    signal_path: str = "relay"
 
     @property
     def unwritten_vars(self) -> list:
@@ -83,7 +87,7 @@ class WaiterObligation:
             f"obligation unmet on monitor #{self.monitor_id} "
             f"{self.monitor_class}: waiter on {self.predicate} "
             f"reads={reads} outlived {self.generations_outlived} "
-            "section exits with zero debits"
+            f"section exits with zero debits (path={self.signal_path})"
         ]
         for var in self.unwritten_vars:
             sites = self.candidate_sites.get(var)
@@ -305,5 +309,9 @@ class ObligationTracker:
                 generations_outlived=outlived,
                 var_deltas=deltas,
                 candidate_sites=self._candidate_sites(m, deltas),
+                signal_path=(
+                    "direct" if getattr(waiter, "aot_direct", False)
+                    else "relay"
+                ),
             ))
         return out

@@ -52,6 +52,12 @@ class Metrics:
     relay_buckets_scanned: int = 0  #: read-set buckets flushed into the
                                     #: eligible queue by write tracking (one
                                     #: per dirtied variable with parked readers)
+    relay_skipped_aot: int = 0  #: section exits served by an AOT direct-signal
+                                #: plan: the relay search (tag probe + bucket
+                                #: flush bookkeeping) was skipped entirely
+    relay_aot_fallbacks: int = 0  #: direct-signal exits that fell back to the
+                                  #: generic relay because the observed dirty
+                                  #: set escaped the static write-set plan
     stm_commits: int = 0        #: STM transactions committed
     stm_aborts: int = 0         #: STM transactions aborted/retried
     wait_timeouts: int = 0      #: bounded waits that expired (WaitTimeoutError)
@@ -92,6 +98,7 @@ class Metrics:
         "tasks_submitted", "tasks_combined",
         "steal_batches", "steal_items", "gen_skips",
         "relay_dirty_skips", "relay_buckets_scanned",
+        "relay_skipped_aot", "relay_aot_fallbacks",
         "stm_commits", "stm_aborts",
         "wait_timeouts", "wait_cancels",
         "server_restarts", "futures_failed_fast",

@@ -1,0 +1,30 @@
+"""Lint fixture: W013 (hint) — an opaque read set blocks direct signaling.
+
+The class is ``@monitor_compile``d and ``refill``/``take`` earn AOT signal
+plans (their write sets close statically over ``stock``), so their section
+exits signal directly and skip the relay search.  But ``take``'s wait
+predicate is a method call — an opaque read set — so every one of those
+direct exits must re-evaluate it anyway.  Writing the condition over
+``self.stock`` (or annotating ``reads=`` on a shared expression) lets the
+AOT matcher route it through the written-variable buckets instead.
+"""
+
+from repro.core import Monitor
+from repro.preprocess import monitor_compile, waituntil
+
+
+@monitor_compile
+class Shelf(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.stock = 0
+
+    def refill(self, n):
+        self.stock += n
+
+    def take(self):
+        waituntil(self._has_stock())
+        self.stock -= 1
+
+    def _has_stock(self):
+        return self.stock > 0

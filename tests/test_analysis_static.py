@@ -27,6 +27,7 @@ FIXTURE_CODES = {
     "w010_opaque_reads.py": "W010",
     "w011_wrong_direction.py": "W011",
     "w012_obligation_leak.py": "W012",
+    "w013_opaque_direct_signal.py": "W013",
 }
 
 
@@ -63,6 +64,7 @@ def test_severities():
     assert by_code["W007"] == Severity.WARNING
     assert by_code["W011"] == Severity.WARNING
     assert by_code["W012"] == Severity.WARNING
+    assert by_code["W013"] == Severity.HINT
 
 
 def test_w010_dual_severity():
@@ -275,7 +277,7 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for code in (
         "W001", "W002", "W003", "W004", "W005", "W006", "W007",
-        "W010", "W011", "W012",
+        "W010", "W011", "W012", "W013",
     ):
         assert code in out
 

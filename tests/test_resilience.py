@@ -14,6 +14,7 @@ from repro.active import ActiveMonitor, asynchronous
 from repro.active.activemonitor import _outstanding
 from repro.core import Monitor, S, synchronized
 from repro.multi import complex_pred, multisynch
+from repro.preprocess import monitor_compile
 from repro.resilience import (
     CancelToken,
     ServerSupervisor,
@@ -628,6 +629,131 @@ class TestChaosLayer:
             chaos.fire("queue_put")
         assert not chaos.enabled
         assert chaos.stats()["fired"]["queue_put"] == 1
+
+
+# ==================================================== AOT direct-signal paths
+@monitor_compile
+class DirectShelf(Monitor):
+    """Compiled monitor whose public writers carry AOT signal plans, so
+    section exits signal waiters directly instead of running the relay."""
+
+    def __init__(self, **kw):
+        super().__init__(**kw)
+        self.stock = 0
+
+    def refill(self, n):
+        self.stock += n
+
+    def take(self, **kw):
+        self.wait_until(S.stock > 0, **kw)
+        self.stock -= 1
+        return self.stock
+
+    def crash(self):
+        raise RuntimeError("shelf burst")
+
+
+class TestDirectSignalResilience:
+    """Timeouts, cancellation, abandonment re-relay and poisoning must all
+    behave identically when the waking side is an AOT direct-signal exit
+    rather than the runtime relay search."""
+
+    def test_direct_path_is_active(self):
+        shelf = DirectShelf()
+        assert getattr(DirectShelf, "_repro_aot_plans", None)
+        done = []
+        t = _spawn(lambda: done.append(shelf.take(timeout=5.0)))
+        time.sleep(0.05)
+        before = shelf.metrics.relay_skipped_aot
+        shelf.refill(1)
+        t.join(2.0)
+        assert done == [0]
+        assert shelf.metrics.relay_skipped_aot > before
+
+    def test_timeout_deadline_cancel_on_direct_path(self):
+        shelf = DirectShelf()
+        with pytest.raises(WaitTimeoutError):
+            shelf.take(timeout=0.1)
+        with pytest.raises(WaitTimeoutError):
+            shelf.take(timeout=5.0, deadline=time.monotonic() + 0.1)
+        tok = CancelToken()
+        errs = []
+
+        def waiter():
+            try:
+                shelf.take(cancel=tok)
+            except WaitCancelledError as exc:
+                errs.append(exc)
+
+        t = _spawn(waiter)
+        time.sleep(0.05)
+        tok.cancel("shutdown")
+        t.join(2.0)
+        assert not t.is_alive()
+        assert [e.reason for e in errs] == ["shutdown"]
+        assert not shelf.broken
+
+    def test_straddling_timeout_on_direct_path_never_loses_stock(self):
+        """Same abandonment-race guarantee as the relay version: whether
+        the refill lands before or after the short waiter's timeout,
+        exactly one waiter consumes the unit and nobody hangs."""
+        for round_no in range(8):
+            shelf = DirectShelf()
+            consumed = []
+
+            def taker(timeout):
+                try:
+                    consumed.append(shelf.take(timeout=timeout))
+                except WaitTimeoutError:
+                    pass
+
+            t1 = _spawn(taker, 0.08)
+            t2 = _spawn(taker, 2.0)
+            time.sleep(0.04 + round_no * 0.012)   # straddle t1's timeout
+            shelf.refill(1)
+            t1.join(5.0)
+            t2.join(5.0)
+            assert not t1.is_alive() and not t2.is_alive()
+            assert consumed == [0]
+
+    def test_poisoning_wakes_direct_waiters(self):
+        get_config().poison_on_exception = True
+        shelf = DirectShelf()
+        errs = []
+
+        def waiter():
+            try:
+                shelf.take()
+            except BrokenMonitorError as exc:
+                errs.append(exc)
+
+        t = _spawn(waiter)
+        time.sleep(0.05)
+        with pytest.raises(RuntimeError):
+            shelf.crash()
+        t.join(2.0)
+        assert not t.is_alive()
+        assert len(errs) == 1 and isinstance(errs[0].cause, RuntimeError)
+        assert shelf.broken
+        shelf.reset()
+        shelf.refill(1)
+        assert shelf.take(timeout=1.0) == 0
+
+    def test_disabling_aot_signal_falls_back_to_relay(self):
+        cfg = get_config()
+        saved = cfg.aot_signal
+        cfg.aot_signal = False
+        try:
+            shelf = DirectShelf()
+            done = []
+            t = _spawn(lambda: done.append(shelf.take(timeout=5.0)))
+            time.sleep(0.05)
+            shelf.refill(1)
+            t.join(2.0)
+            assert done == [0]
+            assert shelf.metrics.relay_skipped_aot == 0
+        finally:
+            cfg.aot_signal = saved
 
 
 # ============================================================== cancel token
