@@ -3,6 +3,16 @@
 Each bench module regenerates one paper table/figure (printing the same
 rows/series the paper reports, and writing them to ``benchmarks/results/``)
 and times one representative configuration with pytest-benchmark.
+
+Every ``BENCH_*.json`` report written by this suite carries a ``build``
+block (:data:`BUILD` — interpreter version, free-threading build flag,
+whether the GIL was enabled, platform, CPU count) so that trajectories
+measured under the GIL and without it are never compared silently: a
+free-threaded interpreter trades single-thread speed for scaling, and a
+ratio gate that mixed the two regimes would fire (or pass) for the wrong
+reason.  Gate tests call :func:`gil_mismatch` on the committed record and
+skip — loudly, with both builds named — instead of comparing across the
+boundary.
 """
 
 from __future__ import annotations
@@ -11,7 +21,47 @@ import pathlib
 
 import pytest
 
+from repro.runtime.atomics import build_info
+
 RESULTS = pathlib.Path(__file__).parent / "results"
+
+#: metadata of the interpreter running this suite, stamped into every report
+BUILD = build_info()
+
+
+def stamp_build(report: dict) -> dict:
+    """Attach the running interpreter's build block to a bench report."""
+    report["build"] = BUILD
+    return report
+
+
+def gil_mismatch(committed: dict | None) -> str | None:
+    """Reason string when ``committed`` came from the other GIL regime.
+
+    Returns ``None`` when the records are comparable (same ``gil_enabled``).
+    A committed record with no ``build`` block predates the stamping and is
+    treated as a GIL-build record (everything before the free-threaded lane
+    was measured under the GIL).
+    """
+    if committed is None:
+        return None
+    recorded = committed.get("build", {}).get("gil_enabled", True)
+    if bool(recorded) == bool(BUILD["gil_enabled"]):
+        return None
+    return (
+        f"committed record measured with gil_enabled={recorded}, this "
+        f"interpreter has gil_enabled={BUILD['gil_enabled']} "
+        f"({BUILD['python']}, free_threading_build="
+        f"{BUILD['free_threading_build']}) — GIL and no-GIL trajectories "
+        f"are never compared"
+    )
+
+
+def skip_if_gil_mismatch(committed: dict | None) -> None:
+    """``pytest.skip`` a gate when the committed record is cross-regime."""
+    reason = gil_mismatch(committed)
+    if reason is not None:
+        pytest.skip(reason)
 
 
 @pytest.fixture

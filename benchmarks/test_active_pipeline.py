@@ -40,6 +40,7 @@ from benchmarks.active_pipeline_lanes import (
     queue_ops,
     run_lanes,
 )
+from benchmarks.conftest import skip_if_gil_mismatch, stamp_build
 from repro.multi import multisync as _multisync_mod
 
 BENCH_FILE = (
@@ -169,13 +170,13 @@ def results():
             speedup_vs_seed[lane] = round(seed / value, 2)
         else:
             speedup_vs_seed[lane] = round(value / seed, 2)
-    report = {
+    report = stamp_build({
         "unit": "ops_per_s (latency lanes: ns_per_op)",
         "seed": SEED_LANES,
         "lanes": lanes,
         "speedup_vs_seed": speedup_vs_seed,
         "comparison_ratios": ratios,
-    }
+    })
     if os.environ.get("REPRO_WRITE_BENCH") == "1":
         BENCH_FILE.write_text(json.dumps(report, indent=2) + "\n")
     return {"committed": committed, "fresh": report}
@@ -207,6 +208,7 @@ def test_ratio_gate_vs_committed_baseline(results):
     committed = results["committed"]
     if committed is None:
         pytest.skip("no committed BENCH_active_pipeline.json to gate against")
+    skip_if_gil_mismatch(committed)
     recorded = committed["comparison_ratios"]
     measured = results["fresh"]["comparison_ratios"]
     for lane in GATED_RATIOS:

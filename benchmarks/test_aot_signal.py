@@ -33,6 +33,7 @@ import time
 
 import pytest
 
+from benchmarks.conftest import skip_if_gil_mismatch, stamp_build
 from repro.analysis.aot import MethodSignalPlan
 from repro.core.expressions import S
 from repro.core.monitor import Monitor
@@ -349,7 +350,7 @@ def run_suite() -> dict:
             / lanes["direct"]["readers_writers"], 2
         ),
     }
-    return {
+    return stamp_build({
         "unit": "ns_per_op",
         "sparse_write_baseline": write_baseline,
         "lanes": lanes,
@@ -358,7 +359,7 @@ def run_suite() -> dict:
             for lane in ("direct", "tracked", "exhaustive")
         },
         "ratios": ratios,
-    }
+    })
 
 
 @pytest.fixture(scope="module")
@@ -439,6 +440,7 @@ def test_ratio_gate_vs_committed_record(results):
     committed = results["committed"]
     if committed is None:
         pytest.skip("no committed BENCH_aot_signal.json to gate against")
+    skip_if_gil_mismatch(committed)
     for key in GATED_RATIOS:
         floor = committed["ratios"][key] * (1.0 - RATIO_TOLERANCE)
         measured = results["fresh"]["ratios"][key]

@@ -27,6 +27,7 @@ import time
 
 import pytest
 
+from benchmarks.conftest import skip_if_gil_mismatch, stamp_build
 from repro.core.expressions import S
 from repro.core.monitor import Monitor
 from repro.core.predicates import Predicate
@@ -262,14 +263,14 @@ def results():
         committed = json.loads(BENCH_FILE.read_text())
     interpreted = run_suite(compile_predicates=False)
     compiled = run_suite(compile_predicates=True)
-    report = {
+    report = stamp_build({
         "unit": "ns_per_op",
         "seed": SEED_NS_PER_OP,
         "interpreted": interpreted,
         "compiled": compiled,
         "speedup_compiled_vs_interpreted": _ratios(compiled, interpreted),
         "speedup_compiled_vs_seed": _ratios(compiled, SEED_NS_PER_OP),
-    }
+    })
     import os
 
     if os.environ.get("REPRO_WRITE_BENCH") == "1":
@@ -296,6 +297,7 @@ def test_ratio_gate_vs_committed_baseline(results):
     committed = results["committed"]
     if committed is None:
         pytest.skip("no committed BENCH_core_hotpath.json to gate against")
+    skip_if_gil_mismatch(committed)
     recorded = committed["speedup_compiled_vs_interpreted"]
     measured = results["fresh"]["speedup_compiled_vs_interpreted"]
     for lane in GATED_LANES:
@@ -315,7 +317,7 @@ def dirty_results():
     if DIRTY_BENCH_FILE.exists():
         committed = json.loads(DIRTY_BENCH_FILE.read_text())
     lanes, dense_now = run_dirty_suite()
-    report = {
+    report = stamp_build({
         "unit": "ns_per_op",
         "dense_seed_ns": DENSE_SEED_NS,
         "lanes": lanes,
@@ -325,7 +327,7 @@ def dirty_results():
             2,
         ),
         "dense_ratio_vs_seed": round(dense_now / DENSE_SEED_NS, 3),
-    }
+    })
     import os
 
     if os.environ.get("REPRO_WRITE_BENCH") == "1":
@@ -353,6 +355,7 @@ def test_sparse_ratio_gate_vs_committed_record(dirty_results):
     committed = dirty_results["committed"]
     if committed is None:
         pytest.skip("no committed BENCH_relay_dirty.json to gate against")
+    skip_if_gil_mismatch(committed)
     floor = committed["sparse_speedup_tracked_vs_untracked"] * (
         1.0 - RATIO_TOLERANCE
     )

@@ -3,18 +3,30 @@
 The paper replaces Java's heavyweight ``FutureTask`` with "a lightweight
 version of future objects that are shared between only one worker thread and
 the server" (§3.3.2), using volatile fields and ``park``/``unpark``.  The
-Python analogue: plain attributes for the value/state hand-off (GIL writes
-are sequentially consistent) and a condition variable allocated **lazily**,
-only when a consumer actually blocks in :meth:`get`.  The dominant pipeline
-case — submit, do other work, ``get`` after the server already completed the
-task — therefore allocates no synchronization object at all, and the
-producer's completion path is a couple of attribute stores plus one branch.
+Python analogue: plain slot attributes for the value/state hand-off and a
+condition variable allocated **lazily**, only when a consumer actually
+blocks in :meth:`get`.  The dominant pipeline case — submit, do other work,
+``get`` after the server already completed the task — therefore allocates no
+synchronization object at all, and the producer's completion path is a
+couple of attribute stores plus one branch.
 
 Ordering argument (single producer): ``set_result`` stores the value, then
 the state, then reads ``_cv``.  A consumer that installs a CV *after* that
 read necessarily re-checks ``_state`` afterwards and sees the completion; a
 consumer that installed it *before* is notified under the CV.  Either way no
 wakeup is lost.
+
+Free-threading contract (no-GIL audit, docs/performance.md): the lock-free
+hand-off is exactly the Java volatile pattern the paper uses, and it stays
+sound without the GIL because CPython's free-threaded builds give single
+attribute stores/loads atomic pointer semantics with release/acquire
+ordering (PEP 703) — the value-before-state publication order means a
+consumer that acquire-loads ``_state == DONE`` observes the value store
+that release-preceded it.  This is message-passing, not a store-load
+(Dekker) pattern, so no fence beyond release/acquire is needed; the
+blocking path synchronizes through the CV's own lock as usual.  No
+primitive from :mod:`repro.runtime.atomics` is required here — the audit's
+conclusion, recorded so nobody "fixes" this with a per-future lock.
 """
 
 from __future__ import annotations

@@ -4,13 +4,16 @@ The server thread is the only consumer; every worker is a producer.  The
 original minimizes consumer-side synchronization by *count stealing*: the
 consumer claims the whole currently-visible batch and touches the shared
 counter once per batch.  This implementation keeps that structure but takes
-it further by exploiting CPython's GIL-atomic primitives, so the common
-case acquires **zero locks** on both sides:
+it further by exploiting CPython's per-operation atomicity (via the
+explicit :mod:`repro.runtime.atomics` layer), so the common case acquires
+**zero locks** on both sides on GIL builds:
 
-* a producer reserves a slot with one atomic ticket (``next`` on an
-  ``itertools.count``), checks admission against the consumer-published
-  ``taken`` counter, and publishes the item with one ``deque.append`` —
-  three C-level calls, no lock;
+* a producer reserves a slot with one atomic ticket
+  (:class:`~repro.runtime.atomics.AtomicCounter` — a raw
+  ``itertools.count`` draw under the GIL, a locked fetch-and-add without
+  it), checks admission against the consumer-published ``taken`` counter,
+  and publishes the item with one ``deque.append`` — three C-level calls,
+  no lock on GIL builds;
 * the consumer steals the visible batch (``len(deque)``), advances
   ``taken`` once per batch (the paper's take-count strategy), and dequeues
   the claimed items with plain ``popleft`` — no lock, one shared-counter
@@ -19,13 +22,29 @@ case acquires **zero locks** on both sides:
   producer enters *after* its admission check fails, and that the consumer
   touches only when ``_parked`` says somebody is actually waiting.
 
-Memory-model note: under the GIL, ``next(count)``, ``deque.append``,
-``deque.popleft`` and ``len(deque)`` are atomic, and writes are visible to
-subsequent reads in sequential-consistency order — the lost-wakeup
-argument below relies on nothing stronger.  The parking path re-checks its
-admission predicate under the parking lock, and the consumer's notify also
-takes that lock, so a producer can never sleep through the wakeup that
-frees its slot.
+Memory-model note (the no-GIL contract).  The queue's correctness rests on
+four primitives, each explicitly accounted for on both builds:
+
+* **ticket draws** go through :class:`repro.runtime.atomics.AtomicCounter`
+  — a raw ``itertools.count`` draw on GIL builds (atomic single C call), a
+  locked fetch-and-add on free-threaded builds.  Tickets are the only
+  multi-writer read-modify-write in the queue;
+* **``deque.append`` / ``popleft`` / ``len``** are atomic per operation on
+  both builds (GIL, or PEP 703's per-object container locks on
+  free-threaded CPython);
+* **``_taken``** has a single writer (the consumer); producer reads are
+  racy but conservative — the counter only grows, so a stale (smaller)
+  value can only make ``t - taken >= capacity`` *more* likely, i.e. park a
+  producer that could have been admitted, never admit one over the bound;
+* **the parking-lot handshake** is the one store-load pattern that needs
+  sequential consistency ("consumer stores ``_taken`` then loads
+  ``_parked``; producer stores ``_parked`` then loads ``_taken``").  The
+  GIL provides it; without the GIL the consumer takes the parking lock
+  before checking ``_parked`` (one lock per *batch*, selected at import by
+  ``GIL_ENABLED``), which restores the ordering through lock
+  acquire/release: whichever side enters the lock second observes the
+  other's store.  The producer's re-check under that lock closes the
+  lost-wakeup window exactly as before.
 
 Capacity semantics (inherent to the original design, kept deliberately):
 the bound applies to *unclaimed* items.  A steal advances ``taken`` by the
@@ -40,12 +59,12 @@ accounting exact for every later ticket.
 
 from __future__ import annotations
 
-import itertools
 import threading
 from collections import deque
 from typing import Any, Optional
 
 from repro.resilience import chaos as _chaos
+from repro.runtime.atomics import GIL_ENABLED, AtomicCounter
 
 __all__ = ["AtomicInteger", "SingleConsumerBoundedQueue"]
 
@@ -101,7 +120,7 @@ class SingleConsumerBoundedQueue:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._items: deque[Any] = deque()     # published items (FIFO)
-        self._tickets = itertools.count()     # producer slot reservations
+        self._tickets = AtomicCounter()       # producer slot reservations
         self._void: deque[None] = deque()     # reservations abandoned by try_put
         self._taken = 0       # consumer-published count of claimed tickets
         self._claimed = 0     # consumer-local remainder of the stolen batch
@@ -120,7 +139,7 @@ class SingleConsumerBoundedQueue:
             # fires before the ticket draw: a delay here widens the window
             # between reservation decisions of racing producers
             _chaos.fire("queue_put", self)
-        t = next(self._tickets)
+        t = self._tickets.next()
         if t - self._taken >= self.capacity:
             self._park(t)
         self._items.append(item)
@@ -142,7 +161,7 @@ class SingleConsumerBoundedQueue:
 
         A failed attempt abandons its ticket on the void list; the consumer
         folds voids back into ``taken`` at the next steal."""
-        t = next(self._tickets)
+        t = self._tickets.next()
         if t - self._taken >= self.capacity:
             self._void.append(None)
             return False
@@ -206,9 +225,23 @@ class SingleConsumerBoundedQueue:
             self.steal_batches += 1
             self.steal_items += n
             advanced += n
-        if advanced and self._parked:
-            with self._parklock:
-                self._not_full.notify_all()
+        if advanced:
+            if GIL_ENABLED:
+                # racy _parked read is sound: the GIL orders the producer's
+                # "_parked store, _taken load" against our "_taken store,
+                # _parked load" sequentially, so one side always sees the
+                # other (the Dekker store-load pair in the module docstring)
+                if self._parked:
+                    with self._parklock:
+                        self._not_full.notify_all()
+            else:
+                # no GIL ⇒ no store-load ordering without a fence: check
+                # _parked *under* the parking lock (once per batch).  A
+                # producer that hasn't entered the lot yet will re-check its
+                # admission predicate under this lock and see our _taken.
+                with self._parklock:
+                    if self._parked:
+                        self._not_full.notify_all()
         return n
 
     def approx_len(self) -> int:

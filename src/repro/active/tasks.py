@@ -18,20 +18,25 @@ call the moment the server completes it.
 
 from __future__ import annotations
 
-import itertools
 import threading
 from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.active.futures import LightFuture
 from repro.core.predicates import Predicate
+from repro.runtime.atomics import AtomicCounter
 
-#: global submission timestamps; ``next`` on a count is GIL-atomic, so the
-#: old dedicated lock around it bought nothing
-_seq = itertools.count(1)
+#: global submission timestamps.  Rule 2 (per-worker program order) needs
+#: every draw to be unique and ordered, so the draw goes through the
+#: explicit atomics layer: on GIL builds this *is* the old ``next(count)``
+#: (one atomic C call); on free-threaded builds it is a locked
+#: fetch-and-add — the "GIL-atomic so the lock bought nothing" claim the
+#: old comment made is true only under the GIL.
+_seq = AtomicCounter(1)
 
-#: recycled task shells (deque ops are GIL-atomic: any thread may pop,
-#: executors append)
+#: recycled task shells — any thread may pop, executors append.  Single
+#: deque operations are atomic on both builds (GIL, or PEP 703's
+#: per-object container locks on free-threaded CPython).
 _pool: deque["MonitorTask"] = deque()
 _POOL_CAP = 256
 
@@ -79,7 +84,7 @@ class MonitorTask:
         self.args = args
         self.kwargs = kwargs
         self.worker_id = threading.get_ident()
-        self.seq = next(_seq)        # global submission timestamp (sub(t))
+        self.seq = _seq.next()       # global submission timestamp (sub(t))
         self.priority = priority
         self.name = name or getattr(body, "__name__", "task")
         self.retries_left = retries  # §6.2.1: automatic re-tries on failure

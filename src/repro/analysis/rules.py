@@ -1099,6 +1099,102 @@ class _SyncWalker:
                     self._add_edge(holder, target_cls, node.lineno)
 
 
+# ---------------------------------------------------------------------------
+# W014 — GIL-atomicity assumption (free-threaded lane)
+# ---------------------------------------------------------------------------
+
+class GilAtomicityAssumption(Rule):
+    """W014 — a counter relies on GIL atomicity that the free-threaded
+    CPython lane (PEP 703) does not provide.
+
+    Two patterns, both of which the runtime packages were audited out of
+    (docs/performance.md "Free-threaded lane"):
+
+    * a direct ``itertools.count(...)`` construction — ``next`` on the
+      result is atomic *only* while the GIL serializes the C call; drawn
+      from several threads on a free-threaded build it can hand two
+      threads the same ticket.  :class:`repro.runtime.atomics.AtomicCounter`
+      is the drop-in replacement (it *is* an ``itertools.count`` on GIL
+      builds, and a locked fetch-and-add without the GIL);
+    * a ``global``-declared bare-int counter mutated with ``+=``/``-=`` —
+      a read-modify-write across bytecodes, which was never atomic even
+      under the GIL and silently loses increments without it.
+
+    HINT severity: single-threaded code (simulators, test scaffolding) may
+    legitimately keep the raw forms — suppress with
+    ``# monlint: disable=W014`` and say why.
+    """
+
+    code = "W014"
+    name = "gil-atomic-counter"
+    severity = Severity.HINT
+
+    def check(self, module: ModuleModel, ctx: ProjectContext) -> Iterator[Finding]:
+        tree = module.tree
+        # names under which itertools.count is reachable in this module
+        count_names = {"itertools.count"}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "itertools":
+                for alias in node.names:
+                    if alias.name == "count":
+                        count_names.add(alias.asname or "count")
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "itertools" and alias.asname:
+                        count_names.add(f"{alias.asname}.count")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                if dotted in count_names:
+                    yield self._finding(
+                        module.path, node,
+                        "direct itertools.count() — ``next`` on it is "
+                        "atomic only under the GIL; route cross-thread "
+                        "draws through repro.runtime.atomics.AtomicCounter "
+                        "so the free-threaded lane stays correct",
+                    )
+        yield from self._global_int_augassigns(module, tree)
+
+    def _global_int_augassigns(
+        self, module: ModuleModel, tree: ast.Module
+    ) -> Iterator[Finding]:
+        # module-level names bound to a plain int literal
+        int_globals: set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Constant) \
+                    and type(stmt.value.value) is int:
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        int_globals.add(target.id)
+        if not int_globals:
+            return
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            declared: set[str] = set()
+            for node in ast.walk(func):
+                if isinstance(node, ast.Global):
+                    declared.update(node.names)
+            if not declared:
+                continue
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, (ast.Add, ast.Sub))
+                    and isinstance(node.target, ast.Name)
+                    and node.target.id in declared
+                    and node.target.id in int_globals
+                ):
+                    yield self._finding(
+                        module.path, node,
+                        f"bare-int counter mutation "
+                        f"`{node.target.id} {'+=' if isinstance(node.op, ast.Add) else '-='} ...` "
+                        "on a module global is a read-modify-write — not "
+                        "atomic under the GIL, increment-losing without it; "
+                        "use repro.runtime.atomics.AtomicCounter",
+                    )
+
+
 #: registry, in code order
 ALL_RULES: list[type[Rule]] = [
     NonClosedPredicate,
@@ -1108,6 +1204,7 @@ ALL_RULES: list[type[Rule]] = [
     TagAdvisor,
     UnboundedBlockingWait,
     UntrackedSharedWrite,
+    GilAtomicityAssumption,
 ]
 
 

@@ -30,6 +30,17 @@ queued waiters (plus opaque-read-set ones, every time), so the untagged
 search is O(affected), not O(waiters).  Canonical shared-expression values
 used by the tag search are additionally memoized per summed read-variable
 generation.
+
+Free-threading contract (no-GIL audit, docs/performance.md): every mutable
+structure here — ``var_gens`` bumps, ``_dirty`` flushes, dependency-bucket
+marking, the ``_eligible`` queue, waiter (de)registration, the AOT
+``direct_signal`` fast path — is only touched while the caller holds the
+monitor lock, so none of it depends on GIL atomicity.  The deliberate
+lock-free reads are (a) the direct-signal config gate's load of the global
+config generation (an int rebind: atomic pointer load on every build,
+compared only for inequality) and (b) the diagnostic snapshots
+(:meth:`dump_waiters`, :meth:`obligation_view`), which are racy by design
+and tolerate skew.
 """
 
 from __future__ import annotations
@@ -369,7 +380,9 @@ class ConditionManager:
             return self.relay_signal()
         # config gate, recomputed only when the global config generation
         # moves (reading the generation int off the module skips even the
-        # snapshot call — this runs on every planned section exit)
+        # snapshot call — this runs on every planned section exit; the
+        # racy module-int load is an atomic pointer load on every build,
+        # and a stale value only delays the gate refresh by one exit)
         gen = _config_state._generation
         if gen != self._gate_gen:
             self._gate_gen = gen
@@ -841,7 +854,8 @@ class ConditionManager:
         Unlike :attr:`Waiter.read_set` (populated only for untagged
         waiters), the read set here always comes from the predicate, so
         tagged waiters report theirs too; ``None`` means opaque.  Every
-        read is a plain attribute load under the GIL — no lock is taken,
+        read is a plain attribute load (atomic on GIL and free-threaded
+        builds alike) — no lock is taken,
         and a waiter racing out mid-snapshot is simply skipped.  Consumed
         by :class:`repro.resilience.obligations.ObligationTracker`.
         """

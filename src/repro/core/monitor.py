@@ -195,7 +195,10 @@ class Monitor(metaclass=MonitorMeta):
         # recording it costs one set.add on the first write of a name per
         # critical section.  Underscore names are framework internals.  The
         # AttributeError guard covers stores before Monitor.__init__ ran
-        # (e.g. a subclass assigning fields first).
+        # (e.g. a subclass assigning fields first).  No-GIL audit: public
+        # writes happen inside the critical section (monitor lock held),
+        # so the _dirty set has one mutator at a time; the relay flushes
+        # it under the same lock — no GIL atomicity is assumed.
         object.__setattr__(self, name, value)
         if name[0] != "_":
             try:

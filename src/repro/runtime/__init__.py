@@ -6,6 +6,13 @@ the instrumentation counters that back the paper's context-switch /
 predicate-evaluation / false-signal measurements.
 """
 
+from repro.runtime.atomics import (
+    GIL_ENABLED,
+    AtomicCounter,
+    AtomicFlag,
+    AtomicRef,
+    build_info,
+)
 from repro.runtime.config import Config, get_config
 from repro.runtime.errors import (
     BrokenMonitorError,
@@ -24,6 +31,11 @@ from repro.runtime.metrics import Metrics, PhaseTimer, global_metrics
 from repro.runtime.tracing import TraceEvent, Tracer
 
 __all__ = [
+    "GIL_ENABLED",
+    "AtomicCounter",
+    "AtomicFlag",
+    "AtomicRef",
+    "build_info",
     "Config",
     "get_config",
     "ReproError",

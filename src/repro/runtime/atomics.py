@@ -1,0 +1,249 @@
+"""Explicit atomic primitives for the free-threaded CPython lane.
+
+Several hot paths in this repo were built on *GIL atomicity*: ``next`` on an
+``itertools.count`` (one C call, atomic while the GIL serializes bytecode),
+bare-int module counters bumped from one place, plain attribute stores used
+as state hand-offs.  Free-threaded CPython (PEP 703, 3.13t/3.14t) removes
+the GIL, and with it every one of those implicit guarantees — exactly the
+category of implicit-synchronization assumption the paper's §4.2.2
+atomic-variable strategy (and Ferles et al.'s explicit-signal synthesis)
+exists to make explicit.
+
+This module is the substitution point.  Each primitive has two
+implementations selected **once at import time** by :data:`GIL_ENABLED`:
+
+* **GIL build** — collapses to today's zero-cost forms (``AtomicCounter``
+  *is* an ``itertools.count`` draw: one C call, no lock, no extra store);
+* **free-threaded build** (or ``REPRO_ATOMICS=locked`` forced on any
+  build, which the stress tests use) — explicitly locked forms with the
+  same API and the same value sequences.
+
+What still does *not* need a primitive on free-threaded builds — the
+audited contract the rest of the tree relies on (see the atomicity-audit
+table in docs/performance.md):
+
+* single ``list``/``dict``/``deque`` operations (``append``, ``pop``,
+  ``popleft``, ``len``, item get/set) remain atomic: free-threaded CPython
+  guards each built-in container with a per-object lock (PEP 703);
+* loads and stores of *one* attribute (slot or instance dict) are atomic
+  pointer accesses with acquire/release ordering — racy flag reads such as
+  ``chaos.enabled`` or ``Monitor._broken`` stay sound, as does the
+  value-before-state publication in :class:`repro.active.futures.LightFuture`;
+* read-modify-write (``x += 1``, check-then-set) was **never** atomic,
+  GIL or not, unless it compiled to a single C call — those sites are the
+  ones ported onto this module.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import platform as _platform
+import sys
+import threading
+
+__all__ = [
+    "GIL_ENABLED",
+    "FORCED_LOCKED",
+    "AtomicCounter",
+    "GilAtomicCounter",
+    "LockedAtomicCounter",
+    "AtomicFlag",
+    "AtomicRef",
+    "build_info",
+]
+
+
+def _probe_gil() -> bool:
+    """True when this interpreter is currently running with the GIL.
+
+    ``sys._is_gil_enabled`` exists from 3.13 on (True on regular builds,
+    and True even on a free-threaded build launched with ``PYTHON_GIL=1``);
+    its absence means a pre-3.13 interpreter, where the GIL always exists.
+    """
+    is_enabled = getattr(sys, "_is_gil_enabled", None)
+    if is_enabled is None:
+        return True
+    return bool(is_enabled())
+
+
+#: ``REPRO_ATOMICS=locked`` forces the explicitly locked implementations on
+#: an ordinary GIL build — how the test suite exercises the free-threaded
+#: lane's code paths without a 3.13t interpreter.
+FORCED_LOCKED = os.environ.get("REPRO_ATOMICS", "").strip().lower() == "locked"
+
+#: The one flag the whole layer keys on, fixed at import time.  True ⇒
+#: GIL-atomic fast forms are safe; False ⇒ every primitive locks.
+GIL_ENABLED = _probe_gil() and not FORCED_LOCKED
+
+
+class GilAtomicCounter:
+    """Fetch-and-add counter for GIL builds: a raw ``itertools.count``.
+
+    ``next()`` returns the current value and advances by ``step`` — one
+    C-level call, atomic under the GIL, identical in cost to the bare
+    ``next(count)`` it replaces.  ``peek()`` (the next value that *would*
+    be issued) is a cold diagnostic and parses the count's repr rather
+    than taxing the hot path with a shadow store.
+    """
+
+    __slots__ = ("_count",)
+
+    def __init__(self, initial: int = 0, step: int = 1):
+        self._count = itertools.count(initial, step)  # monlint: disable=W014
+
+    def next(self) -> int:
+        """Atomically return the current value and advance by ``step``."""
+        return next(self._count)
+
+    def peek(self) -> int:
+        """The next value :meth:`next` would return (racy, diagnostic)."""
+        # repr is "count(7)" or "count(8, 2)"
+        inner = repr(self._count)[6:-1]
+        return int(inner.split(",")[0])
+
+    def __repr__(self):
+        return f"<GilAtomicCounter next={self.peek()}>"
+
+
+class LockedAtomicCounter:
+    """Fetch-and-add counter for free-threaded builds: one small lock.
+
+    Same value sequence as :class:`GilAtomicCounter` for any
+    ``(initial, step)``; ``peek`` is an atomic attribute load (no lock —
+    int rebinds are pointer stores on every build).
+    """
+
+    __slots__ = ("_value", "_step", "_lock")
+
+    def __init__(self, initial: int = 0, step: int = 1):
+        self._value = initial
+        self._step = step
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        with self._lock:
+            value = self._value
+            self._value = value + self._step
+            return value
+
+    def peek(self) -> int:
+        return self._value
+
+    def __repr__(self):
+        return f"<LockedAtomicCounter next={self._value}>"
+
+
+#: The build-selected counter.  Hot paths instantiate ``AtomicCounter`` and
+#: get the zero-cost form exactly when zero-cost is correct.
+AtomicCounter = GilAtomicCounter if GIL_ENABLED else LockedAtomicCounter
+
+
+class AtomicFlag:
+    """A boolean flag safe on every build.
+
+    Plain ``set``/``clear``/truth-test are single attribute stores/loads —
+    atomic with acquire/release ordering on free-threaded builds, trivially
+    atomic under the GIL — so polling a flag stays lock-free everywhere.
+    :meth:`test_and_set` is a read-modify-write and therefore locks on
+    *both* builds (``if not flag: flag = True`` never was atomic: the GIL
+    can be released between the bytecodes).
+    """
+
+    __slots__ = ("_set", "_lock")
+
+    def __init__(self, value: bool = False):
+        self._set = bool(value)
+        self._lock = threading.Lock()
+
+    def set(self) -> None:
+        self._set = True
+
+    def clear(self) -> None:
+        self._set = False
+
+    def test_and_set(self) -> bool:
+        """Atomically set the flag; return the *previous* value."""
+        with self._lock:
+            old = self._set
+            self._set = True
+            return old
+
+    def __bool__(self) -> bool:
+        return self._set
+
+    def __repr__(self):
+        return f"<AtomicFlag {'set' if self._set else 'clear'}>"
+
+
+class AtomicRef:
+    """A reference cell with atomic load/store and locked CAS/swap.
+
+    ``get``/``set`` are single attribute accesses (atomic on every build);
+    :meth:`compare_and_swap` and :meth:`swap` are read-modify-writes and
+    lock on both builds.  Used as a *generation cell*: publish an immutable
+    snapshot (or a monotonically replaced stamp) that racy readers may load
+    without synchronization.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value=None):
+        self._value = value
+        self._lock = threading.Lock()
+
+    def get(self):
+        return self._value
+
+    def set(self, value) -> None:
+        self._value = value
+
+    def swap(self, value):
+        """Atomically store ``value``; return the previous value."""
+        with self._lock:
+            old = self._value
+            self._value = value
+            return old
+
+    def compare_and_swap(self, expect, update) -> bool:
+        """Store ``update`` iff the current value *is* ``expect``."""
+        with self._lock:
+            if self._value is not expect:
+                return False
+            self._value = update
+            return True
+
+    def update(self, fn):
+        """Atomically replace the value with ``fn(old)``; return the new."""
+        with self._lock:
+            new = fn(self._value)
+            self._value = new
+            return new
+
+    def __repr__(self):
+        return f"<AtomicRef {self._value!r}>"
+
+
+def build_info() -> dict:
+    """Interpreter build metadata stamped into every ``BENCH_*.json``.
+
+    Trajectories measured under the GIL and without it must never be
+    compared silently (a free-threaded interpreter trades single-thread
+    speed for scaling); the benchmark gates check ``gil_enabled`` before
+    comparing against a committed record.
+    """
+    try:
+        import sysconfig
+        ft_build = bool(sysconfig.get_config_var("Py_GIL_DISABLED"))
+    except Exception:  # pragma: no cover — sysconfig is stdlib, but be safe
+        ft_build = False
+    return {
+        "python": _platform.python_version(),
+        "implementation": _platform.python_implementation(),
+        "free_threading_build": ft_build,
+        "gil_enabled": _probe_gil(),
+        "atomics": "gil" if GIL_ENABLED else "locked",
+        "platform": _platform.platform(),
+        "machine": _platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }

@@ -21,15 +21,22 @@ import os
 import threading
 from dataclasses import dataclass, field
 
+from repro.runtime.atomics import AtomicCounter
+
 
 def _hardware_threads() -> int:
     return os.cpu_count() or 1
 
 
 #: Bumped on every public-field assignment of any :class:`Config`; snapshot
-#: caches validate against it.  A plain int mutated under the GIL — readers
-#: only ever compare for inequality, so a torn read is impossible and a
-#: stale read merely delays the refresh by one operation.
+#: caches validate against it.  The *draw* goes through the explicit
+#: atomics layer (``_generation += 1`` was GIL-atomic only by accident of
+#: never crossing a bytecode boundary — and in fact never was atomic); the
+#: published module int stays a plain load for readers, who only ever
+#: compare for inequality: int rebinds are atomic pointer stores on every
+#: build, so a torn read is impossible and a stale read merely delays the
+#: refresh by one operation.
+_gen_counter = AtomicCounter(1)
 _generation = 0
 
 
@@ -106,8 +113,11 @@ class Config:
     def __setattr__(self, name: str, value) -> None:
         object.__setattr__(self, name, value)
         if not name.startswith("_"):
+            # atomic draw + atomic publish: two racing mutations each get a
+            # unique generation, and whichever publish lands last still
+            # differs from every cached stamp, forcing the refresh
             global _generation
-            _generation += 1
+            _generation = _gen_counter.next()
 
     def effective_server_cap(self) -> int:
         """Resolve the server-thread cap against available hardware.

@@ -8,16 +8,15 @@ one global total order, no cycle of lock waits can form.
 
 from __future__ import annotations
 
-import itertools
-import threading
+from repro.runtime.atomics import AtomicCounter
 
-_counter = itertools.count(1)
-_lock = threading.Lock()
+# Correctness here underpins deadlock freedom, so the draw goes through the
+# explicit atomics layer: a raw itertools.count on GIL builds (one atomic C
+# call), a locked fetch-and-add on free-threaded builds — never a bare
+# ``next(count)`` whose atomicity silently evaporates without the GIL.
+_counter = AtomicCounter(1)
 
 
 def next_monitor_id() -> int:
     """Return the next unique monitor id (thread-safe, strictly increasing)."""
-    # itertools.count.__next__ is atomic under CPython, but we do not rely on
-    # that implementation detail: correctness here underpins deadlock freedom.
-    with _lock:
-        return next(_counter)
+    return _counter.next()

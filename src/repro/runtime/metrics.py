@@ -17,6 +17,18 @@ The monitor hot path bumps counters by direct attribute increment
 (``metrics.signals += 1``) rather than through :meth:`Metrics.bump` — the
 string-keyed ``getattr``/``setattr`` pair costs more than the increment
 itself; ``bump``/``add`` remain for cold call sites and tests.
+
+Free-threading contract (audited for the no-GIL lane, see the atomicity
+table in docs/performance.md): a direct ``+= 1`` is a read-modify-write
+and was never atomic on its own, under the GIL or not — every direct
+increment in the tree is therefore *locked by construction*, just not by
+this module: per-monitor counters are only bumped while the bumping thread
+holds that monitor's lock (mutual exclusion is GIL-independent), and the
+few lock-free counters (the SC queue's ``steal_batches``/``steal_items``)
+are single-writer by the queue's consumer contract with racy advisory
+reads.  Call sites outside any lock must use :meth:`Metrics.add`, which
+takes the instance lock on every build.  ``snapshot``/``merge_from`` are
+locked, so cross-thread aggregation tears nothing.
 """
 
 from __future__ import annotations

@@ -91,8 +91,10 @@ class Kernel:
         self.ctx_switch_cost = ctx_switch_cost
         self._cores = [0.0] * n_cores          # earliest-free time per core
         self._events: list[tuple[float, int, SimThread]] = []
-        self._seq = itertools.count()
-        self._tids = itertools.count()
+        # deterministic single-threaded kernel: these counts are only ever
+        # drawn from the simulation loop itself, never across OS threads
+        self._seq = itertools.count()    # monlint: disable=W014
+        self._tids = itertools.count()   # monlint: disable=W014
         self.threads: list[SimThread] = []
         self.context_switches = 0
         self.now = 0.0

@@ -21,14 +21,20 @@ behaviour §4.2 describes).
 
 from __future__ import annotations
 
-import itertools
 import threading
 import time
 from typing import Any, Callable, Iterable, Optional, TypeVar
 
+from repro.runtime.atomics import AtomicCounter
+
 T = TypeVar("T")
 
-_clock = itertools.count(2, 2)       # even version numbers; odd = locked
+#: even version numbers; odd = locked.  The draw is an AtomicCounter (raw
+#: itertools.count under the GIL, locked fetch-and-add without it); the
+#: publish to ``_current_version`` keeps ``_clock_lock`` so concurrent
+#: commits publish in draw order — a stale-but-smaller published clock
+#: would only cost extra aborts, but the lock is off the read path anyway.
+_clock = AtomicCounter(2, 2)
 _clock_lock = threading.Lock()
 _current_version = 0
 
@@ -38,7 +44,7 @@ _txn_local = threading.local()
 def _advance_clock() -> int:
     global _current_version
     with _clock_lock:
-        _current_version = next(_clock)
+        _current_version = _clock.next()
         return _current_version
 
 
@@ -54,7 +60,9 @@ class RetryException(Exception):
     """Internal: ``retry()`` was called — wait for a read-set update."""
 
 
-_var_ids = itertools.count(1)
+#: TVar ids seed the per-variable lock order for commit-time acquisition;
+#: uniqueness must survive the no-GIL lane, hence the explicit atomic draw
+_var_ids = AtomicCounter(1)
 
 
 class TVar:
@@ -66,7 +74,7 @@ class TVar:
         self._value = value
         self._version = 0
         self._lock = threading.Lock()
-        self._id = next(_var_ids)
+        self._id = _var_ids.next()
 
     # -- transactional access --------------------------------------------------
     def get(self) -> Any:

@@ -1,0 +1,16 @@
+"""Fixture: counters relying on GIL atomicity — should trigger W014 only."""
+
+import itertools
+
+_tickets = itertools.count()
+
+_hits = 0
+
+
+def record_hit():
+    global _hits
+    _hits += 1
+
+
+def draw_ticket():
+    return next(_tickets)

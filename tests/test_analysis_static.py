@@ -28,6 +28,7 @@ FIXTURE_CODES = {
     "w011_wrong_direction.py": "W011",
     "w012_obligation_leak.py": "W012",
     "w013_opaque_direct_signal.py": "W013",
+    "w014_gil_atomic_counter.py": "W014",
 }
 
 
