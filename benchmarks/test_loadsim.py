@@ -1,0 +1,282 @@
+"""Production-traffic load benchmarks: SLO records + regression gates.
+
+Runs the full-size ``repro.loadsim`` lanes — open-loop arrivals, monitor-
+backed services, chaos faults — and writes three committed records at the
+repo root (set ``REPRO_WRITE_BENCH=1``):
+
+* ``BENCH_load_steady.json`` — steady Poisson load within capacity on all
+  three services (buffer / pizza / multicast);
+* ``BENCH_load_burst.json``  — on/off overload on all three services plus
+  an explicit supply-starved shedding lane (pizza with a slow restocker
+  and a tiny admission queue);
+* ``BENCH_load_faults.json`` — a supervised server kill per service
+  (worker failure) and a seized-lock shard freeze (network partition).
+
+Every lane run here is itself a *hard* gate: the scenario helpers run
+``strict`` and raise :class:`~repro.loadsim.SLOViolation` on any lost
+request, missed SLO, unfired kill, or failed recovery — so the CI
+``load-smoke`` job fails on correctness regressions directly, not only on
+latency drift.
+
+On top of that, a ratio gate compares each lane's p95 *relative to its SLO
+budget* against the committed record: the fresh ``p95 / budget`` ratio may
+not exceed the committed ratio by more than 30%.  Comparing budget ratios
+(not absolute milliseconds) keeps the gate runner-agnostic, and a noise
+floor exempts lanes whose p95 sits deep in scheduler-noise territory —
+a sub-millisecond service jittering to 3 ms is not a regression, a 400 ms
+budget being half-spent is.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from benchmarks.conftest import skip_if_gil_mismatch, stamp_build
+from repro.loadsim import (
+    run_burst_load,
+    run_network_partition,
+    run_steady_load,
+    run_worker_failure,
+)
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+STEADY_FILE = _ROOT / "BENCH_load_steady.json"
+BURST_FILE = _ROOT / "BENCH_load_burst.json"
+FAULTS_FILE = _ROOT / "BENCH_load_faults.json"
+
+SEED = 11
+RATIO_TOLERANCE = 0.30
+#: lanes whose p95 stays under this are never ratio-gated — microsecond
+#: services jitter by whole multiples run to run; the gate is for budget
+#: erosion, not scheduler noise
+NOISE_FLOOR_MS = 25.0
+
+
+def _lane(report, budget_ms: float, group: str = "all") -> dict:
+    """One committed lane: the full report body + its SLO-ratio gate key."""
+    body = report.to_dict()
+    p95 = body["groups"][group]["latency_ms"]["p95"] if group != "all" \
+        else body["latency_ms"]["p95"]
+    return {
+        **body,
+        "gate_group": group,
+        "p95_budget_ms": budget_ms,
+        "slo_ratio": round(p95 / budget_ms, 4),
+    }
+
+
+# ------------------------------------------------------------------ suites
+
+
+def run_steady_suite() -> dict:
+    deadline = 0.5
+    budget = 0.8 * deadline * 1e3   # the strict steady-lane p95 SLO
+    lanes = {}
+    for service, rate in (("buffer", 60.0), ("pizza", 40.0),
+                          ("multicast", 60.0)):
+        report = run_steady_load(service, rate=rate, duration=3.0,
+                                 seed=SEED, deadline=deadline)
+        lanes[f"steady_{service}"] = _lane(report, budget)
+    return stamp_build({"unit": "ms", "lanes": lanes})
+
+
+def run_burst_suite() -> dict:
+    deadline = 0.3
+    budget = deadline * 1e3         # the post-burst recovery p95 bound
+    lanes = {}
+    for service in ("buffer", "pizza", "multicast"):
+        report = run_burst_load(service, duration=3.0, seed=SEED,
+                                deadline=deadline)
+        lanes[f"burst_{service}"] = _lane(report, budget)
+    # supply-starved overload: a slow restocker + tiny admission queue force
+    # real load-shedding (strict recovery still applies at the base rate,
+    # but the strict zero-shed SLO obviously cannot — run non-strict and
+    # assert the shedding + accounting invariants by hand)
+    report = run_burst_load(
+        "pizza", base_rate=20.0, burst_rate=120.0, duration=3.0,
+        seed=SEED, deadline=deadline, workers=3, admission_capacity=8,
+        strict=False,
+        service_kwargs={"prefill": 10, "restock_interval": 0.02})
+    report.assert_accounted()
+    lanes["burst_overload_pizza"] = _lane(report, budget)
+    return stamp_build({"unit": "ms", "lanes": lanes})
+
+
+def run_faults_suite() -> dict:
+    lanes = {}
+    for service in ("buffer", "pizza", "multicast"):
+        report = run_worker_failure(service, rate=50.0, duration=4.0,
+                                    kill_at=1.2, seed=SEED, deadline=0.5)
+        lanes[f"worker_failure_{service}"] = _lane(report, 0.5 * 1e3)
+    report = run_network_partition(
+        rate=60.0, duration=4.0, partition_at=1.0, heal_after=1.0,
+        seed=SEED, deadline=0.4)
+    lanes["network_partition_multicast"] = _lane(
+        report, 0.4 * 1e3, group="healthy")
+    return stamp_build({"unit": "ms", "lanes": lanes})
+
+
+def _results(bench_file: pathlib.Path, suite) -> dict:
+    committed = None
+    if bench_file.exists():
+        committed = json.loads(bench_file.read_text())
+    fresh = suite()
+    if os.environ.get("REPRO_WRITE_BENCH") == "1":
+        bench_file.write_text(json.dumps(fresh, indent=2) + "\n")
+    return {"committed": committed, "fresh": fresh}
+
+
+@pytest.fixture(scope="module")
+def steady_results():
+    return _results(STEADY_FILE, run_steady_suite)
+
+
+@pytest.fixture(scope="module")
+def burst_results():
+    return _results(BURST_FILE, run_burst_suite)
+
+
+@pytest.fixture(scope="module")
+def faults_results():
+    return _results(FAULTS_FILE, run_faults_suite)
+
+
+def _summary(results: dict) -> dict:
+    return {
+        name: {
+            "p95_ms": lane["latency_ms"]["p95"],
+            "p99_ms": lane["latency_ms"]["p99"],
+            "throughput_rps": lane["throughput_rps"],
+            "totals": lane["totals"],
+            "slo_ratio": lane["slo_ratio"],
+        }
+        for name, lane in results["fresh"]["lanes"].items()
+    }
+
+
+def _gate_ratios(results: dict) -> None:
+    """Fresh p95/budget may not exceed the committed ratio by >30%,
+    unless the fresh p95 is still under the absolute noise floor."""
+    committed = results["committed"]
+    if committed is None:
+        pytest.skip("no committed record to gate against")
+    skip_if_gil_mismatch(committed)
+    for name, lane in results["fresh"]["lanes"].items():
+        base = committed["lanes"].get(name)
+        if base is None:
+            continue   # new lane since the committed record
+        allowed = max(
+            base["slo_ratio"] * (1.0 + RATIO_TOLERANCE),
+            NOISE_FLOOR_MS / lane["p95_budget_ms"],
+        )
+        assert lane["slo_ratio"] <= allowed, (
+            f"{name}: fresh p95 spends {lane['slo_ratio']:.0%} of its "
+            f"{lane['p95_budget_ms']:.0f}ms budget, >30% above the "
+            f"committed {base['slo_ratio']:.0%}")
+
+
+# ------------------------------------------------------------------- steady
+
+
+def test_emit_steady_report(steady_results, capsys):
+    with capsys.disabled():
+        print("\n" + json.dumps(_summary(steady_results), indent=2))
+
+
+def test_steady_lanes_fully_accounted(steady_results):
+    """The strict runs already enforced the SLO; re-assert the accounting
+    identity on the serialized record (what reviewers read)."""
+    for name, lane in steady_results["fresh"]["lanes"].items():
+        assert lane["in_flight"] == 0, f"{name} lost requests"
+        assert lane["offered"] == sum(lane["totals"].values()), name
+        assert lane["totals"]["completed"] > 0, name
+
+
+def test_steady_ratio_gate_vs_committed(steady_results):
+    _gate_ratios(steady_results)
+
+
+# -------------------------------------------------------------------- burst
+
+
+def test_emit_burst_report(burst_results, capsys):
+    with capsys.disabled():
+        print("\n" + json.dumps(_summary(burst_results), indent=2))
+
+
+def test_burst_overload_sheds_explicitly(burst_results):
+    """The overload lane must show *graceful* degradation: real sheds or
+    timeouts (never silent loss), with everything still accounted."""
+    lane = burst_results["fresh"]["lanes"]["burst_overload_pizza"]
+    assert lane["in_flight"] == 0
+    assert lane["totals"]["shed"] + lane["totals"]["timed_out"] > 0
+    assert lane["totals"]["errors"] == 0
+
+
+def test_burst_ratio_gate_vs_committed(burst_results):
+    _gate_ratios(burst_results)
+
+
+# ------------------------------------------------------------------- faults
+
+
+def test_emit_faults_report(faults_results, capsys):
+    with capsys.disabled():
+        print("\n" + json.dumps(_summary(faults_results), indent=2))
+
+
+def test_worker_failure_kills_and_recovers(faults_results):
+    """Each kill lane: the chaos kill fired, a supervised restart followed,
+    and no future was lost (strict mode asserted SLO recovery already)."""
+    for service in ("buffer", "pizza", "multicast"):
+        lane = faults_results["fresh"]["lanes"][f"worker_failure_{service}"]
+        assert lane["extra"]["chaos"]["injected"]["kill"] >= 1, service
+        restarts = sum(s["restarts"] for s in lane["extra"]["supervision"])
+        assert restarts >= 1, service
+        assert lane["in_flight"] == 0, service
+
+
+def test_partition_isolates_and_drains(faults_results):
+    lane = faults_results["fresh"]["lanes"]["network_partition_multicast"]
+    groups = lane["groups"]
+    assert groups["healthy"]["counts"]["completed"] > 0
+    part = groups["partitioned"]["counts"]
+    assert part.get("timed_out", 0) + part.get("shed", 0) > 0
+    assert lane["in_flight"] == 0
+
+
+def test_faults_ratio_gate_vs_committed(faults_results):
+    _gate_ratios(faults_results)
+
+
+# ------------------------------------------- committed-record acceptance
+
+
+def test_committed_records_cover_required_grid():
+    """ISSUE acceptance: the committed ``BENCH_load_*.json`` records cover
+    >=3 services x >=3 scenarios (steady, burst, worker-failure at
+    minimum), each lane carrying p50/p95/p99, throughput, shed/timeout
+    counts, and the build block."""
+    files = [STEADY_FILE, BURST_FILE, FAULTS_FILE]
+    missing = [f.name for f in files if not f.exists()]
+    if missing:
+        pytest.skip(f"committed records not present: {missing}")
+    services, scenarios = set(), set()
+    for f in files:
+        record = json.loads(f.read_text())
+        assert "build" in record and "python" in record["build"], f.name
+        for name, lane in record["lanes"].items():
+            services.add(lane["service"])
+            scenarios.add(lane["scenario"])
+            for q in ("p50", "p95", "p99"):
+                assert q in lane["latency_ms"], (f.name, name, q)
+            assert "throughput_rps" in lane, (f.name, name)
+            assert {"shed", "timed_out"} <= set(lane["totals"]), (f.name, name)
+            assert lane["in_flight"] == 0, (f.name, name)
+    assert {"buffer", "pizza", "multicast"} <= services
+    assert {"steady", "burst", "worker_failure",
+            "network_partition"} <= scenarios

@@ -1,0 +1,161 @@
+"""Open-loop arrival processes — seeded, deterministic request schedules.
+
+Each process pre-draws its whole schedule as a tuple of arrival offsets
+(seconds from run start, sorted, within ``[0, duration)``) from one
+``random.Random(seed)``.  The same ``(parameters, seed)`` pair therefore
+yields the *identical* schedule on every run and every platform — chaos
+scenarios replay from their seeds, and the CI gate's committed records
+describe exactly the traffic a fresh run re-offers.
+
+Non-homogeneous processes (bursty on/off, diurnal ramp) are drawn by
+thinning a homogeneous Poisson process at the peak rate: a candidate
+arrival at time ``t`` is kept with probability ``rate(t) / peak_rate``.
+Thinning preserves both determinism and the Poisson property within each
+constant-rate stretch.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+]
+
+
+class ArrivalProcess:
+    """Base class: a seeded, reproducible open-loop arrival schedule."""
+
+    name = "arrivals"
+
+    def __init__(self, duration: float, seed: int):
+        if duration <= 0:
+            raise ValueError("duration must be > 0")
+        self.duration = float(duration)
+        self.seed = seed
+
+    # ------------------------------------------------------------------ draw
+    def rate_at(self, t: float) -> float:
+        """Instantaneous offered rate (requests/second) at offset ``t``."""
+        raise NotImplementedError
+
+    @property
+    def peak_rate(self) -> float:
+        raise NotImplementedError
+
+    def schedule(self) -> tuple[float, ...]:
+        """The full arrival schedule; identical for identical seeds."""
+        rng = random.Random(self.seed)
+        peak = self.peak_rate
+        if peak <= 0:
+            return ()
+        out: list[float] = []
+        t = 0.0
+        while True:
+            # homogeneous Poisson at the peak rate ...
+            t += rng.expovariate(peak)
+            if t >= self.duration:
+                break
+            # ... thinned down to the instantaneous rate
+            if rng.random() < self.rate_at(t) / peak:
+                out.append(t)
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} duration={self.duration}s "
+                f"seed={self.seed}>")
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a constant mean rate (requests/second)."""
+
+    name = "poisson"
+
+    def __init__(self, rate: float, duration: float, seed: int = 0):
+        super().__init__(duration, seed)
+        if rate < 0:
+            raise ValueError("rate must be >= 0")
+        self.rate = float(rate)
+
+    @property
+    def peak_rate(self) -> float:
+        return self.rate
+
+    def rate_at(self, t: float) -> float:
+        return self.rate
+
+
+class BurstArrivals(ArrivalProcess):
+    """On/off (bursty) arrivals: a base trickle with periodic bursts.
+
+    Each ``period`` starts with an *on* phase of ``burst_fraction * period``
+    seconds at ``burst_rate``, then relaxes to ``base_rate`` — the classic
+    open-loop overload shape: during a burst the offered load exceeds
+    service capacity and the backlog (not the arrival process) absorbs it.
+    """
+
+    name = "burst"
+
+    def __init__(
+        self,
+        base_rate: float,
+        burst_rate: float,
+        duration: float,
+        seed: int = 0,
+        *,
+        period: float = 1.0,
+        burst_fraction: float = 0.3,
+    ):
+        super().__init__(duration, seed)
+        if burst_rate < base_rate:
+            raise ValueError("burst_rate must be >= base_rate")
+        if not 0.0 < burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if period <= 0:
+            raise ValueError("period must be > 0")
+        self.base_rate = float(base_rate)
+        self.burst_rate = float(burst_rate)
+        self.period = float(period)
+        self.burst_fraction = float(burst_fraction)
+
+    @property
+    def peak_rate(self) -> float:
+        return self.burst_rate
+
+    def rate_at(self, t: float) -> float:
+        phase = math.fmod(t, self.period)
+        if phase < self.burst_fraction * self.period:
+            return self.burst_rate
+        return self.base_rate
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """A smooth traffic ramp: quiet → peak → quiet over one run.
+
+    ``rate(t) = peak_rate * (floor + (1 - floor) * sin²(π t / duration))``
+    — a one-day traffic curve compressed into the run, exercising gradual
+    saturation and gradual recovery rather than a step.
+    """
+
+    name = "diurnal"
+
+    def __init__(self, peak: float, duration: float, seed: int = 0,
+                 *, floor: float = 0.2):
+        super().__init__(duration, seed)
+        if not 0.0 <= floor <= 1.0:
+            raise ValueError("floor must be in [0, 1]")
+        self.peak = float(peak)
+        self.floor = float(floor)
+
+    @property
+    def peak_rate(self) -> float:
+        return self.peak
+
+    def rate_at(self, t: float) -> float:
+        s = math.sin(math.pi * t / self.duration)
+        return self.peak * (self.floor + (1.0 - self.floor) * s * s)

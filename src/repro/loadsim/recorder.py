@@ -1,0 +1,179 @@
+"""HDR-style latency recording: log-bucketed histograms + windowed series.
+
+:class:`LatencyRecorder` keeps a geometric bucket histogram (≈4% value
+resolution, like an HdrHistogram at 2 significant digits) instead of the
+raw samples, so recording is O(1), memory is bounded regardless of run
+length, and percentiles are read by one cumulative walk.  Percentiles are
+*monotone by construction* — p50 ≤ p95 ≤ p99 ≤ p99.9 always, because a
+higher quantile can only stop at the same or a later bucket (the property
+tests in ``tests/test_loadsim.py`` pin this down).
+
+:class:`WindowedSeries` buckets outcomes and latencies into fixed wall-
+clock windows, producing the degradation-and-recovery curves the chaos
+scenarios assert on (latency climbing through a fault, settling back
+under the SLO after the supervisor restarts the server).
+
+All methods are thread-safe; workers record concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable, Optional
+
+__all__ = ["LatencyRecorder", "OUTCOMES", "WindowedSeries"]
+
+#: terminal states of one admitted request (the full-accounting alphabet);
+#: ``shed`` is decided at admission and records no latency
+OUTCOMES = ("completed", "timed_out", "failed_fast", "shed", "errors")
+
+#: smallest distinguishable latency (1 µs) and bucket growth factor (≈4%
+#: relative error — the HdrHistogram 2-significant-digits regime)
+_MIN_VALUE = 1e-6
+_GROWTH = 1.04
+_LOG_GROWTH = math.log(_GROWTH)
+
+
+def _bucket_of(value: float) -> int:
+    if value <= _MIN_VALUE:
+        return 0
+    return int(math.log(value / _MIN_VALUE) / _LOG_GROWTH) + 1
+
+
+def _bucket_value(index: int) -> float:
+    """Representative (upper-edge) latency of one bucket, in seconds."""
+    if index <= 0:
+        return _MIN_VALUE
+    return _MIN_VALUE * (_GROWTH ** index)
+
+
+class LatencyRecorder:
+    """Log-bucketed latency histogram with percentile readout."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buckets: dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    # ----------------------------------------------------------------- write
+    def record(self, latency_s: float) -> None:
+        if latency_s < 0:
+            latency_s = 0.0
+        idx = _bucket_of(latency_s)
+        with self._lock:
+            self._buckets[idx] = self._buckets.get(idx, 0) + 1
+            self._count += 1
+            self._sum += latency_s
+            if latency_s > self._max:
+                self._max = latency_s
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        with other._lock:  # monlint: disable=W004 — plain histogram, not a monitor
+            buckets = dict(other._buckets)
+            count, total, peak = other._count, other._sum, other._max
+        with self._lock:
+            for idx, n in buckets.items():
+                self._buckets[idx] = self._buckets.get(idx, 0) + n
+            self._count += count
+            self._sum += total
+            if peak > self._max:
+                self._max = peak
+
+    # ------------------------------------------------------------------ read
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    def percentile(self, q: float) -> float:
+        """Latency (seconds) at quantile ``q`` in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = math.ceil(self._count * q / 100.0)
+            if target <= 0:
+                target = 1
+            seen = 0
+            for idx in sorted(self._buckets):
+                seen += self._buckets[idx]
+                if seen >= target:
+                    # the top bucket's representative may overshoot the
+                    # true maximum; clamp so p100 == observed max
+                    return min(_bucket_value(idx), self._max)
+            return self._max
+
+    def percentiles(self, qs: Iterable[float] = (50, 95, 99, 99.9)) -> dict:
+        return {str(q): self.percentile(q) for q in qs}
+
+    def summary_ms(self) -> dict:
+        """The standard report block, in milliseconds."""
+        return {
+            "p50": round(self.percentile(50) * 1e3, 3),
+            "p95": round(self.percentile(95) * 1e3, 3),
+            "p99": round(self.percentile(99) * 1e3, 3),
+            "p999": round(self.percentile(99.9) * 1e3, 3),
+            "mean": round(self.mean * 1e3, 3),
+            "max": round(self._max * 1e3, 3),
+            "count": self._count,
+        }
+
+
+class WindowedSeries:
+    """Per-window outcome counts + latency percentiles (degradation curve).
+
+    Windows are indexed by ``int(offset / window_s)`` where ``offset`` is
+    the request's *scheduled arrival* offset — so a request burst lands in
+    the window that offered it, even when its latency resolves later.
+    """
+
+    def __init__(self, window_s: float = 0.5):
+        if window_s <= 0:
+            raise ValueError("window_s must be > 0")
+        self.window_s = window_s
+        self._lock = threading.Lock()
+        self._windows: dict[int, dict] = {}
+
+    def _cell(self, offset_s: float) -> dict:
+        idx = int(offset_s / self.window_s)
+        cell = self._windows.get(idx)
+        if cell is None:
+            cell = {"recorder": LatencyRecorder(),
+                    "counts": {k: 0 for k in OUTCOMES}}
+            self._windows[idx] = cell
+        return cell
+
+    def record(self, offset_s: float, outcome: str,
+               latency_s: Optional[float] = None) -> None:
+        with self._lock:
+            cell = self._cell(offset_s)
+            cell["counts"][outcome] += 1
+        if latency_s is not None:
+            cell["recorder"].record(latency_s)
+
+    def series(self) -> list[dict]:
+        """Chronological per-window summaries (ms latencies)."""
+        with self._lock:
+            items = sorted(self._windows.items())
+        out = []
+        for idx, cell in items:
+            rec: LatencyRecorder = cell["recorder"]
+            out.append({
+                "t": round(idx * self.window_s, 3),
+                "counts": dict(cell["counts"]),
+                "p50_ms": round(rec.percentile(50) * 1e3, 3),
+                "p95_ms": round(rec.percentile(95) * 1e3, 3),
+                "p99_ms": round(rec.percentile(99) * 1e3, 3),
+            })
+        return out

@@ -1,0 +1,678 @@
+"""The load simulator and the chaos scenario catalog.
+
+:class:`LoadSimulator` drives one service with one open-loop arrival
+schedule.  The loop is deliberately simple and fully accounted:
+
+* an **arrival thread** (the caller) offers requests at their pre-drawn
+  scheduled times; a bounded admission queue accepts or **sheds** them
+  (``put_nowait`` — shedding is an explicit, counted decision, never an
+  implicit drop);
+* a fixed **worker pool** executes admitted requests against the service
+  with an absolute deadline of ``scheduled_arrival + deadline`` riding on
+  ``wait_until(..., deadline=)`` / future ``get(timeout=...)``, plus a
+  :meth:`CancelToken.cancel_after` backstop a grace period later — so
+  even a request whose deadline plumbing is broken cannot block forever;
+* **latency is measured from the scheduled arrival**, not from dequeue —
+  the open-loop discipline that avoids coordinated omission: a slow
+  system makes queued requests *slower*, it does not quietly slow the
+  offered load.
+
+Every admitted request ends in exactly one terminal state —
+``completed`` / ``timed_out`` / ``failed_fast`` / ``errors`` — and the
+report's accounting check fails the run if any request is lost.  While
+the run executes, a :class:`StallWatchdog` and :class:`ObligationTracker`
+watch the service's monitors; their reports ride along in the report's
+diagnostics so an SLO failure explains *which monitor* wedged and on
+what predicate.
+
+Scenarios (also the CI ``load-smoke`` catalog):
+
+* :func:`run_steady_load` — Poisson arrivals within capacity; the
+  baseline SLO lane;
+* :func:`run_burst_load` — on/off overload; sheds and timeouts expected
+  during bursts, recovery asserted after the last burst;
+* :func:`run_mixed_workload` — all services at once under diurnal ramps;
+* :func:`run_worker_failure` — chaos kills a monitor server mid-run;
+  asserts supervised restart, zero lost requests, post-fault recovery;
+* :func:`run_network_partition` — freezes a monitor shard's lock;
+  asserts the healthy shards keep their SLO and the frozen shard drains
+  (as timeouts) once healed.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import threading
+import time
+from typing import Any, Callable, Optional, Sequence
+
+from repro.loadsim.arrivals import (
+    ArrivalProcess,
+    BurstArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+from repro.loadsim.recorder import LatencyRecorder, WindowedSeries
+from repro.loadsim.report import LoadReport, SLO, SLOViolation
+from repro.loadsim.services import Service, make_service
+from repro.resilience import CancelToken, chaos
+from repro.resilience.obligations import ObligationTracker
+from repro.resilience.watchdog import StallWatchdog
+from repro.runtime.errors import (
+    BrokenMonitorError,
+    TaskError,
+    WaitCancelledError,
+    WaitTimeoutError,
+)
+
+__all__ = [
+    "LoadSimulator",
+    "run_burst_load",
+    "run_mixed_workload",
+    "run_network_partition",
+    "run_steady_load",
+    "run_worker_failure",
+]
+
+DEFAULT_SEED = 11
+
+
+class LoadSimulator:
+    """Open-loop driver: one service, one arrival schedule, full accounting."""
+
+    def __init__(
+        self,
+        service: Service,
+        arrivals: ArrivalProcess,
+        *,
+        scenario: str = "custom",
+        deadline: float = 0.5,
+        workers: int = 6,
+        admission_capacity: int = 64,
+        window_s: float = 0.5,
+        op_seed: Optional[int] = None,
+        supervise: bool = False,
+        diagnose: bool = True,
+        events: Sequence[tuple[float, Callable[[], None]]] = (),
+        cancel_grace: float = 1.0,
+        drain_timeout: Optional[float] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if deadline <= 0:
+            raise ValueError("deadline must be > 0")
+        self.service = service
+        self.arrivals = arrivals
+        self.scenario = scenario
+        self.deadline = deadline
+        self.workers = workers
+        self.admission_capacity = admission_capacity
+        self.window_s = window_s
+        self.op_seed = arrivals.seed + 1 if op_seed is None else op_seed
+        self.supervise = supervise
+        self.diagnose = diagnose
+        self.events = sorted(events, key=lambda e: e[0])
+        self.cancel_grace = cancel_grace
+        # worst case a worker holds one request: its deadline + the cancel
+        # backstop; anything beyond that is a lost wait the report flags
+        self.drain_timeout = (
+            deadline + cancel_grace + 2.0 if drain_timeout is None
+            else drain_timeout
+        )
+
+    # ------------------------------------------------------------------- run
+    def run(self, params: Optional[dict[str, Any]] = None) -> LoadReport:
+        import random
+
+        service = self.service
+        schedule = self.arrivals.schedule()
+        op_rng = random.Random(self.op_seed)
+        ops = [service.make_op(op_rng) for _ in schedule]
+
+        owns_service = not service.started
+        if owns_service:
+            service.start()
+        if self.supervise and not service.supervisors:
+            service.attach_supervisors(seed=self.arrivals.seed)
+
+        watchdog = tracker = None
+        if self.diagnose:
+            monitors = service.monitors()
+            watchdog = StallWatchdog(
+                monitors,
+                quiet_period=max(1.0, 2.0 * self.deadline),
+                on_stall=lambda report: None,  # collect, don't print
+            )
+            tracker = ObligationTracker(
+                monitors, poll_interval=0.2, on_report=lambda report: None)
+            watchdog.start()
+            tracker.start()
+
+        admission: queue_mod.Queue = queue_mod.Queue(self.admission_capacity)
+        arrivals_done = threading.Event()
+        counts_lock = threading.Lock()
+        counts: dict[str, dict[str, int]] = {}
+        recorders: dict[str, LatencyRecorder] = {}
+        windows = WindowedSeries(self.window_s)
+        admitted = [0]
+        resolved = [0]
+        backstop_cancels = [0]
+        error_samples: list[str] = []
+        event_errors: list[BaseException] = []
+
+        def bump(group: str, outcome: str) -> None:
+            with counts_lock:
+                cell = counts.get(group)
+                if cell is None:
+                    cell = counts[group] = {
+                        "completed": 0, "timed_out": 0, "failed_fast": 0,
+                        "shed": 0, "errors": 0,
+                    }
+                    recorders[group] = LatencyRecorder()
+                cell[outcome] += 1
+                if outcome != "shed":
+                    resolved[0] += 1
+
+        start_holder = [0.0]
+
+        def worker() -> None:
+            while True:
+                try:
+                    offset, op = admission.get(timeout=0.05)
+                except queue_mod.Empty:
+                    if arrivals_done.is_set():
+                        return
+                    continue
+                group = service.group(op)
+                deadline = start_holder[0] + offset + self.deadline
+                token = CancelToken()
+                timer = token.cancel_after(
+                    max(0.0, deadline - time.monotonic()) + self.cancel_grace)
+                try:
+                    service.handle(op, deadline, token)
+                    outcome = "completed"
+                except WaitTimeoutError:
+                    outcome = "timed_out"
+                except WaitCancelledError:
+                    # the backstop fired: the deadline plumbing failed but
+                    # the request still resolved (counted separately below)
+                    outcome = "timed_out"
+                    with counts_lock:
+                        backstop_cancels[0] += 1
+                except (BrokenMonitorError, TaskError) as exc:
+                    outcome = "failed_fast"
+                    if len(error_samples) < 5:
+                        error_samples.append(
+                            f"failed_fast: {type(exc).__name__}: {exc}")
+                except Exception as exc:  # noqa: BLE001 - full accounting
+                    outcome = "errors"
+                    if len(error_samples) < 5:
+                        error_samples.append(
+                            f"error: {type(exc).__name__}: {exc}")
+                finally:
+                    timer.cancel()
+                latency = time.monotonic() - (start_holder[0] + offset)
+                bump(group, outcome)
+                if outcome == "completed":
+                    recorders[group].record(latency)
+                    windows.record(offset, outcome, latency)
+                else:
+                    windows.record(offset, outcome)
+
+        def timeline() -> None:
+            for offset, fn in self.events:
+                delay = start_holder[0] + offset - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    fn()
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    event_errors.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=worker, name=f"loadsim-worker-{i}",
+                             daemon=True)
+            for i in range(self.workers)
+        ]
+        run_start = time.monotonic()
+        start_holder[0] = run_start
+        for t in threads:
+            t.start()
+        event_thread = None
+        if self.events:
+            event_thread = threading.Thread(
+                target=timeline, name="loadsim-timeline", daemon=True)
+            event_thread.start()
+
+        try:
+            for offset, op in zip(schedule, ops):
+                delay = run_start + offset - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    admission.put_nowait((offset, op))
+                    admitted[0] += 1
+                except queue_mod.Full:
+                    bump(service.group(op), "shed")
+                    windows.record(offset, "shed")
+        finally:
+            arrivals_done.set()
+
+        deadline_join = time.monotonic() + self.drain_timeout
+        for t in threads:
+            t.join(max(0.0, deadline_join - time.monotonic()))
+        if event_thread is not None:
+            event_thread.join(max(0.0, deadline_join - time.monotonic()))
+        elapsed = time.monotonic() - run_start
+
+        diagnostics: list[str] = []
+        extra: dict[str, Any] = {}
+        if watchdog is not None:
+            watchdog.stop()
+            tracker.stop()
+            diagnostics += [r.describe() for r in watchdog.reports]
+            diagnostics += [r.describe() for r in tracker.reports]
+        diagnostics += error_samples
+        if backstop_cancels[0]:
+            extra["backstop_cancels"] = backstop_cancels[0]
+        if service.supervisors:
+            extra["supervision"] = [
+                {
+                    "restarts": s.restarts,
+                    "gave_up": s.gave_up,
+                    "deaths": len(s.deaths),
+                    "backoff_spent_s": round(s.backoff_spent, 4),
+                }
+                for s in service.supervisors
+            ]
+
+        if owns_service:
+            service.stop()
+        if event_errors:
+            raise RuntimeError(
+                f"scenario event failed: {event_errors[0]!r}"
+            ) from event_errors[0]
+
+        in_flight = admitted[0] - resolved[0]
+        base_params = {
+            "arrivals": self.arrivals.name,
+            "duration_s": self.arrivals.duration,
+            "deadline_s": self.deadline,
+            "workers": self.workers,
+            "admission_capacity": self.admission_capacity,
+            "op_seed": self.op_seed,
+        }
+        base_params.update(params or {})
+        return LoadReport(
+            service=service.name,
+            scenario=self.scenario,
+            seed=self.arrivals.seed,
+            params=base_params,
+            counts=counts,
+            latency=recorders,
+            windows=windows,
+            elapsed=elapsed,
+            in_flight=in_flight,
+            diagnostics=diagnostics,
+            extra=extra,
+        )
+
+
+# --------------------------------------------------------------------------
+# scenario catalog
+# --------------------------------------------------------------------------
+
+def _tail_violations(report: LoadReport, *, after: float, p95_ms: float,
+                     max_bad_frac: float = 0.1) -> list[str]:
+    """Degradation-curve recovery check over windows at ``t >= after``.
+
+    The failure fraction is judged over the *aggregated* tail (individual
+    windows can hold a handful of requests — one unlucky timeout there is
+    noise, a sustained elevated fraction is not), and per-window p95 only
+    where a window completed enough requests to make a p95 meaningful.
+    """
+    violations = []
+    tail = [w for w in report.windows.series() if w["t"] >= after]
+    if not tail:
+        return [f"no windows at t >= {after}s to verify recovery"]
+    completed = bad = 0
+    for w in tail:
+        c = w["counts"]
+        completed += c["completed"]
+        bad += c["timed_out"] + c["failed_fast"] + c["errors"]
+        if c["completed"] >= 5 and w["p95_ms"] > p95_ms:
+            violations.append(
+                f"window t={w['t']}s p95 {w['p95_ms']}ms > {p95_ms}ms "
+                "after expected recovery")
+    terminal = completed + bad
+    if terminal and bad / terminal > max_bad_frac:
+        violations.append(
+            f"tail (t >= {after}s) still failing {bad}/{terminal} "
+            "requests after expected recovery")
+    return violations
+
+
+def _assert_recovered(report: LoadReport, *, after: float, p95_ms: float,
+                      max_bad_frac: float = 0.1) -> None:
+    violations = _tail_violations(
+        report, after=after, p95_ms=p95_ms, max_bad_frac=max_bad_frac)
+    if violations:
+        raise SLOViolation(violations, report.diagnostics)
+
+
+def run_steady_load(
+    service: str = "buffer",
+    *,
+    rate: float = 60.0,
+    duration: float = 3.0,
+    seed: int = DEFAULT_SEED,
+    deadline: float = 0.5,
+    workers: int = 6,
+    admission_capacity: int = 64,
+    slo: Optional[SLO] = None,
+    strict: bool = True,
+    service_kwargs: Optional[dict[str, Any]] = None,
+) -> LoadReport:
+    """Poisson arrivals within capacity — the baseline SLO lane."""
+    svc = make_service(service, seed=seed, **(service_kwargs or {}))
+    sim = LoadSimulator(
+        svc,
+        PoissonArrivals(rate, duration, seed),
+        scenario="steady",
+        deadline=deadline,
+        workers=workers,
+        admission_capacity=admission_capacity,
+    )
+    report = sim.run(params={"rate": rate})
+    if strict:
+        report.assert_accounted()
+        report.enforce(slo or SLO(
+            p95_ms=0.8 * deadline * 1e3,
+            p99_ms=1.5 * deadline * 1e3,
+            max_timeout_frac=0.05,
+            max_shed_frac=0.0,
+            max_failed_frac=0.0,
+        ))
+    return report
+
+
+def run_burst_load(
+    service: str = "buffer",
+    *,
+    base_rate: float = 30.0,
+    burst_rate: float = 150.0,
+    duration: float = 3.0,
+    period: float = 1.0,
+    burst_fraction: float = 0.25,
+    seed: int = DEFAULT_SEED,
+    deadline: float = 0.3,
+    workers: int = 4,
+    admission_capacity: int = 24,
+    slo: Optional[SLO] = None,
+    strict: bool = True,
+    service_kwargs: Optional[dict[str, Any]] = None,
+) -> LoadReport:
+    """On/off overload: bursts exceed capacity, the backlog absorbs them.
+
+    Shedding and timeouts *during* bursts are the expected, graceful
+    behaviour; what is asserted is full accounting plus recovery — the
+    tail windows after the last burst must be back under the SLO.
+    """
+    svc = make_service(service, seed=seed, **(service_kwargs or {}))
+    arrivals = BurstArrivals(
+        base_rate, burst_rate, duration, seed,
+        period=period, burst_fraction=burst_fraction)
+    sim = LoadSimulator(
+        svc,
+        arrivals,
+        scenario="burst",
+        deadline=deadline,
+        workers=workers,
+        admission_capacity=admission_capacity,
+    )
+    report = sim.run(params={
+        "base_rate": base_rate, "burst_rate": burst_rate,
+        "period": period, "burst_fraction": burst_fraction,
+    })
+    if strict:
+        report.assert_accounted()
+        report.enforce(slo or SLO(max_failed_frac=0.05))
+        # the last burst ends at the final whole period + the on-phase;
+        # everything after must have settled back under the deadline
+        last_burst_end = (
+            int((duration - 1e-9) / period) * period + burst_fraction * period)
+        after = min(last_burst_end + deadline, duration - sim.window_s)
+        _assert_recovered(report, after=after, p95_ms=deadline * 1e3,
+                          max_bad_frac=0.25)
+    return report
+
+
+def run_mixed_workload(
+    *,
+    duration: float = 3.0,
+    seed: int = DEFAULT_SEED,
+    deadline: float = 0.5,
+    rates: Optional[dict[str, float]] = None,
+    workers: int = 4,
+    strict: bool = True,
+) -> dict[str, LoadReport]:
+    """Every service at once under diurnal ramps (one shared machine).
+
+    Returns one report per service.  The point is interference: the
+    services share the interpreter, the scheduler, and the server-thread
+    registry, so a wedge in one shows up in another's diagnostics.
+    """
+    rates = dict(rates or {"buffer": 40.0, "pizza": 25.0, "multicast": 40.0})
+    reports: dict[str, LoadReport] = {}
+    failures: list[BaseException] = []
+    lock = threading.Lock()
+
+    def one(name: str, rate: float, idx: int) -> None:
+        try:
+            svc = make_service(name, seed=seed + idx)
+            sim = LoadSimulator(
+                svc,
+                DiurnalArrivals(rate, duration, seed + idx),
+                scenario="mixed",
+                deadline=deadline,
+                workers=workers,
+            )
+            report = sim.run(params={"peak_rate": rate, "mixed_with": sorted(
+                k for k in rates if k != name)})
+            with lock:
+                reports[name] = report
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            with lock:
+                failures.append(exc)
+
+    threads = [
+        threading.Thread(target=one, args=(name, rate, idx),
+                         name=f"loadsim-mixed-{name}", daemon=True)
+        for idx, (name, rate) in enumerate(sorted(rates.items()))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(duration + 30.0)
+    if failures:
+        raise failures[0]
+    if strict:
+        for report in reports.values():
+            report.assert_accounted()
+    return reports
+
+
+def run_worker_failure(
+    service: str = "buffer",
+    *,
+    rate: float = 50.0,
+    duration: float = 4.0,
+    kill_at: float = 1.2,
+    seed: int = DEFAULT_SEED,
+    deadline: float = 0.5,
+    workers: int = 6,
+    recovery_margin: float = 1.0,
+    slo: Optional[SLO] = None,
+    strict: bool = True,
+    service_kwargs: Optional[dict[str, Any]] = None,
+) -> LoadReport:
+    """Kill a monitor server thread mid-run; assert supervised recovery.
+
+    At ``kill_at`` the chaos engine arms a one-shot ``server_loop`` kill:
+    the next server iteration dies, its death handler fails the in-flight
+    futures fast, and the attached (jittered) supervisor restarts it.
+    Asserted: the kill actually fired, at least one supervised restart,
+    zero lost requests, and tail windows back under the SLO.
+    """
+    kwargs = dict(service_kwargs or {})
+    if service == "multicast":
+        kwargs.setdefault("variant", "active")  # need killable servers
+    svc = make_service(service, seed=seed, **kwargs)
+
+    def arm_kill() -> None:
+        chaos.configure(seed=seed, sites=("server_loop",),
+                        kill={"server_loop": 1})
+        chaos.enable()
+        # worker-side combining executes lightly-loaded monitors' tasks on
+        # the submitting thread, so a parked server may never reach the
+        # chaos site on its own; wake the supervised servers and the first
+        # to iterate takes the (one-shot) kill
+        for sup in svc.supervisors:
+            sup.server._wake.set()
+
+    sim = LoadSimulator(
+        svc,
+        PoissonArrivals(rate, duration, seed),
+        scenario="worker_failure",
+        deadline=deadline,
+        workers=workers,
+        supervise=True,
+        events=[(kill_at, arm_kill)],
+    )
+    chaos.reset()
+    try:
+        report = sim.run(params={"rate": rate, "kill_at": kill_at})
+        report.extra["chaos"] = chaos.stats()
+    finally:
+        chaos.reset()
+
+    if strict:
+        report.assert_accounted()
+        violations = []
+        kills = report.extra["chaos"]["injected"].get("kill", 0)
+        if kills < 1:
+            violations.append("chaos kill never fired (no server iteration "
+                              "after kill_at?)")
+        supervision = report.extra.get("supervision", [])
+        restarts = sum(s["restarts"] for s in supervision)
+        if restarts < kills:
+            violations.append(
+                f"{kills} kill(s) but only {restarts} supervised restart(s)")
+        if any(s["gave_up"] for s in supervision):
+            violations.append("a supervisor gave up inside its budget")
+        if violations:
+            raise SLOViolation(violations, report.diagnostics)
+        report.enforce(slo or SLO(
+            max_failed_frac=0.2, min_completed_frac=0.5))
+        _assert_recovered(
+            report, after=kill_at + recovery_margin, p95_ms=deadline * 1e3,
+            max_bad_frac=0.25)
+    return report
+
+
+def run_network_partition(
+    service: str = "multicast",
+    *,
+    rate: float = 60.0,
+    duration: float = 4.0,
+    partition_at: float = 1.0,
+    heal_after: float = 1.0,
+    shard: int = 1,
+    seed: int = DEFAULT_SEED,
+    deadline: float = 0.4,
+    workers: int = 6,
+    slo: Optional[SLO] = None,
+    strict: bool = True,
+    service_kwargs: Optional[dict[str, Any]] = None,
+) -> LoadReport:
+    """Freeze a shard of monitors; assert isolation, then drain on heal.
+
+    The "partition" is a thread that grabs the shard's monitor locks and
+    sits on them for ``heal_after`` seconds — the worst version of a
+    stuck peer, because blocked callers cannot even reach their
+    ``wait_until`` deadline until the lock frees.  Per-shard bulkheads
+    cap how many workers wedge there; everyone else sheds at the
+    bulkhead and the healthy shards keep serving.  On heal, the wedged
+    requests re-enter, see their deadlines long expired, and drain as
+    timeouts — nothing is lost.
+    """
+    if partition_at + heal_after + deadline >= duration:
+        raise ValueError("run must outlive the partition by >= one deadline "
+                         "so the frozen shard can drain")
+    svc = make_service(service, seed=seed, **(service_kwargs or {}))
+    svc.start()
+    targets = svc.partition_targets(shard)
+
+    heal_evt = threading.Event()
+    holders: list[threading.Thread] = []
+
+    def hold(monitor: Any) -> None:
+        monitor._lock.acquire()  # monlint: disable=W004 — the fault IS a seized lock
+        try:
+            heal_evt.wait()
+        finally:
+            monitor._lock.release()  # monlint: disable=W004 — heal releases the seized lock
+
+    def freeze() -> None:
+        for m in targets:
+            t = threading.Thread(target=hold, args=(m,),
+                                 name="loadsim-partition", daemon=True)
+            t.start()
+            holders.append(t)
+
+    def heal() -> None:
+        heal_evt.set()
+
+    sim = LoadSimulator(
+        svc,
+        PoissonArrivals(rate, duration, seed),
+        scenario="network_partition",
+        deadline=deadline,
+        workers=workers,
+        events=[(partition_at, freeze), (partition_at + heal_after, heal)],
+    )
+    try:
+        report = sim.run(params={
+            "rate": rate, "partition_at": partition_at,
+            "heal_after": heal_after,
+            "partitioned_shards": sorted(svc.partitioned),
+        })
+    finally:
+        heal_evt.set()  # never leave locks held, even on failure
+        for t in holders:
+            t.join(5.0)
+        svc.partitioned = set()
+        svc.stop()
+
+    if strict:
+        report.assert_accounted()
+        # the healthy side must have kept its SLO straight through
+        report.enforce(
+            slo or SLO(p95_ms=deadline * 1e3, max_timeout_frac=0.10,
+                       max_failed_frac=0.0),
+            group="healthy")
+        violations = []
+        part = report.counts.get("partitioned", {})
+        if not part:
+            violations.append("no requests ever routed to the partitioned "
+                              "shard — the scenario tested nothing")
+        elif not (part.get("timed_out", 0) + part.get("shed", 0)):
+            violations.append("partition was invisible: no partitioned "
+                              "request timed out or shed")
+        violations += _tail_violations(
+            report, after=partition_at + heal_after + deadline,
+            p95_ms=deadline * 1e3, max_bad_frac=0.25)
+        if violations:
+            raise SLOViolation(violations, report.diagnostics)
+    return report

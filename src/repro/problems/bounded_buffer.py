@@ -21,9 +21,12 @@ from __future__ import annotations
 import threading
 from typing import Any
 
+import time
+
 from repro.active import ActiveMonitor, asynchronous, synchronous
 from repro.core import Monitor, S
 from repro.problems.common import RunResult, run_threads, spin_delay
+from repro.runtime.errors import WaitTimeoutError
 
 
 class ExplicitBoundedQueue:
@@ -79,6 +82,28 @@ class AutoBoundedQueue(Monitor):
         self.count -= 1
         return item
 
+    # Deadline-bounded service facade (repro.loadsim): the same operations
+    # with per-request deadlines.  A caller that spent its whole deadline
+    # queueing for the monitor lock fails fast on entry instead of starting
+    # a wait it has already lost.
+    def put_until(self, item: Any, deadline: float | None = None,
+                  cancel=None) -> None:
+        if deadline is not None and time.monotonic() >= deadline:
+            raise WaitTimeoutError("put deadline expired before section entry")
+        self.wait_until(S.count < S.capacity, deadline=deadline, cancel=cancel)
+        self.items[self.put_ptr] = item
+        self.put_ptr = (self.put_ptr + 1) % self.capacity
+        self.count += 1
+
+    def take_until(self, deadline: float | None = None, cancel=None) -> Any:
+        if deadline is not None and time.monotonic() >= deadline:
+            raise WaitTimeoutError("take deadline expired before section entry")
+        self.wait_until(S.count > 0, deadline=deadline, cancel=cancel)
+        item = self.items[self.take_ptr]
+        self.take_ptr = (self.take_ptr + 1) % self.capacity
+        self.count -= 1
+        return item
+
 
 class ActiveBoundedQueue(ActiveMonitor):
     """ActiveMonitor bounded queue (the paper's Fig. 1.3 / 3.1)."""
@@ -97,6 +122,19 @@ class ActiveBoundedQueue(ActiveMonitor):
 
     @synchronous(pre=lambda self: self.count > 0)
     def take(self) -> Any:
+        item = self.items[self.take_ptr]
+        self.take_ptr = (self.take_ptr + 1) % self.capacity
+        self.count -= 1
+        return item
+
+    # Deadline-bounded take for the loadsim service facade.  ``put`` stays
+    # delegated (its deadline is enforced on the returned future's ``get``);
+    # the take side waits under the monitor lock, so the deadline must ride
+    # on the wait itself.
+    def take_until(self, deadline: float | None = None, cancel=None) -> Any:
+        if deadline is not None and time.monotonic() >= deadline:
+            raise WaitTimeoutError("take deadline expired before section entry")
+        self.wait_until(S.count > 0, deadline=deadline, cancel=cancel)
         item = self.items[self.take_ptr]
         self.take_ptr = (self.take_ptr + 1) % self.capacity
         self.count -= 1

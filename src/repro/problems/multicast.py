@@ -16,11 +16,13 @@ A server drains requests from one bounded queue per client using
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.active import ActiveMonitor, asynchronous, synchronous
 from repro.compose import async_select_one, bind, select_one
-from repro.core import Monitor
+from repro.core import Monitor, S
 from repro.problems.common import RunResult, run_threads
+from repro.runtime.errors import WaitTimeoutError
 
 
 class ChannelQueue(ActiveMonitor):
@@ -42,6 +44,25 @@ class ChannelQueue(ActiveMonitor):
         self.count -= 1
         return self.items.pop(0)
 
+    # Deadline-bounded service facade (repro.loadsim).  A request that
+    # burned its whole deadline queueing for the channel lock — e.g.
+    # because the channel's shard is partitioned — fails fast on entry,
+    # which is what lets a frozen shard *drain* (as timeouts) on heal.
+    def put_until(self, item: int, deadline: float | None = None,
+                  cancel=None) -> None:
+        if deadline is not None and time.monotonic() >= deadline:
+            raise WaitTimeoutError("put deadline expired before channel entry")
+        self.wait_until(S.count < S.capacity, deadline=deadline, cancel=cancel)
+        self.items.append(item)
+        self.count += 1
+
+    def take_until(self, deadline: float | None = None, cancel=None) -> int:
+        if deadline is not None and time.monotonic() >= deadline:
+            raise WaitTimeoutError("take deadline expired before channel entry")
+        self.wait_until(S.count > 0, deadline=deadline, cancel=cancel)
+        self.count -= 1
+        return self.items.pop(0)
+
 
 class AsyncChannelQueue(ActiveMonitor):
     """Async variant: the put is delegated too."""
@@ -59,6 +80,15 @@ class AsyncChannelQueue(ActiveMonitor):
 
     @synchronous(pre=lambda self: self.count > 0)
     def take(self) -> int:
+        self.count -= 1
+        return self.items.pop(0)
+
+    # Deadline-bounded take for the loadsim drainers: the delegated ``put``
+    # side is deadline-bounded on its future instead.
+    def take_until(self, deadline: float | None = None, cancel=None) -> int:
+        if deadline is not None and time.monotonic() >= deadline:
+            raise WaitTimeoutError("take deadline expired before channel entry")
+        self.wait_until(S.count > 0, deadline=deadline, cancel=cancel)
         self.count -= 1
         return self.items.pop(0)
 

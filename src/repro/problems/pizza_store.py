@@ -19,9 +19,12 @@ from __future__ import annotations
 import random
 import threading
 
+import time
+
 from repro.core import Monitor, S
 from repro.multi import local, manager, multisynch
 from repro.problems.common import RunResult, run_threads
+from repro.runtime.errors import WaitTimeoutError
 from repro.stm import TVar, atomic, retry
 
 N_INGREDIENTS = 15
@@ -114,6 +117,27 @@ class MonitorStore:
             condition = atom if condition is None else (condition & atom)
         with multisynch(objs, strategy=self.strategy) as ms:
             ms.wait_until(condition)
+            for i, n in recipe.items():
+                self.ingredients[i].consume(n)
+
+    def cook_until(self, recipe: dict[int, int],
+                   deadline: float | None = None, cancel=None) -> None:
+        """Deadline-bounded cook (repro.loadsim service facade).
+
+        The per-request deadline rides on the multisynch global wait;
+        a cook whose deadline already passed before it won the ingredient
+        locks fails fast with :class:`WaitTimeoutError` instead of
+        consuming stock it no longer has time to use.
+        """
+        if deadline is not None and time.monotonic() >= deadline:
+            raise WaitTimeoutError("cook deadline expired before acquisition")
+        objs = [self.ingredients[i] for i in recipe]
+        condition = None
+        for i, n in recipe.items():
+            atom = local(self.ingredients[i], S.quantity >= n)
+            condition = atom if condition is None else (condition & atom)
+        with multisynch(objs, strategy=self.strategy) as ms:
+            ms.wait_until(condition, deadline=deadline, cancel=cancel)
             for i, n in recipe.items():
                 self.ingredients[i].consume(n)
 

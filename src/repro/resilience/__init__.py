@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 __all__ = [
+    "CancelTimer",
     "CancelToken",
     "ObligationReport",
     "ObligationTracker",
@@ -43,6 +44,7 @@ __all__ = [
 ]
 
 _EXPORTS = {
+    "CancelTimer": ("repro.resilience.cancellation", "CancelTimer"),
     "CancelToken": ("repro.resilience.cancellation", "CancelToken"),
     "ServerSupervisor": ("repro.resilience.supervision", "ServerSupervisor"),
     "supervise": ("repro.resilience.supervision", "supervise"),
@@ -57,7 +59,7 @@ _EXPORTS = {
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience import chaos
-    from repro.resilience.cancellation import CancelToken
+    from repro.resilience.cancellation import CancelTimer, CancelToken
     from repro.resilience.chaos import ThreadKilledFault
     from repro.resilience.obligations import (
         ObligationReport,

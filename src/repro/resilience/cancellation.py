@@ -23,12 +23,15 @@ is sticky — once cancelled, every subsequent guarded wait fails immediately
 
 from __future__ import annotations
 
+import heapq
 import threading
+import time
 from typing import Any, Callable, Optional
 
+from repro.runtime.atomics import AtomicCounter
 from repro.runtime.errors import WaitCancelledError
 
-__all__ = ["CancelToken"]
+__all__ = ["CancelTimer", "CancelToken"]
 
 
 class CancelToken:
@@ -84,6 +87,25 @@ class CancelToken:
         if self._cancelled:
             raise WaitCancelledError(f"{what} cancelled", self._reason)
 
+    # ------------------------------------------------------------- deadlines
+    def cancel_after(self, delay: float, reason: Any = None) -> "CancelTimer":
+        """Arm a one-shot timer that cancels this token ``delay`` seconds
+        from now (deadline-scoped cancellation without hand-rolled timers).
+
+        Returns a :class:`CancelTimer` handle; call its :meth:`~CancelTimer.
+        cancel` to disarm when the guarded operation completes first.  All
+        timers share one daemon scheduler thread (no thread-per-timer), so
+        arming one per request is cheap even at high request rates.  A
+        non-positive ``delay`` cancels on the scheduler thread immediately;
+        re-arming an already-cancelled token is a no-op (cancellation is
+        sticky).  The default reason is ``"deadline"`` so a
+        :class:`~repro.runtime.errors.WaitCancelledError` raised by the
+        timer is distinguishable from an explicit ``cancel()``.
+        """
+        if reason is None:
+            reason = "deadline"
+        return _scheduler().arm(self, delay, reason)
+
     # -------------------------------------------------- waker registration
     def add_callback(self, callback: Callable[[], None]) -> None:
         """Register a wakeup callback; runs immediately if already cancelled."""
@@ -104,3 +126,90 @@ class CancelToken:
     def __repr__(self) -> str:
         state = f"cancelled reason={self._reason!r}" if self._cancelled else "live"
         return f"<CancelToken {state}>"
+
+
+class CancelTimer:
+    """Handle for one armed :meth:`CancelToken.cancel_after` deadline."""
+
+    __slots__ = ("_disarmed", "deadline", "reason", "token")
+
+    def __init__(self, token: CancelToken, deadline: float, reason: Any):
+        self.token = token
+        self.deadline = deadline
+        self.reason = reason
+        self._disarmed = False
+
+    def cancel(self) -> None:
+        """Disarm the timer (idempotent; safe after it already fired —
+        firing a disarmed timer is a no-op, not an error)."""
+        self._disarmed = True
+
+    @property
+    def armed(self) -> bool:
+        return not self._disarmed
+
+    def _fire(self) -> None:
+        if not self._disarmed:
+            self.token.cancel(self.reason)
+
+
+class _DeadlineScheduler:
+    """One shared daemon thread expiring :class:`CancelTimer` deadlines.
+
+    A binary heap orders pending deadlines; the thread sleeps until the
+    earliest one (or until a new, earlier timer is armed).  Disarmed timers
+    are dropped lazily when they surface at the heap top, so ``cancel`` on
+    a handle is O(1).  The thread is started lazily on the first ``arm``
+    and never joined — it parks on a condition variable when idle.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._heap: list[tuple[float, int, CancelTimer]] = []
+        self._tiebreak = AtomicCounter()
+        self._thread: Optional[threading.Thread] = None
+
+    def arm(self, token: CancelToken, delay: float, reason: Any) -> CancelTimer:
+        timer = CancelTimer(token, time.monotonic() + delay, reason)
+        with self._cond:
+            heapq.heappush(
+                self._heap, (timer.deadline, self._tiebreak.next(), timer))
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-cancel-scheduler", daemon=True
+                )
+                self._thread.start()
+            self._cond.notify()
+        return timer
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._heap:
+                    self._cond.wait()
+                deadline, _, timer = self._heap[0]
+                now = time.monotonic()
+                if timer._disarmed:
+                    heapq.heappop(self._heap)
+                    continue
+                if deadline > now:
+                    self._cond.wait(deadline - now)
+                    continue
+                heapq.heappop(self._heap)
+            # outside the lock: cancel() runs arbitrary waker callbacks
+            timer._fire()
+
+
+_scheduler_instance: Optional[_DeadlineScheduler] = None
+_scheduler_lock = threading.Lock()
+
+
+def _scheduler() -> _DeadlineScheduler:
+    global _scheduler_instance
+    sched = _scheduler_instance
+    if sched is None:
+        with _scheduler_lock:
+            sched = _scheduler_instance
+            if sched is None:
+                sched = _scheduler_instance = _DeadlineScheduler()
+    return sched

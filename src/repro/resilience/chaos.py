@@ -114,6 +114,7 @@ class _ChaosState:
         self.delay_range = (0.0001, 0.001)
         self.switch_prob = 0.0
         self.sites: Optional[frozenset[str]] = None  # None = all sites
+        self.site_probs: dict[str, dict[str, Any]] = {}
         self.kill: dict[str, int] = {}
         self.fired: dict[str, int] = {}
         self.injected: dict[str, int] = {"delay": 0, "switch": 0, "kill": 0}
@@ -130,6 +131,7 @@ class _ChaosState:
         delay_range: Optional[tuple[float, float]] = None,
         switch_prob: Optional[float] = None,
         sites: Optional[Iterable[str]] = None,
+        site_probs: Optional[dict[str, dict[str, Any]]] = None,
         kill: Optional[dict[str, int]] = None,
     ) -> None:
         """Set injection parameters; unspecified ones keep their value.
@@ -137,10 +139,26 @@ class _ChaosState:
         ``kill`` maps a site name to the 1-based fire count at which a
         :class:`ThreadKilledFault` is raised there (one-shot).  ``sites``
         restricts injection to a subset of :data:`SITES` (None = all).
+
+        ``site_probs`` overrides the global probabilities for individual
+        sites, e.g. ``{"server_loop": {"delay_prob": 1.0}}`` injects
+        delays only into server loops while every other site keeps the
+        global rates.  Recognized per-site keys: ``delay_prob``,
+        ``switch_prob``, ``delay_range``.  Overridden sites draw from the
+        same seeded PRNG as everything else, so a given (seed,
+        configuration) pair still replays the identical fault schedule.
         """
-        for name in list(sites or ()) + list(kill or ()):
+        for name in (list(sites or ()) + list(kill or ())
+                     + list(site_probs or ())):
             if name not in SITES:
                 raise ValueError(f"unknown chaos site {name!r}; known: {SITES}")
+        _SITE_PROB_KEYS = {"delay_prob", "switch_prob", "delay_range"}
+        for name, overrides in (site_probs or {}).items():
+            unknown = set(overrides) - _SITE_PROB_KEYS
+            if unknown:
+                raise ValueError(
+                    f"unknown site_probs keys {sorted(unknown)} for site "
+                    f"{name!r}; known: {sorted(_SITE_PROB_KEYS)}")
         with self._lock:
             if seed is not None:
                 self.rng = random.Random(seed)
@@ -152,6 +170,8 @@ class _ChaosState:
                 self.switch_prob = switch_prob
             if sites is not None:
                 self.sites = frozenset(sites)
+            if site_probs is not None:
+                self.site_probs = {k: dict(v) for k, v in site_probs.items()}
             if kill is not None:
                 self.kill = dict(kill)
 
@@ -176,11 +196,20 @@ class _ChaosState:
                 del self.kill[site]
                 self.injected["kill"] += 1
                 raise ThreadKilledFault(site)
+            overrides = self.site_probs.get(site)
+            if overrides is None:
+                delay_prob = self.delay_prob
+                switch_prob = self.switch_prob
+                delay_range = self.delay_range
+            else:
+                delay_prob = overrides.get("delay_prob", self.delay_prob)
+                switch_prob = overrides.get("switch_prob", self.switch_prob)
+                delay_range = overrides.get("delay_range", self.delay_range)
             roll = self.rng.random()
-            if roll < self.delay_prob:
-                delay = self.rng.uniform(*self.delay_range)
+            if roll < delay_prob:
+                delay = self.rng.uniform(*delay_range)
                 self.injected["delay"] += 1
-            elif roll < self.delay_prob + self.switch_prob:
+            elif roll < delay_prob + switch_prob:
                 switch = True
                 self.injected["switch"] += 1
         if delay:

@@ -22,6 +22,7 @@ Attach with :func:`supervise`::
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from typing import TYPE_CHECKING, Optional, Union
@@ -51,14 +52,31 @@ class ServerSupervisor:
         backoff_base: float = 0.01,
         backoff_factor: float = 2.0,
         backoff_cap: float = 1.0,
+        jitter: bool = False,
+        max_elapsed: Optional[float] = None,
+        seed: Optional[int] = None,
     ):
         if max_restarts < 0:
             raise ValueError("max_restarts must be >= 0")
+        if max_elapsed is not None and max_elapsed < 0:
+            raise ValueError("max_elapsed must be >= 0")
         self.server = server
         self.max_restarts = max_restarts
         self.backoff_base = backoff_base
         self.backoff_factor = backoff_factor
         self.backoff_cap = backoff_cap
+        #: decorrelated jitter (AWS-architecture-blog style): each delay is
+        #: drawn from ``uniform(base, 3 * previous)``, capped.  Under chaos
+        #: that kills many servers at once, deterministic exponential
+        #: backoff synchronizes every restart into one thundering herd;
+        #: decorrelation spreads them out while keeping the same envelope.
+        self.jitter = jitter
+        #: total restart *budget* in seconds: once the sum of backoff sleeps
+        #: would exceed it, the supervisor gives up even with restarts left.
+        self.max_elapsed = max_elapsed
+        self._rng = random.Random(seed)
+        self._prev_backoff = backoff_base
+        self._backoff_spent = 0.0
         self._lock = threading.Lock()
         self._restarts = 0
         self.gave_up = False
@@ -71,10 +89,29 @@ class ServerSupervisor:
     def restarts(self) -> int:
         return self._restarts
 
+    @property
+    def backoff_spent(self) -> float:
+        """Total seconds slept in backoff so far (vs ``max_elapsed``)."""
+        return self._backoff_spent
+
     def backoff_for(self, attempt: int) -> float:
-        """Bounded exponential backoff before restart number ``attempt``."""
-        return min(self.backoff_cap,
-                   self.backoff_base * (self.backoff_factor ** attempt))
+        """Backoff before restart number ``attempt``.
+
+        Plain bounded exponential by default; with ``jitter=True`` the
+        delay is decorrelated — ``uniform(base, 3 * previous)``, capped —
+        which keeps the first delay >= ``backoff_base`` and every delay
+        <= ``backoff_cap`` but desynchronizes concurrent supervisors
+        (deterministic for a given ``seed`` and call sequence).
+        """
+        if not self.jitter:
+            return min(self.backoff_cap,
+                       self.backoff_base * (self.backoff_factor ** attempt))
+        delay = min(
+            self.backoff_cap,
+            self._rng.uniform(self.backoff_base, self._prev_backoff * 3.0),
+        )
+        self._prev_backoff = max(delay, self.backoff_base)
+        return delay
 
     # ---------------------------------------------------------------- control
     def handle_death(self, exc: Optional[BaseException]) -> bool:
@@ -94,8 +131,17 @@ class ServerSupervisor:
                 self.gave_up = True
                 return False
             attempt = self._restarts
+            delay = self.backoff_for(attempt)
+            if (self.max_elapsed is not None
+                    and self._backoff_spent + delay > self.max_elapsed):
+                # the *budget* is exhausted even though restarts remain:
+                # sleeping further would stretch the outage past what the
+                # operator allowed, so degrade to synchronous execution now
+                self.gave_up = True
+                return False
             self._restarts += 1
-            time.sleep(self.backoff_for(attempt))
+            self._backoff_spent += delay
+            time.sleep(delay)
             if server._stop:  # stop() raced the backoff: stay down
                 return False
             restarted = server.restart()

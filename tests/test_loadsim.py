@@ -1,0 +1,310 @@
+"""Tests for repro.loadsim: arrival determinism, recorder properties,
+service facades, and small end-to-end scenario runs.
+
+The hypothesis properties pin down the two contracts the CI load-smoke
+lane leans on: identical seeds produce *identical* arrival schedules
+(chaos runs replay; committed BENCH records describe reproducible
+traffic), and the HDR-style recorder's percentiles are monotone
+(p50 <= p95 <= p99 <= p99.9) with bounded relative error.
+"""
+
+import math
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loadsim import (
+    SLO,
+    BurstArrivals,
+    Bulkhead,
+    DiurnalArrivals,
+    LatencyRecorder,
+    LoadReport,
+    PoissonArrivals,
+    SLOViolation,
+    WindowedSeries,
+    make_service,
+    run_burst_load,
+    run_mixed_workload,
+    run_network_partition,
+    run_steady_load,
+    run_worker_failure,
+)
+from repro.loadsim.recorder import _GROWTH
+from repro.runtime.errors import WaitTimeoutError
+
+
+# ============================================================ arrivals
+class TestArrivalDeterminism:
+    @given(rate=st.floats(1.0, 200.0), duration=st.floats(0.1, 5.0),
+           seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_identical_seeds_identical_poisson_schedules(
+            self, rate, duration, seed):
+        a = PoissonArrivals(rate, duration, seed).schedule()
+        b = PoissonArrivals(rate, duration, seed).schedule()
+        assert a == b
+        assert all(0.0 <= t < duration for t in a)
+        assert list(a) == sorted(a)
+
+    @given(base=st.floats(1.0, 50.0), extra=st.floats(0.0, 200.0),
+           seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_identical_seeds_identical_burst_schedules(
+            self, base, extra, seed):
+        kw = dict(period=0.7, burst_fraction=0.4)
+        a = BurstArrivals(base, base + extra, 2.0, seed, **kw).schedule()
+        b = BurstArrivals(base, base + extra, 2.0, seed, **kw).schedule()
+        assert a == b
+
+    @given(peak=st.floats(1.0, 200.0), floor=st.floats(0.0, 1.0),
+           seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_identical_seeds_identical_diurnal_schedules(
+            self, peak, floor, seed):
+        a = DiurnalArrivals(peak, 2.0, seed, floor=floor).schedule()
+        b = DiurnalArrivals(peak, 2.0, seed, floor=floor).schedule()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = PoissonArrivals(100.0, 2.0, 1).schedule()
+        b = PoissonArrivals(100.0, 2.0, 2).schedule()
+        assert a != b
+
+    def test_rate_scales_volume(self):
+        slow = PoissonArrivals(10.0, 5.0, 7).schedule()
+        fast = PoissonArrivals(100.0, 5.0, 7).schedule()
+        assert len(fast) > len(slow) * 3
+
+    def test_burst_validation(self):
+        with pytest.raises(ValueError):
+            BurstArrivals(10.0, 5.0, 1.0)          # burst < base
+        with pytest.raises(ValueError):
+            BurstArrivals(1.0, 2.0, 1.0, burst_fraction=1.5)
+        with pytest.raises(ValueError):
+            PoissonArrivals(10.0, 0.0)             # zero duration
+
+    def test_burst_rate_profile(self):
+        arr = BurstArrivals(10.0, 100.0, 4.0, period=1.0, burst_fraction=0.25)
+        assert arr.rate_at(0.1) == 100.0
+        assert arr.rate_at(0.5) == 10.0
+        assert arr.rate_at(1.1) == 100.0
+        assert arr.peak_rate == 100.0
+
+    def test_diurnal_rate_profile(self):
+        arr = DiurnalArrivals(100.0, 10.0, floor=0.2)
+        assert arr.rate_at(0.0) == pytest.approx(20.0)
+        assert arr.rate_at(5.0) == pytest.approx(100.0)
+        assert arr.rate_at(10.0) == pytest.approx(20.0, abs=1e-6)
+
+
+# ============================================================ recorder
+class TestLatencyRecorder:
+    @given(st.lists(st.floats(1e-7, 10.0), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_percentiles_monotone(self, samples):
+        rec = LatencyRecorder()
+        for s in samples:
+            rec.record(s)
+        p50, p95, p99, p999 = (rec.percentile(q) for q in (50, 95, 99, 99.9))
+        assert p50 <= p95 <= p99 <= p999 <= rec.max
+        assert rec.count == len(samples)
+
+    @given(st.lists(st.floats(1e-6, 10.0), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_percentile_relative_error_bounded(self, samples):
+        """Any percentile lands within one bucket (~4%) of a true sample."""
+        rec = LatencyRecorder()
+        for s in samples:
+            rec.record(s)
+        ordered = sorted(samples)
+        for q in (50.0, 95.0, 99.0):
+            true = ordered[max(0, math.ceil(len(ordered) * q / 100.0) - 1)]
+            got = rec.percentile(q)
+            assert got <= true * _GROWTH + 1e-9
+            assert got >= true / _GROWTH - 1e-9
+
+    def test_p100_equals_max(self):
+        rec = LatencyRecorder()
+        for s in (0.001, 0.5, 0.123):
+            rec.record(s)
+        assert rec.percentile(100) == rec.max == 0.5
+
+    def test_merge_equals_record_all(self):
+        a, b, merged = LatencyRecorder(), LatencyRecorder(), LatencyRecorder()
+        for i in range(50):
+            (a if i % 2 else b).record(i * 1e-3)
+            merged.record(i * 1e-3)
+        a.merge(b)
+        assert a.count == merged.count
+        for q in (50, 95, 99):
+            assert a.percentile(q) == merged.percentile(q)
+
+    def test_empty_and_negative(self):
+        rec = LatencyRecorder()
+        assert rec.percentile(99) == 0.0 and rec.mean == 0.0
+        rec.record(-1.0)   # clamped to zero, not an error
+        assert rec.count == 1
+
+    def test_concurrent_recording(self):
+        rec = LatencyRecorder()
+
+        def pound():
+            for i in range(2000):
+                rec.record(i * 1e-5)
+
+        threads = [threading.Thread(target=pound) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert rec.count == 8000
+
+    def test_windowed_series(self):
+        w = WindowedSeries(window_s=0.5)
+        w.record(0.1, "completed", 0.01)
+        w.record(0.4, "timed_out")
+        w.record(0.6, "completed", 0.02)
+        series = w.series()
+        assert [s["t"] for s in series] == [0.0, 0.5]
+        assert series[0]["counts"]["completed"] == 1
+        assert series[0]["counts"]["timed_out"] == 1
+        assert series[1]["counts"]["completed"] == 1
+        assert series[1]["p50_ms"] > 0
+
+
+# ============================================================ report / SLO
+class TestReport:
+    def _report(self, **over):
+        kw = dict(
+            service="svc", scenario="test", seed=1, params={},
+            counts={"all": {"completed": 8, "timed_out": 1,
+                            "failed_fast": 0, "shed": 1, "errors": 0}},
+            latency={"all": LatencyRecorder()},
+            windows=WindowedSeries(), elapsed=1.0, in_flight=0,
+        )
+        kw.update(over)
+        return LoadReport(**kw)
+
+    def test_accounting_identity(self):
+        r = self._report()
+        assert r.admitted == 9 and r.offered == 10
+        r.assert_accounted()
+
+    def test_lost_requests_fail_accounting(self):
+        r = self._report(in_flight=2, diagnostics=["monitor #3 wedged"])
+        with pytest.raises(SLOViolation) as ei:
+            r.assert_accounted()
+        assert "never reached a terminal state" in str(ei.value)
+        assert "wedged" in str(ei.value)
+
+    def test_slo_fractions(self):
+        r = self._report()
+        bad = r.check(SLO(max_timeout_frac=0.05, max_shed_frac=0.05))
+        assert len(bad) == 2
+        assert r.check(SLO(max_timeout_frac=0.5, max_shed_frac=0.5)) == []
+
+    def test_slo_latency_bound(self):
+        rec = LatencyRecorder()
+        rec.record(0.2)
+        r = self._report(latency={"all": rec})
+        assert r.check(SLO(p95_ms=100.0))
+        assert not r.check(SLO(p95_ms=300.0))
+
+
+# ============================================================ services
+class TestServices:
+    def test_bulkhead_bounds_concurrency(self):
+        gate = Bulkhead(1)
+        assert gate.acquire(time.monotonic() + 0.1)
+        assert not gate.acquire(time.monotonic() + 0.05)   # saturated
+        gate.release()
+        assert gate.acquire(time.monotonic())              # expired: still try
+        gate.release()
+        with pytest.raises(ValueError):
+            Bulkhead(0)
+
+    def test_make_service_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_service("nope")
+
+    def test_buffer_service_roundtrip(self):
+        svc = make_service("buffer", seed=1, capacity=8, prefill=2)
+        svc.start()
+        try:
+            deadline = time.monotonic() + 1.0
+            svc.handle(("put", 42), deadline)
+            svc.handle(("take",), deadline)
+            with pytest.raises(WaitTimeoutError):
+                # drain the prefill, then a take must time out
+                for _ in range(8):
+                    svc.handle(("take",), time.monotonic() + 0.05)
+        finally:
+            svc.stop()
+
+    def test_multicast_partition_grouping(self):
+        svc = make_service("multicast", seed=1, n_channels=4)
+        svc.start()
+        try:
+            assert svc.group((0, 1)) == "all"
+            targets = svc.partition_targets(2)
+            assert len(targets) == 2 and svc.partitioned == {0, 1}
+            assert svc.group((0, 7)) == "partitioned"
+            assert svc.group((3, 7)) == "healthy"
+        finally:
+            svc.partitioned = set()
+            svc.stop()
+
+
+# ============================================================ scenarios
+# Small, fast runs — the full-size lanes live in benchmarks/test_loadsim.py.
+class TestScenarios:
+    def test_steady_load_accounts_every_request(self):
+        report = run_steady_load("buffer", rate=40.0, duration=1.0, seed=3)
+        assert report.offered == len(
+            PoissonArrivals(40.0, 1.0, 3).schedule())
+        assert report.in_flight == 0
+        totals = {k: report.total(k) for k in
+                  ("completed", "timed_out", "failed_fast", "shed", "errors")}
+        assert report.admitted == sum(
+            v for k, v in totals.items() if k != "shed")
+        assert totals["completed"] > 0
+        d = report.to_dict()
+        assert d["latency_ms"]["p50"] <= d["latency_ms"]["p99"]
+
+    def test_worker_failure_restarts_and_loses_nothing(self):
+        report = run_worker_failure(
+            "buffer", rate=40.0, duration=2.0, kill_at=0.5, seed=3,
+            recovery_margin=0.8)
+        assert report.in_flight == 0
+        assert report.extra["chaos"]["injected"]["kill"] == 1
+        assert sum(s["restarts"] for s in report.extra["supervision"]) >= 1
+
+    def test_network_partition_isolates_and_drains(self):
+        report = run_network_partition(
+            rate=50.0, duration=2.5, partition_at=0.5, heal_after=0.7,
+            seed=3, deadline=0.3)
+        assert report.in_flight == 0
+        healthy = report.counts["healthy"]
+        part = report.counts["partitioned"]
+        assert healthy["completed"] > 0
+        # the partition was visible AND fully drained
+        assert part.get("timed_out", 0) + part.get("shed", 0) > 0
+        assert part["completed"] + part["timed_out"] + part["shed"] > 0
+
+    def test_burst_overload_sheds_explicitly(self):
+        report = run_burst_load(
+            "pizza", base_rate=20.0, burst_rate=120.0, duration=2.0,
+            seed=3, workers=3, admission_capacity=8, strict=False,
+            service_kwargs={"prefill": 10, "restock_interval": 0.02})
+        report.assert_accounted()
+        assert report.total("shed") + report.total("timed_out") > 0
+
+    def test_mixed_workload_runs_all_services(self):
+        reports = run_mixed_workload(duration=1.5, seed=3, workers=3)
+        assert set(reports) == {"buffer", "pizza", "multicast"}
+        for r in reports.values():
+            assert r.in_flight == 0

@@ -7,6 +7,7 @@ The schedule-fuzz and liveness-under-fault tests live in
 
 import threading
 import time
+import types
 
 import pytest
 
@@ -783,3 +784,224 @@ class TestCancelToken:
         tok.add_callback(cb)
         tok.remove_callback(cb)
         tok.cancel()
+
+
+# ==================================================== decorrelated backoff
+class _FakeServer:
+    """Just enough server surface for exercising ServerSupervisor policy."""
+
+    def __init__(self):
+        self._stop = False
+        self.supervisor = None
+        self.restarts_done = 0
+        self.monitor = types.SimpleNamespace(
+            _metrics=types.SimpleNamespace(add=lambda *a, **k: None))
+
+    def submit(self, task):  # pragma: no cover - supervise() duck check only
+        raise AssertionError("not a real server")
+
+    def restart(self):
+        self.restarts_done += 1
+        return True
+
+
+class TestBackoffJitter:
+    def test_default_backoff_is_bounded_exponential(self):
+        sup = ServerSupervisor(_FakeServer(), backoff_base=0.01,
+                               backoff_factor=2.0, backoff_cap=0.05)
+        delays = [sup.backoff_for(i) for i in range(6)]
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05, 0.05]
+
+    def test_jittered_backoff_stays_in_envelope_and_varies(self):
+        sup = ServerSupervisor(_FakeServer(), jitter=True, seed=42,
+                               backoff_base=0.01, backoff_cap=0.08)
+        delays = [sup.backoff_for(i) for i in range(100)]
+        assert all(0.01 <= d <= 0.08 for d in delays)
+        # decorrelated draws actually spread out (not a constant sequence)
+        assert len({round(d, 4) for d in delays}) > 10
+
+    def test_jittered_backoff_is_deterministic_per_seed(self):
+        a = ServerSupervisor(_FakeServer(), jitter=True, seed=7,
+                             backoff_base=0.01, backoff_cap=0.5)
+        b = ServerSupervisor(_FakeServer(), jitter=True, seed=7,
+                             backoff_base=0.01, backoff_cap=0.5)
+        c = ServerSupervisor(_FakeServer(), jitter=True, seed=8,
+                             backoff_base=0.01, backoff_cap=0.5)
+        seq_a = [a.backoff_for(i) for i in range(20)]
+        seq_b = [b.backoff_for(i) for i in range(20)]
+        seq_c = [c.backoff_for(i) for i in range(20)]
+        assert seq_a == seq_b
+        assert seq_a != seq_c
+
+    def test_max_elapsed_budget_caps_total_restart_time(self):
+        server = _FakeServer()
+        sup = ServerSupervisor(server, max_restarts=100,
+                               backoff_base=0.005, backoff_factor=1.0,
+                               backoff_cap=1.0, max_elapsed=0.012)
+        assert sup.handle_death(None) is True      # spends 0.005
+        assert sup.handle_death(None) is True      # spends 0.010
+        assert sup.handle_death(None) is False     # 0.015 > budget: give up
+        assert sup.gave_up
+        assert server.restarts_done == 2
+        assert sup.restarts == 2
+        assert sup.backoff_spent == pytest.approx(0.010)
+
+    def test_zero_budget_means_no_restarts(self):
+        server = _FakeServer()
+        sup = ServerSupervisor(server, backoff_base=0.001, max_elapsed=0.0)
+        assert sup.handle_death(None) is False
+        assert sup.gave_up and server.restarts_done == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ServerSupervisor(_FakeServer(), max_elapsed=-1.0)
+
+    def test_supervised_restart_under_chaos_with_jitter(self):
+        """End-to-end: jittered supervisor still restarts a killed server."""
+        m = Tick()
+        try:
+            sup = supervise(m, jitter=True, seed=3, max_restarts=3,
+                            backoff_base=0.005, backoff_cap=0.02,
+                            max_elapsed=5.0)
+            m.tick().get(timeout=2.0)
+            with chaos.active(seed=1, sites=("server_loop",),
+                              kill={"server_loop": 1}):
+                m.server._wake.set()
+                deadline = time.monotonic() + 5.0
+                while sup.restarts == 0 and time.monotonic() < deadline:
+                    time.sleep(0.01)
+            assert sup.restarts == 1 and not sup.gave_up
+            assert sup.backoff_spent > 0.0
+            assert m.tick().get(timeout=2.0) >= 1
+        finally:
+            chaos.reset()
+            m.shutdown()
+
+
+# ========================================================== cancel_after
+class TestCancelAfter:
+    def test_timer_fires_and_cancels_with_default_reason(self):
+        tok = CancelToken()
+        timer = tok.cancel_after(0.03)
+        assert timer.armed
+        deadline = time.monotonic() + 2.0
+        while not tok.cancelled() and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert tok.cancelled() and tok.reason == "deadline"
+
+    def test_custom_reason(self):
+        tok = CancelToken()
+        tok.cancel_after(0.01, reason="too slow")
+        deadline = time.monotonic() + 2.0
+        while not tok.cancelled() and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert tok.reason == "too slow"
+
+    def test_disarmed_timer_never_fires(self):
+        tok = CancelToken()
+        timer = tok.cancel_after(0.03)
+        timer.cancel()
+        assert not timer.armed
+        time.sleep(0.08)
+        assert not tok.cancelled()
+
+    def test_cancel_after_unparks_a_guarded_wait(self):
+        gate = Gate()
+        tok = CancelToken()
+        errs = []
+        t = _spawn(lambda: _guarded_wait(gate, tok, errs))
+        time.sleep(0.03)
+        tok.cancel_after(0.02)
+        t.join(3.0)
+        assert not t.is_alive()
+        assert len(errs) == 1
+
+    def test_many_threads_arm_and_disarm_concurrently(self):
+        """Thread-safety: exactly the still-armed timers fire."""
+        tokens = [CancelToken() for _ in range(48)]
+        timers: list = [None] * len(tokens)
+
+        def arm(i):
+            timers[i] = tokens[i].cancel_after(0.02 + (i % 5) * 0.01)
+            if i % 2 == 0:
+                timers[i].cancel()
+
+        threads = [_spawn(arm, i) for i in range(len(tokens))]
+        for t in threads:
+            t.join(2.0)
+        deadline = time.monotonic() + 3.0
+        while (any(not tok.cancelled() for i, tok in enumerate(tokens)
+                   if i % 2 == 1) and time.monotonic() < deadline):
+            time.sleep(0.01)
+        for i, tok in enumerate(tokens):
+            if i % 2 == 1:
+                assert tok.cancelled(), f"armed timer {i} never fired"
+        time.sleep(0.05)
+        for i, tok in enumerate(tokens):
+            if i % 2 == 0:
+                assert not tok.cancelled(), f"disarmed timer {i} fired"
+
+    def test_out_of_order_arming(self):
+        slow, fast = CancelToken(), CancelToken()
+        slow.cancel_after(0.2)
+        fast.cancel_after(0.02)    # armed later, expires earlier
+        deadline = time.monotonic() + 2.0
+        while not fast.cancelled() and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert fast.cancelled()
+        assert not slow.cancelled()   # the long timer is still pending
+        deadline = time.monotonic() + 2.0
+        while not slow.cancelled() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert slow.cancelled()
+
+
+def _guarded_wait(gate, tok, errs):
+    try:
+        gate.wait_open(cancel=tok)
+    except WaitCancelledError as exc:
+        errs.append(exc)
+
+
+# ================================================== chaos per-site overrides
+class TestChaosSiteProbs:
+    def test_overrides_apply_only_to_their_site(self):
+        chaos.configure(seed=5, delay_prob=0.0, switch_prob=0.0,
+                        site_probs={"signal": {"delay_prob": 1.0,
+                                               "delay_range": (0.0, 0.0)}})
+        chaos.enable()
+        for _ in range(10):
+            chaos.fire("signal")
+            chaos.fire("monitor_enter")
+        stats = chaos.stats()
+        assert stats["injected"]["delay"] == 10
+        assert stats["fired"]["signal"] == 10
+        assert stats["fired"]["monitor_enter"] == 10
+
+    def test_site_probs_validated(self):
+        with pytest.raises(ValueError):
+            chaos.configure(site_probs={"nope": {"delay_prob": 1.0}})
+        with pytest.raises(ValueError):
+            chaos.configure(site_probs={"signal": {"bogus": 1.0}})
+
+    def test_deterministic_under_seed_with_overrides(self):
+        def run_once():
+            chaos.reset()
+            chaos.configure(seed=99, delay_prob=0.3, switch_prob=0.3,
+                            delay_range=(0.0, 0.0),
+                            site_probs={"relay": {"delay_prob": 0.9,
+                                                  "switch_prob": 0.05}})
+            chaos.enable()
+            for i in range(200):
+                chaos.fire("relay" if i % 3 == 0 else "queue_put")
+            return chaos.stats()
+
+        assert run_once() == run_once()
+
+    def test_override_can_silence_one_site(self):
+        chaos.configure(seed=5, delay_prob=1.0, delay_range=(0.0, 0.0),
+                        site_probs={"queue_put": {"delay_prob": 0.0}})
+        chaos.enable()
+        for _ in range(10):
+            chaos.fire("queue_put")
+        assert chaos.stats()["injected"]["delay"] == 0
