@@ -32,7 +32,7 @@ from repro.active.tasks import MonitorTask
 from repro.core.monitor import Monitor, unmonitored
 from repro.core.predicates import Predicate
 from repro.runtime.config import config_snapshot
-from repro.runtime.errors import BrokenMonitorError, MonitorError
+from repro.runtime.errors import BrokenMonitorError, MonitorError, TaskQueueFull
 
 MODES = ("async", "delegate", "sync")
 
@@ -173,6 +173,56 @@ class ActiveMonitor(Monitor):
         if pre is None:
             return None
         return Predicate(lambda: pre(self, *args, **kwargs))
+
+    @unmonitored
+    def submit_nowait(self, method: str, /, *args, **kwargs) -> LightFuture:
+        """Delegate ``method`` without ever blocking the calling thread.
+
+        The asyncio frontend's entry point (:mod:`repro.aio`): one event
+        loop multiplexes thousands of logical clients, so the thread-local
+        program-order bookkeeping (Rules 2/3 — one outstanding task *per OS
+        thread*) is deliberately bypassed; per-client program order is the
+        caller's own ``await`` chain.  Combining is bypassed too: the
+        combiner executes task bodies on the *submitting* thread under the
+        monitor lock, which would stall the event loop.  The task is
+        enqueued nonblockingly and the server woken.
+
+        Raises :class:`TaskQueueFull` when the bounded task queue is full
+        (the blocking path would park; a coroutine backs off and retries),
+        :class:`BrokenMonitorError` when the monitor is poisoned, and
+        :class:`MonitorError` when ``method`` is not ``@asynchronous`` or
+        no live server exists.
+        """
+        broken = self._broken
+        if broken is not None:
+            raise BrokenMonitorError(f"{self!r} is broken", broken)
+        wrapper = getattr(type(self), method, None)
+        if wrapper is None or not getattr(wrapper, "_repro_async", False):
+            raise MonitorError(
+                f"submit_nowait requires an @asynchronous method, "
+                f"got {method!r}")
+        server = self._server
+        if server is None or not server.alive:
+            raise MonitorError(
+                f"submit_nowait on {self!r} needs a live server "
+                f"(mode={self._mode!r}); use the blocking frontend instead")
+        fn = wrapper.__wrapped__          # functools.wraps keeps the raw body
+        pre = wrapper._repro_guard
+        predicate = self._guard_predicate(pre, args, kwargs)
+        task = MonitorTask.acquire(
+            functools.partial(fn, self), (*args,), dict(kwargs),
+            precondition=predicate,
+            name=getattr(fn, "__name__", "task"),
+        )
+        future = task.future   # capture before enqueue (pooled shell)
+        if not server.queue.try_put(task):
+            task.recycle()
+            raise TaskQueueFull(
+                f"task queue of {self!r} is full")
+        if server._stop:       # same submit/stop race handling as submit()
+            server.drain()
+        server._wake.set()     # wake the server thread; never combine here
+        return future
 
     # ------------------------------------------------------------ order rules
     def _honor_rule2(self) -> None:

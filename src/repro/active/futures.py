@@ -27,6 +27,17 @@ that release-preceded it.  This is message-passing, not a store-load
 blocking path synchronizes through the CV's own lock as usual.  No
 primitive from :mod:`repro.runtime.atomics` is required here — the audit's
 conclusion, recorded so nobody "fixes" this with a per-future lock.
+
+Done callbacks (:meth:`LightFuture.add_done_callback`) follow the *same*
+publication order: the producer stores the value, then the state, then
+reads ``_callbacks``.  A consumer that registers a callback after that
+read re-checks ``_state`` afterwards (under the install lock) and fires
+the callback itself; a consumer that registered before is drained by the
+producer.  Both drains take-and-clear the list under the install lock, so
+every callback fires exactly once — the hand-off is the ``_cv`` pattern
+with a callback list in place of a condition variable, and the asyncio
+bridge (:mod:`repro.aio`) builds awaitable futures on top of it with zero
+polling.
 """
 
 from __future__ import annotations
@@ -50,13 +61,14 @@ _cv_install_lock = threading.Lock()
 class LightFuture:
     """Single-producer / single-consumer future (multi-consumer safe)."""
 
-    __slots__ = ("_state", "_value", "_error", "_cv")
+    __slots__ = ("_state", "_value", "_error", "_cv", "_callbacks")
 
     def __init__(self):
         self._state = _PENDING
         self._value: Any = None
         self._error: Optional[BaseException] = None
         self._cv: Optional[threading.Condition] = None
+        self._callbacks: Optional[list] = None
 
     # -- producer side --------------------------------------------------------
     def set_result(self, value: Any) -> None:
@@ -66,6 +78,8 @@ class LightFuture:
         if cv is not None:
             with cv:
                 cv.notify_all()
+        if self._callbacks is not None:
+            self._drain_callbacks()
 
     def set_exception(self, error: BaseException) -> None:
         self._error = error
@@ -74,6 +88,21 @@ class LightFuture:
         if cv is not None:
             with cv:
                 cv.notify_all()
+        if self._callbacks is not None:
+            self._drain_callbacks()
+
+    def _drain_callbacks(self) -> None:
+        # take-and-clear under the install lock: whichever side (producer or
+        # a late add_done_callback) takes the list is the one that fires it
+        with _cv_install_lock:
+            cbs = self._callbacks
+            self._callbacks = None
+        if cbs:
+            for cb in cbs:
+                try:
+                    cb(self)
+                except Exception:  # noqa: BLE001 — a consumer callback must
+                    pass           # never kill the completing server thread
 
     # -- consumer side ---------------------------------------------------------
     def done(self) -> bool:
@@ -126,6 +155,44 @@ class LightFuture:
         finally:
             if wake_cb is not None:
                 cancel.remove_callback(wake_cb)
+
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(self)`` once the future completes (or immediately).
+
+        The callback runs on whichever thread completes the future — for
+        delegated tasks, the server/combiner thread — or synchronously on
+        the registering thread when the future is already done.  Callbacks
+        must therefore be cheap and non-blocking; the asyncio adapter
+        (:func:`repro.aio.as_asyncio`) uses ``loop.call_soon_threadsafe``
+        for exactly this reason.  Exceptions raised by ``fn`` are swallowed
+        (they must not kill the completing server thread).
+
+        Exactly-once delivery under the value-before-state contract: the
+        registration appends under the install lock and re-checks
+        ``_state``; the producer stores the state before reading
+        ``_callbacks``.  Whichever side observes the completed registration
+        takes the list (under the lock) and fires it.
+        """
+        fire = None
+        with _cv_install_lock:
+            if self._state != _PENDING:
+                # already complete: take any earlier registrations too, so
+                # the racing producer drain can't interleave out of order
+                fire = self._callbacks or []
+                fire.append(fn)
+                self._callbacks = None
+            else:
+                cbs = self._callbacks
+                if cbs is None:
+                    cbs = []
+                    self._callbacks = cbs
+                cbs.append(fn)
+        if fire is not None:
+            for cb in fire:
+                try:
+                    cb(self)
+                except Exception:  # noqa: BLE001 — see _drain_callbacks
+                    pass
 
     def exception(self) -> Optional[BaseException]:
         return self._error if self._state == _FAILED else None

@@ -1,0 +1,65 @@
+"""Awaitable views of delegated-call futures.
+
+A :class:`~repro.active.futures.LightFuture` completes on the server (or
+combiner) thread; :func:`as_asyncio` bridges that completion into an
+``asyncio.Future`` with a single done callback that hops onto the loop via
+``call_soon_threadsafe`` — no polling task, no executor thread parked in
+``get``.  Failure semantics mirror ``LightFuture.get`` exactly: a failed
+task resolves the asyncio future with :class:`~repro.runtime.errors.TaskError`
+wrapping the original exception.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+from repro.active.futures import LightFuture
+from repro.runtime.errors import TaskError
+
+
+def as_asyncio(future: LightFuture,
+               loop: Optional[asyncio.AbstractEventLoop] = None,
+               ) -> "asyncio.Future[Any]":
+    """Return an ``asyncio.Future`` that resolves when ``future`` completes.
+
+    Must be called with a running loop (or an explicit ``loop``).  The
+    completion hand-off is push-based: ``add_done_callback`` fires on the
+    completing thread — already on the loop thread when the future is done
+    at call time — and schedules the resolution with
+    ``loop.call_soon_threadsafe``.  Cancelling the *asyncio* future does
+    not cancel the delegated task (the critical section may already be
+    running); the late completion is simply dropped.
+    """
+    if loop is None:
+        loop = asyncio.get_running_loop()
+    afut: "asyncio.Future[Any]" = loop.create_future()
+
+    def _apply() -> None:
+        if afut.cancelled():
+            return
+        err = future.exception()
+        if err is not None:
+            wrapped = TaskError("asynchronous monitor task failed", err)
+            wrapped.__cause__ = err  # same chaining as LightFuture.get
+            afut.set_exception(wrapped)
+        else:
+            afut.set_result(future.get())  # done ⇒ returns without blocking
+
+    def _on_done(_fut: LightFuture) -> None:
+        try:
+            loop.call_soon_threadsafe(_apply)
+        except RuntimeError:
+            pass  # loop already closed — nobody is left to observe this
+
+    future.add_done_callback(_on_done)
+    return afut
+
+
+async def await_future(future: LightFuture,
+                       timeout: float | None = None) -> Any:
+    """Await a delegated call's future; ``asyncio.TimeoutError`` on expiry."""
+    afut = as_asyncio(future)
+    if timeout is None:
+        return await afut
+    return await asyncio.wait_for(afut, timeout)

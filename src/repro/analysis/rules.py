@@ -1195,6 +1195,154 @@ class GilAtomicityAssumption(Rule):
                     )
 
 
+class BlockingCallInCoroutine(Rule):
+    """W015 — a blocking monitor-stack call inside an ``async def`` body.
+
+    The asyncio frontend's cardinal rule (:mod:`repro.aio`) is that the
+    event-loop thread never blocks on a monitor lock: one loop multiplexes
+    thousands of logical clients, so one parked ``wait_until`` or
+    ``future.get`` stalls *every* coroutine, not just the caller.  Flagged
+    inside coroutine bodies (awaited expressions and nested ``def`` /
+    ``lambda`` scopes — which may legitimately run on executor threads —
+    are skipped):
+
+    * a non-awaited ``.wait_until(...)`` — the threaded form parks the
+      calling thread under the monitor lock; use
+      :meth:`repro.aio.AsyncMonitorClient.wait_until` and ``await`` it;
+    * ``.get(...)`` on a delegated call's future (chained
+      ``mon.op(x).get()`` or a name assigned from a monitor call) — even a
+      bounded ``get`` blocks the loop thread for its whole timeout; await
+      :func:`repro.aio.as_asyncio` / :func:`repro.aio.await_future`;
+    * ``.flush(...)`` on a monitor — blocks until the server drains;
+    * ``with synchronized(...)`` / ``with multisynch(...)`` — monitor
+      entry parks the loop thread behind whoever holds the lock(s).
+
+    WARNING severity: a coroutine that blocks is wrong by construction on
+    a loaded loop, but single-shot scripts (`asyncio.run` around legacy
+    code) may tolerate it — suppress with ``# monlint: disable=W015`` and
+    say why.
+    """
+
+    code = "W015"
+    name = "blocking-call-in-coroutine"
+    severity = Severity.WARNING
+
+    def check(self, module: ModuleModel, ctx: ProjectContext) -> Iterator[Finding]:
+        for func in ast.walk(module.tree):
+            if isinstance(func, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(module, func)
+
+    def _check_coroutine(
+        self, module: ModuleModel, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        resolve = self._monitor_names(module, func)
+        own_nodes = list(_own_scope_nodes(func))
+        futures = self._future_names(own_nodes, resolve)
+        # anything under an `await` is the non-blocking path by definition
+        # (`await client.wait_until(...)`, `await wait_for(client.call(..))`)
+        awaited: set[int] = set()
+        for node in own_nodes:
+            if isinstance(node, ast.Await):
+                for sub in ast.walk(node):
+                    awaited.add(id(sub))
+        where = f"async def {func.name}()"
+        for node in own_nodes:
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    cm = item.context_expr
+                    if not isinstance(cm, ast.Call):
+                        continue
+                    entry = _dotted_name(cm.func)
+                    if entry in ("synchronized", "multisynch"):
+                        yield self._finding(
+                            module.path, cm,
+                            f"with {entry}(...) inside {where} parks the "
+                            "event-loop thread on monitor lock(s) — every "
+                            "other coroutine on this loop stalls with it; "
+                            "move the section to an executor thread or "
+                            "use repro.aio",
+                        )
+                continue
+            if (
+                id(node) in awaited
+                or not isinstance(node, ast.Call)
+                or not isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            attr = node.func.attr
+            base = node.func.value
+            if attr == "wait_until":
+                yield self._finding(
+                    module.path, node,
+                    f"blocking wait_until inside {where} parks the "
+                    "event-loop thread under the monitor lock; await "
+                    "AsyncMonitorClient.wait_until (repro.aio) instead",
+                )
+            elif attr == "get":
+                recv = _dotted_name(base)
+                if (recv in futures) or _is_monitor_call(base, resolve):
+                    shown = recv if recv is not None else "<future>"
+                    yield self._finding(
+                        module.path, node,
+                        f"{shown}.get() inside {where} blocks the "
+                        "event-loop thread until the delegated task "
+                        "completes (bounded or not); await "
+                        "repro.aio.as_asyncio(...) / await_future(...)",
+                    )
+            elif attr == "flush":
+                obj = _dotted_name(base)
+                if obj in resolve:
+                    yield self._finding(
+                        module.path, node,
+                        f"{obj}.flush() inside {where} blocks the "
+                        "event-loop thread until the server drains; run "
+                        "it on an executor thread or await the "
+                        "individual futures",
+                    )
+
+    def _monitor_names(
+        self, module: ModuleModel, func: ast.AsyncFunctionDef
+    ) -> dict[str, str]:
+        """Names known to hold monitor objects in this coroutine."""
+        resolve: dict[str, str] = {}
+        args = func.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            ann = _annotation_name(arg.annotation)
+            if ann in module.known_monitor_names:
+                resolve[arg.arg] = ann
+        resolve.update(monitor_locals(func, module.known_monitor_names))
+        return resolve
+
+    def _future_names(
+        self, own_nodes: list[ast.AST], resolve: dict[str, str]
+    ) -> set[str]:
+        names: set[str] = set()
+        for node in own_nodes:
+            if not (
+                isinstance(node, ast.Assign)
+                and _is_monitor_call(node.value, resolve)
+            ):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+
+def _own_scope_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """The nodes lexically in ``func``'s own body, excluding nested
+    ``def`` / ``async def`` / ``lambda`` scopes (those may run on executor
+    threads, where blocking is the point)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
 #: registry, in code order
 ALL_RULES: list[type[Rule]] = [
     NonClosedPredicate,
@@ -1205,6 +1353,7 @@ ALL_RULES: list[type[Rule]] = [
     UnboundedBlockingWait,
     UntrackedSharedWrite,
     GilAtomicityAssumption,
+    BlockingCallInCoroutine,
 ]
 
 

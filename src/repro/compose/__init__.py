@@ -6,6 +6,8 @@ from repro.compose.async_ops import (
     async_or,
     async_select_all,
     async_select_one,
+    submit_select_all,
+    submit_select_one,
 )
 from repro.compose.guarded import GuardedCall, bind
 from repro.compose.operators import and_, or_, select_all, select_one
@@ -21,5 +23,7 @@ __all__ = [
     "async_and",
     "async_select_one",
     "async_select_all",
+    "submit_select_one",
+    "submit_select_all",
     "SKIPPED",
 ]

@@ -9,13 +9,17 @@ monitor's server and then force the worker to evaluate every future.
 
 ``async_or`` / ``async_select_one`` delegate a task per operand that shares
 one atomic ``taken`` flag: when a server finds an operand's guard true it
-performs a compare-and-swap on the flag, and only the winner executes its
-body (§5.3.1); losers resolve to :data:`SKIPPED`.
+performs a test-and-set on the flag (:class:`repro.runtime.atomics.AtomicFlag`
+— the explicit-atomics layer, correct with and without the GIL), and only
+the winner executes its body (§5.3.1); losers resolve to :data:`SKIPPED`.
+
+The ``submit_select_*`` halves expose the submission step without the
+blocking ``get``: the asyncio frontend (:mod:`repro.aio`) submits from an
+executor thread and awaits the returned futures on the loop.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Sequence
 
 from repro.active.activemonitor import ActiveMonitor
@@ -23,31 +27,11 @@ from repro.active.futures import LightFuture
 from repro.active.tasks import MonitorTask
 from repro.compose.guarded import GuardedCall
 from repro.core.predicates import Predicate
+from repro.runtime.atomics import AtomicFlag
 from repro.runtime.errors import CompositionError
 
 #: sentinel result of a losing OR operand
 SKIPPED = object()
-
-
-class _TakenFlag:
-    """Atomic boolean with compare-and-swap semantics (a CAS on ``taken``)."""
-
-    __slots__ = ("_lock", "_value")
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._value = False
-
-    def try_take(self) -> bool:
-        with self._lock:
-            if self._value:
-                return False
-            self._value = True
-            return True
-
-    def is_set(self) -> bool:
-        with self._lock:
-            return self._value
 
 
 def _validate(calls: Sequence[GuardedCall]) -> list[GuardedCall]:
@@ -82,8 +66,14 @@ def async_and(*operands: GuardedCall) -> list[Any]:
 
 
 def async_select_all(calls: Sequence[GuardedCall]) -> list[Any]:
+    return [future.get() for future in submit_select_all(calls)]
+
+
+def submit_select_all(calls: Sequence[GuardedCall]) -> list[LightFuture]:
+    """Submission half of :func:`async_select_all`: delegate every operand
+    and return the per-operand futures without evaluating them."""
     calls = _validate(calls)
-    futures = [
+    return [
         _submit(
             call,
             Predicate(_guard_thunk(call)),
@@ -91,7 +81,6 @@ def async_select_all(calls: Sequence[GuardedCall]) -> list[Any]:
         )
         for call in calls
     ]
-    return [future.get() for future in futures]
 
 
 def async_or(*operands: GuardedCall) -> tuple[int, Any]:
@@ -100,21 +89,27 @@ def async_or(*operands: GuardedCall) -> tuple[int, Any]:
 
 
 def async_select_one(calls: Sequence[GuardedCall]) -> tuple[int, Any]:
+    return submit_select_one(calls).get()
+
+
+def submit_select_one(calls: Sequence[GuardedCall]) -> LightFuture:
+    """Submission half of :func:`async_select_one`: delegate every operand
+    and return the shared winner future, unevaluated."""
     calls = _validate(calls)
-    taken = _TakenFlag()
+    taken = AtomicFlag()
     winner_future: LightFuture = LightFuture()
 
     def make_guard(call: GuardedCall):
         # executable once the real guard holds — or once somebody else won,
         # so the loser task drains from the pending set as SKIPPED.
         real = _guard_thunk(call)
-        return lambda: taken.is_set() or real()
+        return lambda: bool(taken) or real()
 
     def make_body(index: int, call: GuardedCall):
         run = _body_thunk(call)
 
         def body():
-            if not taken.try_take():
+            if taken.test_and_set():
                 return SKIPPED
             result = run()
             winner_future.set_result((index, result))
@@ -131,7 +126,7 @@ def async_select_one(calls: Sequence[GuardedCall]) -> tuple[int, Any]:
         _submit(call, Predicate(make_guard(call)), make_body(index, call))
     # per-task futures are dropped: results resolve via winner_future and
     # losers drain as SKIPPED
-    return winner_future.get()
+    return winner_future
 
 
 def _guard_thunk(call: GuardedCall):

@@ -41,6 +41,21 @@ config generation (an int rebind: atomic pointer load on every build,
 compared only for inequality) and (b) the diagnostic snapshots
 (:meth:`dump_waiters`, :meth:`obligation_view`), which are racy by design
 and tolerate skew.
+
+Waiterless (async) waiters: the asyncio frontend (:mod:`repro.aio`)
+registers :class:`~repro.core.waiter.AsyncWaiter` records through
+:meth:`register_async` — same buckets, same tag records, same AOT direct
+coverage, so relay invariance (Prop. 2) needs no new argument.  The two
+asymmetries are on the wake and abandon sides: a signaler that finds a
+satisfied async waiter *delivers* it (claim, deregister, run the loop
+callback) and then **keeps searching** — the async waiter has no thread
+that would re-enter the monitor and pass the baton on, so the signaler
+relays on its behalf; and an abandoning async waiter (timeout/cancel on
+the event-loop thread) never takes the monitor lock — it claims the
+record through the flag's micro-lock (:meth:`abandon_async`) and leaves
+the unlink to the next lock holder (:meth:`_reap_async`).  The claim flag
+makes signal-vs-abandon a race with exactly one winner, so no signal is
+lost and none is delivered twice.
 """
 
 from __future__ import annotations
@@ -97,6 +112,12 @@ class ConditionManager:
         #: reuse, bounded by ``inactive_predicate_factor × live waiters``
         #: (the paper's 2n cap)
         self._waiter_pool: list[Waiter] = []
+        #: abandoned async waiters awaiting deregistration.  Appended from
+        #: the event-loop/canceller thread *without* the monitor lock
+        #: (single list ops are atomic under the GIL and internally locked
+        #: on free-threaded builds); drained under the lock by the next
+        #: relay/direct signal.
+        self._async_reap: list[Waiter] = []
         # pre-bound tag-search callbacks: binding methods per relay call
         # would allocate two method objects on every monitor exit
         self._search_expr_cb = self._search_expr
@@ -320,6 +341,8 @@ class ConditionManager:
         thread exists afterwards.
         """
         m = self.metrics
+        if self._async_reap:
+            self._reap_async()
         # Flush the exiting section's dirty set *before* any early return:
         # per-variable generations must advance even when nobody waits, or
         # a memoized expression value could be revalidated against a stale
@@ -346,6 +369,15 @@ class ConditionManager:
             with PhaseTimer(m, "relay_time"):
                 waiter = self._find_satisfied_waiter()
         else:
+            waiter = self._find_satisfied_waiter()
+        # A satisfied async waiter consumes no baton: deliver its loop
+        # callback (it has no thread that would re-enter the monitor and
+        # relay on exit) and keep searching on its behalf.
+        while waiter is not None and waiter.deliver is not None:
+            if _chaos.enabled:
+                _chaos.fire("signal", waiter)
+            if self._deliver_async(waiter):
+                m.bump("signals")
             waiter = self._find_satisfied_waiter()
         if waiter is not None:
             if _chaos.enabled:
@@ -393,6 +425,8 @@ class ConditionManager:
             return self.relay_signal()
         m = self.metrics
         monitor = self.monitor
+        if self._async_reap:
+            self._reap_async()
         dirty = monitor._dirty
         cand = None
         if dirty:
@@ -483,6 +517,15 @@ class ConditionManager:
                     break
         if evals:
             m.predicate_evals += evals
+        # async waiters: deliver and continue the drain on their behalf
+        # (see relay_signal); in direct mode every waiter sits in the
+        # dependency structures, so _scan_untagged is the full continuation
+        while waiter is not None and waiter.deliver is not None:
+            if chaos_on:
+                _chaos.fire("signal", waiter)
+            if self._deliver_async(waiter):
+                m.bump("signals")
+            waiter = self._scan_untagged()
         if waiter is not None:
             if chaos_on:
                 _chaos.fire("signal", waiter)
@@ -506,9 +549,78 @@ class ConditionManager:
         for waiter in list(self.waiters):
             if waiter.poison is None:
                 waiter.poison = make_exc()
-            waiter.signal()
+            if waiter.deliver is not None:
+                # async waiters get the poison through their wake callback
+                # (the loop re-raises it from the awaited future)
+                self._deliver_async(waiter)
+            else:
+                waiter.signal()
             n += 1
         return n
+
+    # ------------------------------------------------------- async waiters
+    def register_async(self, waiter: Waiter) -> None:
+        """Register a waiterless waiter (caller holds the monitor lock).
+
+        The record joins exactly the structures a threaded waiter would —
+        tag index, dependency buckets, AOT direct-signal coverage — so
+        every signaling discipline covers it with no special cases on the
+        search side.  Baseline mode is refused: broadcasts wake parked
+        threads, and an async waiter has none.
+        """
+        if self.mode == "baseline":
+            from repro.runtime.errors import MonitorError
+            raise MonitorError(
+                "async waiters require relay signaling "
+                "(signaling mode 'baseline' only broadcasts to parked threads)")
+        self.metrics.bump("waits")
+        self._register(waiter)
+
+    def abandon_async(self, waiter: Waiter) -> bool:
+        """Abandon a parked async waiter *without* the monitor lock.
+
+        Called from the event-loop (timeout) or canceller thread.  Claims
+        the record through its micro-lock flag; returns False when a
+        signaler already delivered — the wait won the race and its outcome
+        stands.  On success the record is marked inert (the ``signaled``
+        store is racy but advisory: a search that misses it still loses
+        the claim in :meth:`_deliver_async` and keeps searching) and
+        queued for deregistration by the next lock holder.  No re-relay is
+        needed on its behalf: a claimed waiter can never have absorbed the
+        relay baton, because delivery itself is the claim.
+        """
+        if waiter.claimed.test_and_set():
+            return False
+        waiter.signaled = True
+        self._async_reap.append(waiter)
+        return True
+
+    def _deliver_async(self, waiter: Waiter) -> bool:
+        """Deregister a satisfied/poisoned async waiter and run its wake
+        action (caller holds the lock).  Returns False when a concurrent
+        timeout/cancel claimed the record first — the signaler then simply
+        continues its search, exactly as after a threaded waiter's
+        abandonment re-relay.
+        """
+        waiter.signaled = True
+        self._deregister(waiter)
+        if waiter.claimed.test_and_set():
+            return False
+        try:
+            waiter.deliver(waiter.poison)
+        except Exception:  # noqa: BLE001 — a loop callback must never
+            pass           # poison the signaling thread
+        return True
+
+    def _reap_async(self) -> None:
+        """Unlink abandoned async waiters (caller holds the lock)."""
+        reap = self._async_reap
+        while reap:
+            try:
+                w = reap.pop()
+            except IndexError:  # pragma: no cover — we are the only popper
+                break
+            self._deregister(w)
 
     def note_writes(self, names) -> None:
         """Bump per-variable generations; queue untagged waiters that read
@@ -820,7 +932,10 @@ class ConditionManager:
             waiter.evaler_keys.clear()
         # recycle the whole waiter, condition variable included (paper
         # §2.5.1): cap the inactive pool at factor × live waiters, minimum
-        # a small constant
+        # a small constant.  Async waiters are never pooled — they carry no
+        # condition variable and their claim flag is single-use.
+        if waiter.deliver is not None:
+            return
         cfg = config_snapshot()
         cap = max(4, cfg.inactive_predicate_factor * (len(self.waiters) + 1))
         if len(self._waiter_pool) < cap:

@@ -11,6 +11,12 @@ Waiters are *recycled*: when a waiter deregisters, the condition manager
 returns the whole object — condition variable included — to an inactive
 pool bounded by the paper's 2n rule (§2.5.1), so a steady-state wait/wake
 churn allocates no new Waiter or Condition objects at all.
+
+:class:`AsyncWaiter` is the *waiterless* variant backing the asyncio
+frontend (:mod:`repro.aio`): same registration, predicate machinery and
+relay eligibility, but no parked thread and no condition variable — the
+wake action is a callable the signaler runs (a threadsafe event-loop
+callback in practice).  Async waiters are never pooled.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import threading
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.core.predicates import Predicate
+from repro.runtime.atomics import AtomicFlag
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.tag_index import TagRecord
@@ -30,7 +37,7 @@ class Waiter:
     __slots__ = (
         "predicate", "eval_fn", "cv", "signaled", "records",
         "expr_keys", "evaler_keys", "thread_id", "poison",
-        "read_set", "untagged", "pending", "aot_direct",
+        "read_set", "untagged", "pending", "aot_direct", "deliver",
     )
 
     def __init__(self, predicate: Predicate, lock: threading.RLock,
@@ -67,6 +74,10 @@ class Waiter:
         #: signal directly (AOT signal placement); diagnostics report the
         #: signal path so stall triage doesn't mis-blame the relay
         self.aot_direct = False
+        #: waiterless (event-loop) waiters override this with the wake
+        #: action to run instead of a CV notify; None means a parked thread
+        #: owns this record and the relay signals its condition variable
+        self.deliver = None
 
     def retire(self) -> None:
         """Drop references held for the finished wait (before pooling)."""
@@ -104,6 +115,45 @@ class Waiter:
 
     def __repr__(self):
         return f"Waiter(tid={self.thread_id}, {self.predicate!r})"
+
+
+class AsyncWaiter(Waiter):
+    """A waiterless waiter: a registration with no parked thread behind it.
+
+    Joins the condition manager's structures exactly like a threaded waiter
+    — tag records, dependency buckets, AOT direct-signal coverage — so the
+    relay-invariance argument (Prop. 2) is unchanged.  What differs is the
+    wake side: there is no condition variable; when a signaler finds this
+    waiter satisfied (or poisons it) it *claims* the record and runs
+    ``deliver(outcome)`` — for the asyncio frontend, a
+    ``loop.call_soon_threadsafe`` hop that resolves an ``asyncio.Future``.
+
+    ``claimed`` arbitrates the signal/abandon race without the monitor
+    lock: the signaler claims while holding the lock, a timeout or
+    cancellation claims from the event-loop (or canceller) thread through
+    the flag's own micro-lock — bounded, never the monitor lock, so the
+    event loop cannot block on monitor traffic.  Exactly one side wins;
+    the loser's path is a no-op.  A claimed-but-still-registered waiter is
+    inert (``signaled`` is set) and is reaped by the next lock holder.
+    """
+
+    __slots__ = ("claimed",)
+
+    def __init__(self, predicate: Predicate,
+                 deliver: Callable[[Optional[BaseException]], None]):
+        self.cv = None  # type: ignore[assignment] — nothing parks on this
+        self.records = []
+        self.expr_keys = []
+        self.evaler_keys = []
+        self.reset(predicate)
+        self.deliver = deliver
+        self.claimed = AtomicFlag()
+
+    def signal(self) -> None:  # pragma: no cover — defensive: every signal
+        self.signaled = True   # site routes async waiters through deliver
+
+    def __repr__(self):
+        return f"AsyncWaiter(tid={self.thread_id}, {self.predicate!r})"
 
 
 def _never(monitor: Any) -> bool:  # pragma: no cover — retired waiters are

@@ -21,6 +21,9 @@ Layers:
   deadlines via ``wait_until(..., deadline=)``, explicit shedding;
 * :mod:`repro.loadsim.scenarios` — :class:`LoadSimulator` and the
   scenario catalog (``run_steady_load`` … ``run_network_partition``);
+* :mod:`repro.loadsim.aio` — :class:`AsyncLoadSimulator`, the coroutine
+  frontend lane: thousands of logical clients multiplexed onto one event
+  loop via :mod:`repro.aio`, with a loop-responsiveness probe;
 * :mod:`repro.loadsim.report` — :class:`LoadReport` / :class:`SLO` and
   ``BENCH_load_*.json`` serialization.
 
@@ -30,6 +33,11 @@ shed, or failed fast on a broken monitor.  Zero silently lost futures,
 even while chaos kills servers (see docs/loadtest.md).
 """
 
+from repro.loadsim.aio import (
+    AsyncLoadSimulator,
+    run_burst_load_async,
+    run_steady_load_async,
+)
 from repro.loadsim.arrivals import (
     ArrivalProcess,
     BurstArrivals,
@@ -53,6 +61,7 @@ __all__ = [
     "SLO",
     "SLOViolation",
     "ArrivalProcess",
+    "AsyncLoadSimulator",
     "Bulkhead",
     "BurstArrivals",
     "DiurnalArrivals",
@@ -64,8 +73,10 @@ __all__ = [
     "WindowedSeries",
     "make_service",
     "run_burst_load",
+    "run_burst_load_async",
     "run_mixed_workload",
     "run_network_partition",
     "run_steady_load",
+    "run_steady_load_async",
     "run_worker_failure",
 ]

@@ -1,0 +1,375 @@
+"""The asyncio driver lane: coroutine-per-client open-loop load.
+
+:class:`AsyncLoadSimulator` is the coroutine twin of
+:class:`~repro.loadsim.scenarios.LoadSimulator` — same seeded arrival
+schedules, same latency-from-scheduled-arrival discipline, same
+accounting identity (``offered == completed + timed_out + failed_fast +
+errors + shed`` with ``in_flight == 0``) — but every *logical client* is
+a coroutine on one event loop instead of a pooled worker thread:
+
+* the **dispatcher coroutine** walks the pre-drawn schedule; each arrival
+  either spawns a request task or is **shed** when the in-flight cap
+  (``admission_capacity``) is reached — the awaitable analogue of the
+  thread lane's bounded admission queue;
+* each **request task** runs ``service.handle_async(op, deadline,
+  cancel)`` with the same absolute deadline (``scheduled_arrival +
+  deadline``) and a cancel-token backstop armed with ``loop.call_later``
+  (no timer threads — at thousands of clients that matters);
+* a **loop-responsiveness probe** ticks throughout the run and records
+  how late each tick fired.  The asyncio frontend's cardinal rule is that
+  the event-loop thread never blocks on a monitor lock; the probe is the
+  empirical check — a blocked loop shows up as drift, and the report
+  carries ``extra["loop_probe"]`` so the benchmark can assert on it.
+
+:func:`run_steady_load_async` / :func:`run_burst_load_async` mirror the
+threaded scenario entry points, including the strict SLO / recovery
+assertions, so the two frontends are comparable head-to-head on
+identical arrival schedules and op sequences.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Any, Optional
+
+from repro.loadsim.arrivals import ArrivalProcess, BurstArrivals, \
+    PoissonArrivals
+from repro.loadsim.recorder import LatencyRecorder, WindowedSeries
+from repro.loadsim.report import LoadReport, SLO
+from repro.loadsim.services import Service, make_service
+from repro.resilience import CancelToken
+from repro.resilience.obligations import ObligationTracker
+from repro.resilience.watchdog import StallWatchdog
+from repro.runtime.errors import (
+    BrokenMonitorError,
+    TaskError,
+    WaitCancelledError,
+    WaitTimeoutError,
+)
+
+__all__ = [
+    "AsyncLoadSimulator",
+    "run_burst_load_async",
+    "run_steady_load_async",
+]
+
+DEFAULT_SEED = 11
+
+#: loop-responsiveness probe period (s); drift beyond a few ms means the
+#: loop thread blocked somewhere it never should have
+PROBE_INTERVAL_S = 0.02
+
+
+class AsyncLoadSimulator:
+    """Open-loop driver: one service, one schedule, coroutine clients."""
+
+    def __init__(
+        self,
+        service: Service,
+        arrivals: ArrivalProcess,
+        *,
+        scenario: str = "custom",
+        deadline: float = 0.5,
+        admission_capacity: int = 1024,
+        window_s: float = 0.5,
+        op_seed: Optional[int] = None,
+        diagnose: bool = True,
+        cancel_grace: float = 1.0,
+        drain_timeout: Optional[float] = None,
+    ):
+        if deadline <= 0:
+            raise ValueError("deadline must be > 0")
+        if admission_capacity < 1:
+            raise ValueError("admission_capacity must be >= 1")
+        if not service.supports_async:
+            raise ValueError(
+                f"service {service.name!r} has no handle_async lane")
+        self.service = service
+        self.arrivals = arrivals
+        self.scenario = scenario
+        self.deadline = deadline
+        self.admission_capacity = admission_capacity
+        self.window_s = window_s
+        self.op_seed = arrivals.seed + 1 if op_seed is None else op_seed
+        self.diagnose = diagnose
+        self.cancel_grace = cancel_grace
+        self.drain_timeout = (
+            deadline + cancel_grace + 2.0 if drain_timeout is None
+            else drain_timeout
+        )
+
+    # ------------------------------------------------------------------- run
+    def run(self, params: Optional[dict[str, Any]] = None) -> LoadReport:
+        """Start the service, drive the schedule on a fresh loop, report.
+
+        Blocking entry point (symmetric with ``LoadSimulator.run``): the
+        service starts and stops on the calling thread; only the request
+        traffic itself runs on the event loop.
+        """
+        service = self.service
+        schedule = self.arrivals.schedule()
+        op_rng = random.Random(self.op_seed)
+        ops = [service.make_op(op_rng) for _ in schedule]
+
+        owns_service = not service.started
+        if owns_service:
+            service.start()
+
+        watchdog = tracker = None
+        if self.diagnose:
+            monitors = service.monitors()
+            watchdog = StallWatchdog(
+                monitors,
+                quiet_period=max(1.0, 2.0 * self.deadline),
+                on_stall=lambda report: None,
+            )
+            tracker = ObligationTracker(
+                monitors, poll_interval=0.2, on_report=lambda report: None)
+            watchdog.start()
+            tracker.start()
+
+        try:
+            result = asyncio.run(self._drive(schedule, ops))
+        finally:
+            if watchdog is not None:
+                watchdog.stop()
+                tracker.stop()
+            if owns_service:
+                service.stop()
+
+        (counts, recorders, windows, elapsed, in_flight,
+         backstop_cancels, error_samples, probe) = result
+
+        diagnostics: list[str] = []
+        extra: dict[str, Any] = {"loop_probe": probe}
+        if watchdog is not None:
+            diagnostics += [r.describe() for r in watchdog.reports]
+            diagnostics += [r.describe() for r in tracker.reports]
+        diagnostics += error_samples
+        if backstop_cancels:
+            extra["backstop_cancels"] = backstop_cancels
+
+        base_params = {
+            "frontend": "asyncio",
+            "arrivals": self.arrivals.name,
+            "duration_s": self.arrivals.duration,
+            "deadline_s": self.deadline,
+            "admission_capacity": self.admission_capacity,
+            "op_seed": self.op_seed,
+        }
+        base_params.update(params or {})
+        return LoadReport(
+            service=service.name,
+            scenario=self.scenario,
+            seed=self.arrivals.seed,
+            params=base_params,
+            counts=counts,
+            latency=recorders,
+            windows=windows,
+            elapsed=elapsed,
+            in_flight=in_flight,
+            diagnostics=diagnostics,
+            extra=extra,
+        )
+
+    # ------------------------------------------------------------ loop body
+    async def _drive(self, schedule, ops):
+        service = self.service
+        loop = asyncio.get_running_loop()
+
+        counts: dict[str, dict[str, int]] = {}
+        recorders: dict[str, LatencyRecorder] = {}
+        windows = WindowedSeries(self.window_s)
+        admitted = 0
+        resolved = [0]
+        backstop_cancels = [0]
+        error_samples: list[str] = []
+        tasks: set[asyncio.Task] = set()
+
+        # everything below runs on the single loop thread — no locks needed
+        def bump(group: str, outcome: str) -> None:
+            cell = counts.get(group)
+            if cell is None:
+                cell = counts[group] = {
+                    "completed": 0, "timed_out": 0, "failed_fast": 0,
+                    "shed": 0, "errors": 0,
+                }
+                recorders[group] = LatencyRecorder()
+            cell[outcome] += 1
+            if outcome != "shed":
+                resolved[0] += 1
+
+        start = time.monotonic()
+        probe_drifts: list[float] = []
+        probe_stop = asyncio.Event()
+
+        async def probe() -> None:
+            # if any await in this loop ever blocks the loop *thread*
+            # (a parked monitor lock, a blocking future.get), every
+            # scheduled callback — including this one — fires late
+            expected = time.monotonic() + PROBE_INTERVAL_S
+            while not probe_stop.is_set():
+                await asyncio.sleep(max(0.0, expected - time.monotonic()))
+                now = time.monotonic()
+                probe_drifts.append(max(0.0, now - expected))
+                expected = now + PROBE_INTERVAL_S
+
+        async def one_request(offset: float, op: Any) -> None:
+            group = service.group(op)
+            deadline = start + offset + self.deadline
+            token = CancelToken()
+            backstop = loop.call_later(
+                max(0.0, deadline - time.monotonic()) + self.cancel_grace,
+                token.cancel)
+            try:
+                await service.handle_async(op, deadline, token)
+                outcome = "completed"
+            except WaitTimeoutError:
+                outcome = "timed_out"
+            except WaitCancelledError:
+                outcome = "timed_out"
+                backstop_cancels[0] += 1
+            except (BrokenMonitorError, TaskError) as exc:
+                outcome = "failed_fast"
+                if len(error_samples) < 5:
+                    error_samples.append(
+                        f"failed_fast: {type(exc).__name__}: {exc}")
+            except Exception as exc:  # noqa: BLE001 - full accounting
+                outcome = "errors"
+                if len(error_samples) < 5:
+                    error_samples.append(
+                        f"error: {type(exc).__name__}: {exc}")
+            finally:
+                backstop.cancel()
+            latency = time.monotonic() - (start + offset)
+            bump(group, outcome)
+            if outcome == "completed":
+                recorders[group].record(latency)
+                windows.record(offset, outcome, latency)
+            else:
+                windows.record(offset, outcome)
+
+        probe_task = asyncio.ensure_future(probe())
+        try:
+            for offset, op in zip(schedule, ops):
+                delay = start + offset - time.monotonic()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                if len(tasks) >= self.admission_capacity:
+                    bump(service.group(op), "shed")
+                    windows.record(offset, "shed")
+                    continue
+                admitted += 1
+                task = asyncio.ensure_future(one_request(offset, op))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+
+            if tasks:
+                await asyncio.wait(tasks, timeout=self.drain_timeout)
+        finally:
+            probe_stop.set()
+            probe_task.cancel()
+            for task in tasks:  # lost requests: counted, not awaited
+                task.cancel()
+
+        elapsed = time.monotonic() - start
+        in_flight = admitted - resolved[0]
+        probe_summary = _summarize_probe(probe_drifts)
+        return (counts, recorders, windows, elapsed, in_flight,
+                backstop_cancels[0], error_samples, probe_summary)
+
+
+def _summarize_probe(drifts: list[float]) -> dict[str, float]:
+    if not drifts:
+        return {"samples": 0, "max_drift_ms": 0.0, "p95_drift_ms": 0.0}
+    ordered = sorted(drifts)
+    p95 = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+    return {
+        "samples": len(drifts),
+        "max_drift_ms": round(ordered[-1] * 1e3, 3),
+        "p95_drift_ms": round(p95 * 1e3, 3),
+    }
+
+
+# --------------------------------------------------------------------------
+# scenario entry points (the async halves of the steady / burst lanes)
+# --------------------------------------------------------------------------
+
+def run_steady_load_async(
+    service: str = "buffer",
+    *,
+    rate: float = 60.0,
+    duration: float = 3.0,
+    seed: int = DEFAULT_SEED,
+    deadline: float = 0.5,
+    admission_capacity: int = 1024,
+    slo: Optional[SLO] = None,
+    strict: bool = True,
+    service_kwargs: Optional[dict[str, Any]] = None,
+) -> LoadReport:
+    """Poisson arrivals on the coroutine frontend — same SLO as threaded."""
+    svc = make_service(service, seed=seed, **(service_kwargs or {}))
+    sim = AsyncLoadSimulator(
+        svc,
+        PoissonArrivals(rate, duration, seed),
+        scenario="steady_async",
+        deadline=deadline,
+        admission_capacity=admission_capacity,
+    )
+    report = sim.run(params={"rate": rate})
+    if strict:
+        report.assert_accounted()
+        report.enforce(slo or SLO(
+            p95_ms=0.8 * deadline * 1e3,
+            p99_ms=1.5 * deadline * 1e3,
+            max_timeout_frac=0.05,
+            max_shed_frac=0.0,
+            max_failed_frac=0.0,
+        ))
+    return report
+
+
+def run_burst_load_async(
+    service: str = "buffer",
+    *,
+    base_rate: float = 30.0,
+    burst_rate: float = 150.0,
+    duration: float = 3.0,
+    period: float = 1.0,
+    burst_fraction: float = 0.25,
+    seed: int = DEFAULT_SEED,
+    deadline: float = 0.3,
+    admission_capacity: int = 64,
+    slo: Optional[SLO] = None,
+    strict: bool = True,
+    service_kwargs: Optional[dict[str, Any]] = None,
+) -> LoadReport:
+    """On/off overload on the coroutine frontend; recovery asserted."""
+    from repro.loadsim.scenarios import _assert_recovered
+
+    svc = make_service(service, seed=seed, **(service_kwargs or {}))
+    arrivals = BurstArrivals(
+        base_rate, burst_rate, duration, seed,
+        period=period, burst_fraction=burst_fraction)
+    sim = AsyncLoadSimulator(
+        svc,
+        arrivals,
+        scenario="burst_async",
+        deadline=deadline,
+        admission_capacity=admission_capacity,
+    )
+    report = sim.run(params={
+        "base_rate": base_rate, "burst_rate": burst_rate,
+        "period": period, "burst_fraction": burst_fraction,
+    })
+    if strict:
+        report.assert_accounted()
+        report.enforce(slo or SLO(max_failed_frac=0.05))
+        last_burst_end = (
+            int((duration - 1e-9) / period) * period + burst_fraction * period)
+        after = min(last_burst_end + deadline, duration - sim.window_s)
+        _assert_recovered(report, after=after, p95_ms=deadline * 1e3,
+                          max_bad_frac=0.25)
+    return report

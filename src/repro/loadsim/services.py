@@ -8,6 +8,11 @@ store, multicast channels) to the shape the load simulator drives:
   deadline riding on ``wait_until(..., deadline=)`` (or on the delegated
   future's ``get``), raising ``WaitTimeoutError`` / ``TaskError`` /
   ``BrokenMonitorError`` on the documented failure paths;
+* ``handle_async(op, deadline, cancel)`` (services with
+  ``supports_async``) is the coroutine twin driven by the asyncio lane in
+  :mod:`repro.loadsim.aio` — same ops, same failure taxonomy, requests
+  multiplexed onto one event loop through
+  :class:`~repro.aio.AsyncMonitorClient`;
 * ``monitors()`` exposes the monitor objects for the stall watchdog,
   obligation tracker, and partition freezing;
 * ``attach_supervisors(seed)`` arms jittered
@@ -25,12 +30,15 @@ queue in :mod:`repro.loadsim.scenarios` is the other half.
 
 from __future__ import annotations
 
+import asyncio
 import random
 import threading
 import time
 from typing import Any, Optional
 
 from repro.active import ActiveMonitor, asynchronous
+from repro.core import S
+from repro.core.predicates import Predicate
 from repro.problems.bounded_buffer import ActiveBoundedQueue
 from repro.problems.multicast import AsyncChannelQueue, ChannelQueue
 from repro.problems.pizza_store import (
@@ -81,6 +89,9 @@ class Service:
     """Base class for a monitor-backed service under open-loop load."""
 
     name = "service"
+    #: True when the service implements :meth:`handle_async` — the
+    #: coroutine request path the asyncio driver lane exercises
+    supports_async = False
 
     def __init__(self, seed: int = 0):
         self.seed = seed
@@ -103,6 +114,12 @@ class Service:
 
     def handle(self, op: Any, deadline: float, cancel=None) -> None:
         raise NotImplementedError
+
+    async def handle_async(self, op: Any, deadline: float,
+                           cancel=None) -> None:
+        """Coroutine twin of :meth:`handle` — same ops, same failure
+        taxonomy, driven from an event loop instead of a worker thread."""
+        raise NotImplementedError(f"{self.name} has no asyncio lane")
 
     def group(self, op: Any) -> str:
         """Report group for one request ("all" unless partition-aware)."""
@@ -142,6 +159,7 @@ class BufferService(Service):
     """
 
     name = "buffer"
+    supports_async = True
 
     # the op mix leans slightly toward puts: a 50/50 mix is a driftless
     # random walk whose troughs hit an empty buffer, and takes that then
@@ -154,9 +172,12 @@ class BufferService(Service):
         self.prefill = prefill
         self.put_fraction = put_fraction
         self.queue: Optional[ActiveBoundedQueue] = None
+        self._aio_client = None
+        self._take_ready = Predicate(S.count > 0)
 
     def start(self) -> None:
         self.queue = ActiveBoundedQueue(self.capacity, mode="async")
+        self._aio_client = None  # clients bind to one loop; rebind per run
         for i in range(self.prefill):
             self.queue.put(i).get(timeout=5.0)
         super().start()
@@ -179,6 +200,39 @@ class BufferService(Service):
             self.queue.put(op[1]).get(timeout=remaining, cancel=cancel)
         else:
             self.queue.take_until(deadline=deadline, cancel=cancel)
+
+    async def handle_async(self, op: tuple, deadline: float,
+                           cancel=None) -> None:
+        """Coroutine request path: delegated puts, ``wait_until`` takes.
+
+        ``put`` awaits the delegated future (awaitable backpressure in
+        :meth:`AsyncMonitorClient.call` when the task queue is full);
+        ``take`` parks a waiterless waiter on ``count > 0`` and then
+        consumes through the guarded ``take_async`` delegation — the
+        documented pairing for lockless-resume waits.
+        """
+        client = self._aio_client
+        if client is None:
+            from repro.aio import AsyncMonitorClient
+            client = self._aio_client = AsyncMonitorClient(self.queue)
+        if op[0] == "put":
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WaitTimeoutError("put deadline expired before submit")
+            try:
+                await asyncio.wait_for(client.call("put", op[1]), remaining)
+            except asyncio.TimeoutError:
+                raise WaitTimeoutError(
+                    "put not completed within deadline") from None
+        else:
+            await client.wait_until(
+                self._take_ready, deadline=deadline, cancel=cancel)
+            remaining = max(deadline - time.monotonic(), 0.001)
+            try:
+                await asyncio.wait_for(client.call("take_async"), remaining)
+            except asyncio.TimeoutError:
+                raise WaitTimeoutError(
+                    "take not completed within deadline") from None
 
     def monitors(self) -> list:
         return [self.queue] if self.queue is not None else []

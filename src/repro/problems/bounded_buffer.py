@@ -127,6 +127,20 @@ class ActiveBoundedQueue(ActiveMonitor):
         self.count -= 1
         return item
 
+    @asynchronous(pre=lambda self: self.count > 0)
+    def take_async(self) -> Any:
+        """Delegated take: the item arrives through the returned future.
+
+        The asyncio frontend's take path — a ``@synchronous`` take parks
+        the calling thread under the monitor lock, which an event-loop
+        thread must never do; this variant waits in the server's pending
+        set instead, guarded by the same precondition.
+        """
+        item = self.items[self.take_ptr]
+        self.take_ptr = (self.take_ptr + 1) % self.capacity
+        self.count -= 1
+        return item
+
     # Deadline-bounded take for the loadsim service facade.  ``put`` stays
     # delegated (its deadline is enforced on the returned future's ``get``);
     # the take side waits under the monitor lock, so the deadline must ride

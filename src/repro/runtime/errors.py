@@ -84,6 +84,16 @@ class WaitCancelledError(MonitorError):
         self.reason = reason
 
 
+class TaskQueueFull(ReproError):
+    """A nonblocking submission found the server's task queue full.
+
+    Raised only by :meth:`ActiveMonitor.submit_nowait` (the asyncio
+    frontend's entry point): the blocking ``submit`` path parks the caller
+    instead, but an event-loop thread must never park, so the full queue
+    surfaces as an exception the coroutine can back off on.
+    """
+
+
 class BrokenMonitorError(MonitorError):
     """The monitor was poisoned: an exception escaped a critical section
     with shared state possibly corrupt, and the monitor now fails fast.

@@ -1,0 +1,61 @@
+"""Fixture: blocking monitor-stack calls in coroutines — W015 only."""
+
+import asyncio
+
+from repro.active import ActiveMonitor, asynchronous
+from repro.core import Monitor, S, synchronized
+from repro.aio import AsyncMonitorClient, await_future
+
+
+class Journal(ActiveMonitor):
+    def __init__(self):
+        super().__init__()
+        self.log = []
+
+    @asynchronous()
+    def append(self, entry):
+        self.log.append(entry)
+
+
+class Box(Monitor):
+    def __init__(self):
+        super().__init__()
+        self.count = 0
+
+    def put(self):
+        self.count += 1
+
+    def take(self):
+        self.wait_until(S.count > 0)
+        self.count -= 1
+
+
+async def drain(journal: Journal):
+    future = journal.append("x")
+    future.get(timeout=1.0)       # W015: bounded or not, the loop blocks
+    journal.append("y").get()     # W015: chained, same hazard
+    journal.flush(timeout=2.0)    # W015: blocks until the server drains
+
+
+async def poll(box: Box):
+    box.wait_until(S.count > 0)   # W015: parks the loop under the lock
+
+
+async def section(box: Box):
+    with synchronized(box):       # W015: monitor entry on the loop thread
+        pass
+
+
+async def clean(box: Box, journal: Journal):
+    # the non-blocking forms: awaited client calls and awaited futures
+    client = AsyncMonitorClient(box)
+    await client.wait_until(S.count > 0)
+    await await_future(journal.append("z"), timeout=1.0)
+    # nested defs may run on executor threads, where blocking is the point
+    def register():
+        box.wait_until(S.count > 0)
+    await asyncio.get_running_loop().run_in_executor(None, register)
+
+
+async def suppressed(journal: Journal):
+    journal.append("w").get()  # monlint: disable=W015 — one-shot script, loop idle

@@ -29,6 +29,7 @@ FIXTURE_CODES = {
     "w012_obligation_leak.py": "W012",
     "w013_opaque_direct_signal.py": "W013",
     "w014_gil_atomic_counter.py": "W014",
+    "w015_async_blocking.py": "W015",
 }
 
 
@@ -66,6 +67,7 @@ def test_severities():
     assert by_code["W011"] == Severity.WARNING
     assert by_code["W012"] == Severity.WARNING
     assert by_code["W013"] == Severity.HINT
+    assert by_code["W015"] == Severity.WARNING
 
 
 def test_w010_dual_severity():
@@ -87,6 +89,17 @@ def test_w006_counts_and_suppression():
     source = (FIXTURES / "w006_blocking_get.py").read_text().splitlines()
     for finding in findings:
         assert "W006:" in source[finding.line - 1]
+
+
+def test_w015_counts_and_suppression():
+    """Exactly the five blocking coroutine sites fire; awaited calls,
+    executor-bound nested defs, and suppressed lines stay clean."""
+    findings = lint_paths([FIXTURES / "w015_async_blocking.py"])
+    assert {f.code for f in findings} == {"W015"}
+    assert len(findings) == 5
+    source = (FIXTURES / "w015_async_blocking.py").read_text().splitlines()
+    for finding in findings:
+        assert "W015:" in source[finding.line - 1]
 
 
 # ------------------------------------------------- the repo itself is clean
@@ -278,7 +291,7 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for code in (
         "W001", "W002", "W003", "W004", "W005", "W006", "W007",
-        "W010", "W011", "W012", "W013",
+        "W010", "W011", "W012", "W013", "W015",
     ):
         assert code in out
 
